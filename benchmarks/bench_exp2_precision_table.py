@@ -1,0 +1,94 @@
+"""Exp-2 table: prediction precision of conf vs PCAconf vs Iconf.
+
+Paper setting: Pokec split into training fragment F1 and validation fragment
+F2; rules mined from F1 with λ = 0 are ranked by each confidence metric, and
+the precision ``prec(R) = supp(R, F2) / supp(Q, F2)`` of the top-k rules is
+averaged.  Expected shape: the Bayes-factor conf ranks rules that transfer
+better than PCA and image-based confidence (conf column highest).
+"""
+
+import pytest
+
+from repro.bench import mining_workload
+from repro.metrics import evaluate_rule, predicate_stats
+from repro.metrics.confidence import evaluate_rule_image_based
+from repro.mining import DMineConfig, dmine
+from repro.partition import partition_graph
+
+from conftest import record_series
+
+TOP_SIZES = [3, 5]
+_rows = []
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _report():
+    yield
+    record_series("exp2", "Exp-2: prediction precision by confidence metric", _rows)
+
+
+def _split_graph(graph, predicate):
+    """Split the graph into a training and a validation half (F1 / F2)."""
+    centers = graph.nodes_with_label(predicate.label(predicate.x))
+    fragments = partition_graph(graph, 2, centers=centers, d=2, seed=13)
+    return fragments[0].graph, fragments[1].graph
+
+
+def _average_precision(rules, ranking_key, validation_graph, top):
+    ranked = sorted(rules, key=ranking_key, reverse=True)[:top]
+    precisions = []
+    for rule in ranked:
+        evaluation = evaluate_rule(validation_graph, rule)
+        if evaluation.supp_antecedent:
+            precisions.append(evaluation.supp_r / evaluation.supp_antecedent)
+        else:
+            precisions.append(0.0)
+    return sum(precisions) / len(precisions) if precisions else 0.0
+
+
+def test_precision_table(benchmark):
+    graph, predicate = mining_workload("pokec")
+    training, validation = _split_graph(graph, predicate)
+
+    config = DMineConfig(
+        k=8, d=2, sigma=4, lam=0.0, num_workers=2,
+        max_edges=2, max_extensions_per_rule=8, max_rules_per_round=30,
+    )
+
+    def run() -> dict:
+        result = dmine(training, predicate, config)
+        rules = list(result.all_rules)
+        stats = predicate_stats(training, predicate)
+        scored = []
+        for rule in rules:
+            evaluation = evaluate_rule(training, rule, stats=stats)
+            iconf = evaluate_rule_image_based(
+                training, rule, stats=stats, max_matches=2000
+            )
+            scored.append((rule, evaluation.confidence, evaluation.pca, iconf))
+        return {"scored": scored}
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    scored = outcome["scored"]
+    assert scored, "mining the training fragment produced no rules"
+
+    finite = [entry for entry in scored if entry[1] != float("inf")]
+    usable = finite if finite else scored
+    for top in TOP_SIZES:
+        row = {"top": top}
+        for name, index in (("conf", 1), ("PCAconf", 2), ("Iconf", 3)):
+            row[name] = round(
+                _average_precision(
+                    [entry[0] for entry in usable],
+                    ranking_key=lambda rule, idx=index: next(
+                        entry[idx] for entry in usable if entry[0] == rule
+                    ),
+                    validation_graph=validation,
+                    top=top,
+                ),
+                3,
+            )
+        _rows.append(row)
+    # Precision values are probabilities.
+    for row in _rows:
+        assert all(0.0 <= row[name] <= 1.0 for name in ("conf", "PCAconf", "Iconf"))

@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark module accumulates the rows of its figure/table and hands
+them to :func:`record_series` at module teardown; the series is printed and
+also written to ``benchmarks/results/<name>.txt`` so the regenerated
+"figure" survives pytest's output capturing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.bench import format_rows
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record_series(name: str, title: str, rows) -> None:
+    """Print a measured series and persist it under ``benchmarks/results``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = f"== {title} ==\n{format_rows(rows)}\n"
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print("\n" + text)

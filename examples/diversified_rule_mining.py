@@ -1,0 +1,54 @@
+"""Diversified GPAR mining on a Pokec-like social graph (the Exp-2 case study).
+
+Mines top-k diversified rules for a predicate chosen from the most frequent
+edge patterns of the graph (as the paper does for Pokec) and prints them in
+the style of Fig. 5(g).  The planted regularities of the generator — book
+communities where professional-development readers also pick up
+personal-development books — should surface among the mined rules.
+"""
+
+from repro.datasets import most_frequent_predicates, pokec_like
+from repro.mining import DMineConfig, dmine
+
+
+def main() -> None:
+    graph = pokec_like(num_users=220, num_communities=8, seed=7)
+    print(f"Mining on {graph!r}")
+
+    predicates = most_frequent_predicates(graph, top=10)
+    target = next(
+        (p for p in predicates if p.edges()[0].label == "like_book"), predicates[0]
+    )
+    edge = target.edges()[0]
+    print(
+        f"predicate q(x, y): {target.label(target.x)} --{edge.label}--> "
+        f"{target.label(target.y)}"
+    )
+
+    config = DMineConfig(
+        k=4,
+        d=2,
+        sigma=8,
+        lam=0.5,
+        num_workers=4,
+        max_edges=3,
+        max_extensions_per_rule=10,
+    )
+    result = dmine(graph, target, config)
+
+    print(
+        f"\nDMine finished: {result.rounds_executed} rounds, "
+        f"{result.candidates_generated} candidate rules generated, "
+        f"{result.num_rules_discovered} kept in Σ, "
+        f"simulated parallel time {result.timings.simulated_parallel_time:.2f}s"
+    )
+    print(f"objective F(Lk) = {result.objective_value:.3f}\n")
+    for mined in result.top_k:
+        print(mined.as_row())
+        print(mined.rule.describe())
+        print(f"  example potential customers: {sorted(mined.matches)[:5]}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Restaurant recommendation on the paper's G1 (the Section 1 motivating case).
+
+The example walks through the full Section 3 metric stack for rule R1
+("if x and x' are friends in the same city, both like 3 French restaurants
+there, and x' visits a new French restaurant y, then x will likely visit y"):
+LCWA classification of customers, support, Bayes-factor confidence versus the
+alternatives, and the diversified top-2 of Example 8.
+"""
+
+from repro.datasets import (
+    graph_g1,
+    rule_r1,
+    rule_r5,
+    rule_r6,
+    rule_r7,
+    rule_r8,
+    visit_french_predicate,
+)
+from repro.metrics import (
+    DiversificationObjective,
+    evaluate_rule,
+    predicate_stats,
+    rule_difference,
+)
+
+
+def main() -> None:
+    graph = graph_g1()
+    predicate = visit_french_predicate()
+    stats = predicate_stats(graph, predicate)
+
+    print("LCWA classification for visit(cust, French restaurant):")
+    print(f"  positives (visited a French restaurant): {sorted(stats.positives)}")
+    print(f"  negatives (visit edges, none French):    {sorted(stats.negatives)}")
+    print(f"  unknown   (no visit edge at all):        {sorted(stats.unknown)}")
+    print(f"  supp(q) = {stats.supp_q}, supp(q̄) = {stats.supp_q_bar}")
+
+    rules = [rule_r1(), rule_r5(), rule_r6(), rule_r7(), rule_r8()]
+    evaluations = {rule.name: evaluate_rule(graph, rule, stats=stats) for rule in rules}
+
+    print("\nRule evaluations (Bayes-factor conf vs PCA vs conventional):")
+    for name, evaluation in evaluations.items():
+        print(
+            f"  {name}: supp={evaluation.supp_r} conf={evaluation.confidence:.2f} "
+            f"PCA={evaluation.pca:.2f} conventional={evaluation.conventional:.2f} "
+            f"customers={sorted(evaluation.rule_matches)}"
+        )
+
+    print("\nPairwise diversification distances (Jaccard over match sets):")
+    for first, second in (("R1", "R7"), ("R1", "R8"), ("R7", "R8")):
+        diff = rule_difference(
+            evaluations[first].rule_matches, evaluations[second].rule_matches
+        )
+        print(f"  diff({first}, {second}) = {diff:.2f}")
+
+    objective = DiversificationObjective(lam=0.5, k=2, normalizer=stats.normalizer)
+    candidates = ["R1", "R7", "R8"]
+    best_pair, best_value = None, float("-inf")
+    for i, first in enumerate(candidates):
+        for second in candidates[i + 1:]:
+            value = objective.total_from_matches(
+                [evaluations[first].confidence, evaluations[second].confidence],
+                [evaluations[first].rule_matches, evaluations[second].rule_matches],
+            )
+            if value > best_value:
+                best_pair, best_value = (first, second), value
+    print(f"\nBest diversified top-2 set: {best_pair} with F = {best_value:.2f}")
+    print("(Example 8 of the paper reports {R7, R8} with F = 1.08.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Benchmark harness shared by the ``benchmarks/`` suite.
+
+Each benchmark module under ``benchmarks/`` regenerates one table or figure
+of the paper's evaluation (Section 6).  The helpers here build the workloads
+(graphs, predicates, rule sets Σ), run one configuration of DMine / DMineno /
+Match / Matchc / disVF2, and format the measured series so the benchmark
+output prints the same rows the paper reports.
+"""
+
+from repro.bench.workloads import (
+    eip_workload,
+    mining_workload,
+    synthetic_eip_workload,
+    synthetic_mining_workload,
+)
+from repro.bench.harness import (
+    DMineRow,
+    EIPRow,
+    run_dmine_config,
+    run_eip_config,
+)
+from repro.bench.reporting import format_rows, print_series
+
+__all__ = [
+    "mining_workload",
+    "eip_workload",
+    "synthetic_mining_workload",
+    "synthetic_eip_workload",
+    "DMineRow",
+    "EIPRow",
+    "run_dmine_config",
+    "run_eip_config",
+    "format_rows",
+    "print_series",
+]

@@ -1,0 +1,131 @@
+"""Single-configuration runners used by the benchmark modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.graph import Graph
+from repro.identification import identify_entities
+from repro.mining import DMine, DMineConfig
+from repro.pattern.gpar import GPAR
+from repro.pattern.pattern import Pattern
+
+
+@dataclass(frozen=True)
+class DMineRow:
+    """One measured point of a DMine series."""
+
+    dataset: str
+    algorithm: str
+    parameter: str
+    value: object
+    simulated_parallel_time: float
+    wall_time: float
+    rules_discovered: int
+    candidates_generated: int
+    objective: float
+
+    def as_dict(self) -> dict:
+        return {
+            "dataset": self.dataset,
+            "algorithm": self.algorithm,
+            self.parameter: self.value,
+            "sim_parallel_s": round(self.simulated_parallel_time, 3),
+            "wall_s": round(self.wall_time, 3),
+            "rules": self.rules_discovered,
+            "candidates": self.candidates_generated,
+            "F(Lk)": round(self.objective, 3),
+        }
+
+
+@dataclass(frozen=True)
+class EIPRow:
+    """One measured point of a Match/Matchc/disVF2 series."""
+
+    dataset: str
+    algorithm: str
+    parameter: str
+    value: object
+    simulated_parallel_time: float
+    wall_time: float
+    identified: int
+    candidates_examined: int
+
+    def as_dict(self) -> dict:
+        return {
+            "dataset": self.dataset,
+            "algorithm": self.algorithm,
+            self.parameter: self.value,
+            "sim_parallel_s": round(self.simulated_parallel_time, 3),
+            "wall_s": round(self.wall_time, 3),
+            "identified": self.identified,
+            "checks": self.candidates_examined,
+        }
+
+
+# Benchmark-sized mining defaults: small enough that a full sweep finishes in
+# minutes, large enough that the optimisation effects are visible.
+MINING_DEFAULTS = dict(
+    k=4,
+    d=2,
+    lam=0.5,
+    max_edges=2,
+    max_extensions_per_rule=8,
+    max_rules_per_round=30,
+)
+
+
+def run_dmine_config(
+    dataset: str,
+    graph: Graph,
+    predicate: Pattern,
+    num_workers: int,
+    sigma: int,
+    optimized: bool = True,
+    parameter: str = "n",
+    value: object = None,
+    **overrides,
+) -> DMineRow:
+    """Run one DMine / DMineno configuration and return its measured row."""
+    settings = {**MINING_DEFAULTS, **overrides}
+    config = DMineConfig(num_workers=num_workers, sigma=sigma, **settings)
+    if not optimized:
+        config = config.without_optimizations()
+    result = DMine(config).mine(graph, predicate)
+    return DMineRow(
+        dataset=dataset,
+        algorithm="DMine" if optimized else "DMineno",
+        parameter=parameter,
+        value=value if value is not None else num_workers,
+        simulated_parallel_time=result.timings.simulated_parallel_time,
+        wall_time=result.timings.wall_time,
+        rules_discovered=result.num_rules_discovered,
+        candidates_generated=result.candidates_generated,
+        objective=result.objective_value,
+    )
+
+
+def run_eip_config(
+    dataset: str,
+    graph: Graph,
+    rules: tuple[GPAR, ...],
+    num_workers: int,
+    algorithm: str,
+    eta: float = 1.0,
+    parameter: str = "n",
+    value: object = None,
+) -> EIPRow:
+    """Run one Match / Matchc / disVF2 configuration and return its row."""
+    result = identify_entities(
+        graph, list(rules), eta=eta, num_workers=num_workers, algorithm=algorithm
+    )
+    return EIPRow(
+        dataset=dataset,
+        algorithm=algorithm,
+        parameter=parameter,
+        value=value if value is not None else num_workers,
+        simulated_parallel_time=result.timings.simulated_parallel_time,
+        wall_time=result.timings.wall_time,
+        identified=len(result.identified),
+        candidates_examined=result.candidates_examined,
+    )

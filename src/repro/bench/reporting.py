@@ -1,0 +1,31 @@
+"""Formatting of benchmark series in the style of the paper's figures."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def format_rows(rows: Iterable) -> str:
+    """Render a list of DMineRow/EIPRow (or dicts) as an aligned text table."""
+    dictionaries = [row.as_dict() if hasattr(row, "as_dict") else dict(row) for row in rows]
+    if not dictionaries:
+        return "(no rows)"
+    columns = list(dictionaries[0].keys())
+    widths = {
+        column: max(len(str(column)), *(len(str(d.get(column, ""))) for d in dictionaries))
+        for column in columns
+    }
+    header = "  ".join(str(column).ljust(widths[column]) for column in columns)
+    separator = "  ".join("-" * widths[column] for column in columns)
+    lines = [header, separator]
+    for entry in dictionaries:
+        lines.append(
+            "  ".join(str(entry.get(column, "")).ljust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines)
+
+
+def print_series(title: str, rows: Iterable) -> None:
+    """Print a titled series table (what the benchmark logs show)."""
+    print(f"\n== {title} ==")
+    print(format_rows(rows))

@@ -1,0 +1,104 @@
+"""Benchmark workloads: graphs, predicates and rule sets.
+
+The paper's graphs (Pokec, Google+, synthetic up to 100M edges) are replaced
+by the laptop-scale substitutes documented in DESIGN.md.  Workloads are
+cached per process so parameter sweeps re-use the same graph object.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.datasets import (
+    generate_gpars,
+    googleplus_like,
+    most_frequent_predicates,
+    pokec_like,
+    synthetic_graph,
+)
+from repro.graph.graph import Graph
+from repro.pattern.gpar import GPAR
+from repro.pattern.pattern import Pattern
+
+# Default benchmark scales (kept modest so the whole suite runs in minutes).
+POKEC_USERS = 220
+GOOGLEPLUS_USERS = 220
+SYNTHETIC_NODES = 1200
+SYNTHETIC_EDGES = 3600
+
+
+def _planted_predicate(graph: Graph, edge_label: str, y_label: str) -> Pattern:
+    for predicate in most_frequent_predicates(graph, top=30):
+        edge = predicate.edges()[0]
+        if edge.label == edge_label and predicate.label(predicate.y) == y_label:
+            return predicate
+    raise RuntimeError(
+        f"planted predicate {edge_label}->{y_label} not found in {graph.name}"
+    )
+
+
+@lru_cache(maxsize=None)
+def mining_workload(dataset: str, scale: int | None = None) -> tuple[Graph, Pattern]:
+    """Graph + predicate for the DMine benchmarks (Fig. 5(a)–(g))."""
+    if dataset == "pokec":
+        graph = pokec_like(num_users=scale or POKEC_USERS, num_communities=8, seed=7)
+        predicate = _planted_predicate(graph, "like_book", "personal development")
+    elif dataset == "googleplus":
+        graph = googleplus_like(num_users=scale or GOOGLEPLUS_USERS, num_circles=8, seed=7)
+        predicate = _planted_predicate(graph, "major", "Computer Science")
+    elif dataset == "synthetic":
+        nodes = scale or SYNTHETIC_NODES
+        graph = synthetic_graph(
+            nodes, nodes * 3, num_node_labels=20, num_edge_labels=8, seed=7
+        )
+        predicate = most_frequent_predicates(graph, top=1)[0]
+    else:
+        raise ValueError(f"unknown dataset {dataset!r}")
+    return graph, predicate
+
+
+@lru_cache(maxsize=None)
+def synthetic_mining_workload(num_nodes: int, num_edges: int) -> tuple[Graph, Pattern]:
+    """Synthetic-size-sweep variant of :func:`mining_workload` (Fig. 5(f))."""
+    graph = synthetic_graph(
+        num_nodes, num_edges, num_node_labels=20, num_edge_labels=8, seed=7
+    )
+    predicate = most_frequent_predicates(graph, top=1)[0]
+    return graph, predicate
+
+
+@lru_cache(maxsize=None)
+def eip_workload(
+    dataset: str,
+    num_rules: int = 8,
+    max_pattern_edges: int = 4,
+    d: int = 2,
+    scale: int | None = None,
+    seed: int = 5,
+) -> tuple[Graph, tuple[GPAR, ...]]:
+    """Graph + rule set Σ for the Match benchmarks (Fig. 5(h)–(o))."""
+    graph, predicate = mining_workload(dataset, scale)
+    rules = generate_gpars(
+        graph,
+        predicate,
+        count=num_rules,
+        max_pattern_edges=max_pattern_edges,
+        d=d,
+        seed=seed,
+    )
+    return graph, tuple(rules)
+
+
+@lru_cache(maxsize=None)
+def synthetic_eip_workload(
+    num_nodes: int,
+    num_edges: int,
+    num_rules: int = 8,
+    seed: int = 5,
+) -> tuple[Graph, tuple[GPAR, ...]]:
+    """Synthetic-size-sweep variant of :func:`eip_workload` (Fig. 5(o))."""
+    graph, predicate = synthetic_mining_workload(num_nodes, num_edges)
+    rules = generate_gpars(
+        graph, predicate, count=num_rules, max_pattern_edges=4, d=2, seed=seed
+    )
+    return graph, tuple(rules)

@@ -1,0 +1,157 @@
+"""Command-line interface for the GPAR reproduction library.
+
+Three subcommands cover the common workflows end to end:
+
+``generate``
+    Produce a graph (synthetic, Pokec-like or Google+-like) and write it as a
+    JSON document that the other commands can load.
+``mine``
+    Run DMine on a graph for a predicate given as ``X_LABEL:EDGE:Y_LABEL``
+    and print the diversified top-k rules.
+``identify``
+    Sample a GPAR workload for a predicate and report the potential
+    customers identified with confidence ≥ η (EIP).
+
+Example
+-------
+::
+
+    python -m repro.cli generate --kind pokec --users 200 --out graph.json
+    python -m repro.cli mine graph.json --predicate "user:like_book:personal development" -k 3
+    python -m repro.cli identify graph.json --predicate "user:like_book:personal development" --rules 6
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.datasets import generate_gpars, googleplus_like, pokec_like, synthetic_graph
+from repro.graph.io import load_graph_json, save_graph_json
+from repro.identification import identify_entities
+from repro.mining import DMineConfig, dmine
+from repro.pattern.pattern import Pattern, PatternEdge
+
+
+def _parse_predicate(text: str) -> Pattern:
+    """Parse ``X_LABEL:EDGE_LABEL:Y_LABEL`` into a single-edge predicate."""
+    parts = text.split(":")
+    if len(parts) != 3 or not all(parts):
+        raise argparse.ArgumentTypeError(
+            f"predicate must look like 'x_label:edge_label:y_label', got {text!r}"
+        )
+    x_label, edge_label, y_label = parts
+    return Pattern(
+        nodes={"x": x_label, "y": y_label},
+        edges=[PatternEdge("x", "y", edge_label)],
+        x="x",
+        y="y",
+    )
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "pokec":
+        graph = pokec_like(num_users=args.users, seed=args.seed)
+    elif args.kind == "googleplus":
+        graph = googleplus_like(num_users=args.users, seed=args.seed)
+    else:
+        graph = synthetic_graph(args.users, args.users * 3, seed=args.seed)
+    save_graph_json(graph, args.out)
+    print(f"wrote {graph.num_nodes} nodes / {graph.num_edges} edges to {args.out}")
+    return 0
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    graph = load_graph_json(args.graph)
+    config = DMineConfig(
+        k=args.k,
+        d=args.d,
+        sigma=args.sigma,
+        lam=args.diversification,
+        num_workers=args.workers,
+        max_edges=args.max_edges,
+    )
+    result = dmine(graph, args.predicate, config)
+    print(
+        f"mined {result.num_rules_discovered} rules "
+        f"({result.candidates_generated} candidates) in "
+        f"{result.rounds_executed} rounds; F(Lk) = {result.objective_value:.3f}"
+    )
+    for mined in result.top_k:
+        print()
+        print(mined.as_row())
+        print(mined.rule.describe())
+    return 0
+
+
+def _cmd_identify(args: argparse.Namespace) -> int:
+    graph = load_graph_json(args.graph)
+    rules = generate_gpars(
+        graph,
+        args.predicate,
+        count=args.rules,
+        max_pattern_edges=args.max_edges,
+        d=args.d,
+        seed=args.seed,
+    )
+    result = identify_entities(
+        graph, rules, eta=args.eta, num_workers=args.workers, algorithm=args.algorithm
+    )
+    print(result.summary())
+    preview = sorted(map(str, result.identified))[: args.show]
+    print(f"first identified entities: {preview}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-gpar",
+        description="Graph-pattern association rules: mining (DMP) and entity identification (EIP).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="generate a graph and save it as JSON")
+    generate.add_argument("--kind", choices=["pokec", "googleplus", "synthetic"], default="pokec")
+    generate.add_argument("--users", type=int, default=200, help="number of users / nodes")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", type=Path, required=True, help="output JSON path")
+    generate.set_defaults(handler=_cmd_generate)
+
+    mine = subparsers.add_parser("mine", help="mine diversified top-k GPARs (DMine)")
+    mine.add_argument("graph", type=Path, help="graph JSON produced by 'generate'")
+    mine.add_argument("--predicate", type=_parse_predicate, required=True,
+                      help="predicate as x_label:edge_label:y_label")
+    mine.add_argument("-k", type=int, default=3, help="size of the diversified top-k set")
+    mine.add_argument("-d", type=int, default=2, help="maximum rule radius")
+    mine.add_argument("--sigma", type=int, default=5, help="minimum support")
+    mine.add_argument("--diversification", type=float, default=0.5, help="lambda in [0, 1]")
+    mine.add_argument("--workers", type=int, default=4)
+    mine.add_argument("--max-edges", type=int, default=3, dest="max_edges")
+    mine.set_defaults(handler=_cmd_mine)
+
+    identify = subparsers.add_parser("identify", help="identify potential customers (EIP)")
+    identify.add_argument("graph", type=Path)
+    identify.add_argument("--predicate", type=_parse_predicate, required=True)
+    identify.add_argument("--rules", type=int, default=6, help="size of the sampled rule set Σ")
+    identify.add_argument("--eta", type=float, default=1.0, help="confidence bound")
+    identify.add_argument("--algorithm", choices=["match", "matchc", "disvf2"], default="match")
+    identify.add_argument("--workers", type=int, default=4)
+    identify.add_argument("-d", type=int, default=2)
+    identify.add_argument("--max-edges", type=int, default=4, dest="max_edges")
+    identify.add_argument("--seed", type=int, default=0)
+    identify.add_argument("--show", type=int, default=10, help="how many identified entities to list")
+    identify.set_defaults(handler=_cmd_identify)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

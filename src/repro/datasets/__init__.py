@@ -1,0 +1,44 @@
+"""Datasets: the paper's running examples, synthetic graphs, social graphs.
+
+The real Pokec and Google+ datasets used in the paper are not redistributable
+here; :mod:`repro.datasets.social` provides generators that reproduce their
+label-schema shape (typed users, attribute nodes, follow/like edges and
+embedded communities) at laptop scale, which is the documented substitution
+of DESIGN.md.
+"""
+
+from repro.datasets.paper_graphs import (
+    example7_graph,
+    example7_rule_r2,
+    graph_g1,
+    graph_g2,
+    rule_r1,
+    rule_r4,
+    rule_r5,
+    rule_r6,
+    rule_r7,
+    rule_r8,
+    visit_french_predicate,
+)
+from repro.datasets.synthetic import synthetic_graph
+from repro.datasets.social import googleplus_like, pokec_like
+from repro.datasets.workloads import generate_gpars, most_frequent_predicates
+
+__all__ = [
+    "graph_g1",
+    "graph_g2",
+    "rule_r1",
+    "rule_r4",
+    "rule_r5",
+    "rule_r6",
+    "rule_r7",
+    "rule_r8",
+    "example7_graph",
+    "example7_rule_r2",
+    "visit_french_predicate",
+    "synthetic_graph",
+    "pokec_like",
+    "googleplus_like",
+    "generate_gpars",
+    "most_frequent_predicates",
+]

@@ -1,0 +1,348 @@
+"""The paper's running examples: graphs G1, G2 and rules R1–R8.
+
+The figures of the paper cannot be recovered edge-for-edge from the text, so
+G1 and G2 are *reconstructions* chosen to reproduce the quantities the paper
+states explicitly:
+
+* Example 3 — ``Q1(x, G1) = {cust1, cust2, cust3, cust5}``;
+* Example 5 — ``supp(Q1, G1) = 4``, ``supp(R1, G1) = 3``;
+             ``supp(R4, G2) = supp(Q4, G2) = 3`` (matches acct1–acct3);
+* Example 6/7 — v1 positive, v2 negative, v3 unknown; ``conf(R2, G) = 1``
+  versus conventional confidence 1/3;
+* Example 8 — ``supp(q, G1) = 5``, ``supp(q̄, G1) = 1``,
+  ``conf(R1) = conf(R7) = 0.6``, ``conf(R8) = 0.2``, ``diff(R1, R7) = 0``,
+  ``diff(R1, R8) = diff(R7, R8) = 1``, and the top-2 diversified set
+  ``{R7, R8}`` with ``F = 1.08`` at λ = 0.5;
+* Example 10 — ``PR1(x, G1) = {cust1, cust2, cust3}``.
+
+The intermediate-round numbers of Example 9 for R5/R6 depend on figure
+details that are not fully recoverable; our reconstructions of R5/R6 are
+structurally faithful (radius-1 ancestors of R7/R8) but their exact match
+sets may differ from the illustration.  This is noted in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph
+from repro.pattern.builder import PatternBuilder
+from repro.pattern.gpar import GPAR
+from repro.pattern.pattern import Pattern
+
+# Node labels used by the examples.
+CUST = "cust"
+CITY = "city"
+FRENCH = "French restaurant"
+ASIAN = "Asian restaurant"
+ACCT = "acct"
+BLOG = "blog"
+KEYWORD = "keyword"
+FAKE = "fake"
+
+# Edge labels.
+FRIEND = "friend"
+LIVE_IN = "live_in"
+LIKE = "like"
+IN = "in"
+VISIT = "visit"
+POST = "post"
+CONTAINS = "contains"
+IS_A = "is_a"
+
+
+# ----------------------------------------------------------------------
+# G1: restaurant recommendation network (Fig. 2, left)
+# ----------------------------------------------------------------------
+def graph_g1() -> Graph:
+    """The restaurant-recommendation graph G1."""
+    builder = GraphBuilder("G1")
+    builder.node("NewYork", CITY).node("LA", CITY)
+    for cust in ("cust1", "cust2", "cust3", "cust4", "cust5", "cust6"):
+        builder.node(cust, CUST)
+    for restaurant in ("LeBernardin", "PerSe", "frNY1", "frNY2", "frNY3"):
+        builder.node(restaurant, FRENCH)
+    for restaurant in ("Patina", "frLA1", "frLA2", "frLA3"):
+        builder.node(restaurant, FRENCH)
+    builder.node("asianNY", ASIAN).node("asianLA", ASIAN)
+
+    # Residence.
+    for cust in ("cust1", "cust2", "cust3", "cust5"):
+        builder.edge(cust, "NewYork", LIVE_IN)
+    for cust in ("cust4", "cust6"):
+        builder.edge(cust, "LA", LIVE_IN)
+
+    # Restaurants located in cities.
+    for restaurant in ("LeBernardin", "PerSe", "frNY1", "frNY2", "frNY3", "asianNY"):
+        builder.edge(restaurant, "NewYork", IN)
+    for restaurant in ("Patina", "frLA1", "frLA2", "frLA3", "asianLA"):
+        builder.edge(restaurant, "LA", IN)
+
+    # Friendships (symmetric).
+    builder.undirected_edge("cust1", "cust2", FRIEND)
+    builder.undirected_edge("cust2", "cust3", FRIEND)
+    builder.undirected_edge("cust1", "cust3", FRIEND)
+    builder.undirected_edge("cust2", "cust5", FRIEND)
+    builder.undirected_edge("cust4", "cust6", FRIEND)
+    builder.undirected_edge("cust5", "cust6", FRIEND)
+
+    # Interests (like).
+    for cust in ("cust1", "cust2", "cust3", "cust5"):
+        for restaurant in ("frNY1", "frNY2", "frNY3"):
+            builder.edge(cust, restaurant, LIKE)
+    for restaurant in ("frLA1", "frLA2", "frLA3"):
+        builder.edge("cust4", restaurant, LIKE)
+    builder.edge("cust6", "asianLA", LIKE)
+    builder.edge("cust5", "asianNY", LIKE)
+
+    # Visits: cust1-cust3 visit Le Bernardin, cust4/cust6 visit Patina,
+    # cust5 visits only an Asian restaurant (the LCWA-negative node).
+    for cust in ("cust1", "cust2", "cust3"):
+        builder.edge(cust, "LeBernardin", VISIT)
+    builder.edge("cust4", "Patina", VISIT)
+    builder.edge("cust6", "Patina", VISIT)
+    builder.edge("cust5", "asianNY", VISIT)
+    return builder.build()
+
+
+def visit_french_predicate() -> Pattern:
+    """The predicate pattern ``Pq``: ``visit(x: cust, y: French restaurant)``."""
+    return (
+        PatternBuilder()
+        .node("x", CUST)
+        .node("y", FRENCH)
+        .edge("x", "y", VISIT)
+        .designate(x="x", y="y")
+        .build()
+    )
+
+
+def rule_r1() -> GPAR:
+    """R1: the French-restaurant recommendation rule of Example 1/4 (Fig. 1a).
+
+    If x and x' are friends living in the same city c, both like 3 French
+    restaurants in c, and x' visits a French restaurant y in c, then x is
+    likely to visit y.
+    """
+    antecedent = (
+        PatternBuilder()
+        .node("x", CUST)
+        .node("x2", CUST)
+        .node("c", CITY)
+        .node("y", FRENCH)
+        .node("fr", FRENCH, copies=3)
+        .undirected_edge("x", "x2", FRIEND)
+        .edge("x", "c", LIVE_IN)
+        .edge("x2", "c", LIVE_IN)
+        .edge("x", "fr", LIKE)
+        .edge("x2", "fr", LIKE)
+        .edge("fr", "c", IN)
+        .edge("y", "c", IN)
+        .edge("x2", "y", VISIT)
+        .designate(x="x", y="y")
+        .build()
+    )
+    return GPAR(antecedent, consequent_label=VISIT, name="R1")
+
+
+def rule_r5() -> GPAR:
+    """R5 (Fig. 3): x has a friend and likes 2 French restaurants ⇒ x visits y."""
+    antecedent = (
+        PatternBuilder()
+        .node("x", CUST)
+        .node("x2", CUST)
+        .node("y", FRENCH)
+        .node("fr", FRENCH, copies=2)
+        .undirected_edge("x", "x2", FRIEND)
+        .edge("x", "fr", LIKE)
+        .designate(x="x", y="y")
+        .build()
+    )
+    return GPAR(antecedent, consequent_label=VISIT, name="R5")
+
+
+def rule_r6() -> GPAR:
+    """R6 (Fig. 3): x has a friend and likes an Asian restaurant ⇒ x visits y."""
+    antecedent = (
+        PatternBuilder()
+        .node("x", CUST)
+        .node("x2", CUST)
+        .node("y", FRENCH)
+        .node("asian", ASIAN)
+        .undirected_edge("x", "x2", FRIEND)
+        .edge("x", "asian", LIKE)
+        .designate(x="x", y="y")
+        .build()
+    )
+    return GPAR(antecedent, consequent_label=VISIT, name="R6")
+
+
+def rule_r7() -> GPAR:
+    """R7 (Fig. 3): R5 extended with city/locality constraints.
+
+    x and its friend x' both like 2 French restaurants, x lives in city c,
+    and x' visits a French restaurant y located in c ⇒ x visits y.
+    """
+    antecedent = (
+        PatternBuilder()
+        .node("x", CUST)
+        .node("x2", CUST)
+        .node("c", CITY)
+        .node("y", FRENCH)
+        .node("fr", FRENCH, copies=2)
+        .undirected_edge("x", "x2", FRIEND)
+        .edge("x", "fr", LIKE)
+        .edge("x2", "fr", LIKE)
+        .edge("x", "c", LIVE_IN)
+        .edge("y", "c", IN)
+        .edge("x2", "y", VISIT)
+        .designate(x="x", y="y")
+        .build()
+    )
+    return GPAR(antecedent, consequent_label=VISIT, name="R7")
+
+
+def rule_r8() -> GPAR:
+    """R8 (Fig. 3): R6 extended with city/locality constraints.
+
+    x likes an Asian restaurant, lives in city c, and has a friend x' who
+    visits a French restaurant y located in c ⇒ x visits y.
+    """
+    antecedent = (
+        PatternBuilder()
+        .node("x", CUST)
+        .node("x2", CUST)
+        .node("c", CITY)
+        .node("y", FRENCH)
+        .node("asian", ASIAN)
+        .undirected_edge("x", "x2", FRIEND)
+        .edge("x", "asian", LIKE)
+        .edge("x", "c", LIVE_IN)
+        .edge("y", "c", IN)
+        .edge("x2", "y", VISIT)
+        .designate(x="x", y="y")
+        .build()
+    )
+    return GPAR(antecedent, consequent_label=VISIT, name="R8")
+
+
+# ----------------------------------------------------------------------
+# G2: social accounts and blogs (Fig. 2, right) and rule R4
+# ----------------------------------------------------------------------
+def graph_g2() -> Graph:
+    """The fake-account graph G2."""
+    builder = GraphBuilder("G2")
+    for acct in ("acct1", "acct2", "acct3", "acct4"):
+        builder.node(acct, ACCT)
+    for blog in ("p1", "p2", "p3", "p4", "p5", "p6", "p7"):
+        builder.node(blog, BLOG)
+    builder.node("k1", KEYWORD, {"text": "claim a prize"})
+    builder.node("k2", KEYWORD, {"text": "lottery rules"})
+    builder.node("fake", FAKE)
+
+    # All four accounts are confirmed fake (so supp(R4) = supp(Q4) as in
+    # Example 5), acct4 playing the role of the already-known fake peer.
+    for acct in ("acct1", "acct2", "acct3", "acct4"):
+        builder.edge(acct, "fake", IS_A)
+
+    # Shared liked blogs (the "blogs P1..Pk" of the rule, k = 2).
+    for acct in ("acct1", "acct2", "acct3", "acct4"):
+        builder.edge(acct, "p5", LIKE)
+        builder.edge(acct, "p6", LIKE)
+
+    # Posts and their keywords.  acct1/acct2 post scam blogs sharing keyword
+    # k1, acct2/acct3 post blogs sharing k2, while acct4's post carries no
+    # known keyword — so Q4(x, G2) = {acct1, acct2, acct3} as in Example 5.
+    builder.edge("acct1", "p1", POST)
+    builder.edge("acct2", "p2", POST)
+    builder.edge("acct2", "p3", POST)
+    builder.edge("acct3", "p4", POST)
+    builder.edge("acct4", "p7", POST)
+    builder.edge("p1", "k1", CONTAINS)
+    builder.edge("p2", "k1", CONTAINS)
+    builder.edge("p3", "k2", CONTAINS)
+    builder.edge("p4", "k2", CONTAINS)
+    return builder.build()
+
+
+def rule_r4(k: int = 2) -> GPAR:
+    """R4: the fake-account detection rule of Example 1/4 (Fig. 1d).
+
+    If account x' is confirmed fake, x and x' like *k* common blogs, x posts
+    blog y1, x' posts y2, and y1 and y2 contain the same keyword, then x is
+    likely a fake account (consequent ``is_a(x, fake)``).
+    """
+    antecedent = (
+        PatternBuilder()
+        .node("x", ACCT)
+        .node("x2", ACCT)
+        .node("y", FAKE)
+        .node("y1", BLOG)
+        .node("y2", BLOG)
+        .node("shared", BLOG, copies=k)
+        .node("w", KEYWORD)
+        .edge("x2", "y", IS_A)
+        .edge("x", "shared", LIKE)
+        .edge("x2", "shared", LIKE)
+        .edge("x", "y1", POST)
+        .edge("x2", "y2", POST)
+        .edge("y1", "w", CONTAINS)
+        .edge("y2", "w", CONTAINS)
+        .designate(x="x", y="y")
+        .build()
+    )
+    return GPAR(antecedent, consequent_label=IS_A, name="R4")
+
+
+# ----------------------------------------------------------------------
+# Example 6/7: the Ecuador / Shakira-album rule R2 and its small graph
+# ----------------------------------------------------------------------
+USER = "user"
+FAN = "fan"
+SHAKIRA_ALBUM = "Shakira album"
+OTHER_ALBUM = "album"
+COUNTRY = "country"
+
+
+def example7_graph() -> Graph:
+    """The small graph of Examples 6/7: v1 positive, v2 negative, v3 unknown."""
+    builder = GraphBuilder("G_ecuador")
+    builder.node("Ecuador", COUNTRY)
+    builder.node("shakira_album", SHAKIRA_ALBUM)
+    builder.node("mj_album", OTHER_ALBUM)
+    for user in ("v1", "v2", "v3"):
+        builder.node(user, USER)
+        builder.edge(user, "Ecuador", LIVE_IN)
+    for fan in ("u1", "u2"):
+        builder.node(fan, FAN)
+        builder.edge(fan, "Ecuador", LIVE_IN)
+        builder.edge(fan, "shakira_album", LIKE)
+    for user in ("v1", "v2", "v3"):
+        for fan in ("u1", "u2"):
+            builder.undirected_edge(user, fan, FRIEND)
+    # v1 likes the Shakira album (positive), v2 likes only another album
+    # (LCWA negative), v3 has no like edge at all (unknown).
+    builder.edge("v1", "shakira_album", LIKE)
+    builder.edge("v2", "mj_album", LIKE)
+    return builder.build()
+
+
+def example7_rule_r2() -> GPAR:
+    """R2: friends living in Ecuador both like the Shakira album ⇒ x likes it."""
+    antecedent = (
+        PatternBuilder()
+        .node("x", USER)
+        .node("x1", FAN)
+        .node("x2", FAN)
+        .node("c", COUNTRY)
+        .node("y", SHAKIRA_ALBUM)
+        .undirected_edge("x", "x1", FRIEND)
+        .undirected_edge("x", "x2", FRIEND)
+        .edge("x", "c", LIVE_IN)
+        .edge("x1", "c", LIVE_IN)
+        .edge("x2", "c", LIVE_IN)
+        .edge("x1", "y", LIKE)
+        .edge("x2", "y", LIKE)
+        .designate(x="x", y="y")
+        .build()
+    )
+    return GPAR(antecedent, consequent_label=LIKE, name="R2")

@@ -1,0 +1,241 @@
+"""Pokec-like and Google+-like social graph generators.
+
+These are the documented substitutes for the paper's real datasets (see
+DESIGN.md): they reproduce the *shape* of the data the algorithms see —
+typed user nodes linked to attribute nodes (cities, hobbies, music genres,
+schools, employers, majors), follow/like edges between users, community
+structure, and planted regularities so that GPAR mining discovers rules of
+the same flavour as the paper's case studies (R9–R11 in Fig. 5(g)).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.exceptions import DatasetError
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph
+from repro.utils.rng import ensure_rng
+
+# Shared edge labels.
+FOLLOW = "follow"
+LIKE = "like"
+LIVE_IN = "live_in"
+HOBBY = "hobby"
+LIKE_MUSIC = "like_music"
+LIKE_BOOK = "like_book"
+VISIT = "visit"
+SCHOOL = "school"
+EMPLOYER = "employer"
+MAJOR = "major"
+
+
+def pokec_like(
+    num_users: int = 600,
+    num_communities: int = 12,
+    seed: int | random.Random | None = 0,
+    name: str = "pokec_like",
+) -> Graph:
+    """A Pokec-flavoured social graph.
+
+    Users are grouped into communities.  Members of a community live in the
+    same city, follow each other densely, and share hobbies.  Two
+    regularities are planted (with noise) for the mining case studies:
+
+    * in "music" communities, users whose followees like a music genre tend
+      to like that genre themselves (the R9 flavour);
+    * in "book" communities, users who follow each other and like
+      professional-development books tend to also like personal-development
+      books (the R10 flavour).
+    """
+    if num_users < 10:
+        raise DatasetError("pokec_like needs at least 10 users")
+    if num_communities < 1:
+        raise DatasetError("num_communities must be >= 1")
+    rng = ensure_rng(seed)
+    builder = GraphBuilder(name)
+
+    # Attribute nodes carry *specific* labels (the value itself), mirroring
+    # the paper's value bindings ("Shakira album", "French restaurant"): this
+    # is what makes predicates such as like_book(user, "personal development")
+    # non-degenerate under the LCWA (some users like other book topics, so
+    # supp(q̄) > 0).
+    music_genres = ["Disco", "Rock", "Folk", "HipHop"]
+    hobbies = ["party", "listen_to_music", "reading", "hiking", "gaming"]
+    cities = [f"city{i}" for i in range(max(2, num_communities // 2))]
+    book_topics = ["profession development", "personal development", "travel", "cooking"]
+    cuisines = ["French restaurant", "Asian restaurant", "Italian restaurant"]
+    restaurants = [f"restaurant{i}" for i in range(10)]
+
+    for genre in music_genres:
+        builder.node(f"music:{genre}", genre)
+    for hobby in hobbies:
+        builder.node(f"hobby:{hobby}", hobby)
+    for city in cities:
+        builder.node(city, "city")
+    for topic in book_topics:
+        builder.node(f"book:{topic}", topic)
+    for index, restaurant in enumerate(restaurants):
+        builder.node(restaurant, cuisines[index % len(cuisines)])
+
+    users = [f"u{i}" for i in range(num_users)]
+    for user in users:
+        builder.node(user, "user")
+
+    community_of = {user: rng.randrange(num_communities) for user in users}
+    community_kind = {
+        community: ("music" if community % 2 == 0 else "book")
+        for community in range(num_communities)
+    }
+    community_city = {
+        community: cities[community % len(cities)] for community in range(num_communities)
+    }
+    community_genre = {
+        community: music_genres[community % len(music_genres)]
+        for community in range(num_communities)
+    }
+
+    graph_edges: set[tuple[str, str, str]] = set()
+
+    def add_edge(source: str, target: str, label: str) -> None:
+        if source != target and (source, target, label) not in graph_edges:
+            graph_edges.add((source, target, label))
+
+    by_community: dict[int, list[str]] = {}
+    for user in users:
+        by_community.setdefault(community_of[user], []).append(user)
+
+    for user in users:
+        community = community_of[user]
+        add_edge(user, community_city[community], LIVE_IN)
+        # Hobbies: one community hobby plus a random one.
+        add_edge(user, f"hobby:{hobbies[community % len(hobbies)]}", HOBBY)
+        add_edge(user, f"hobby:{rng.choice(hobbies)}", HOBBY)
+        # A couple of restaurant visits for workload predicates.
+        if rng.random() < 0.6:
+            add_edge(user, rng.choice(restaurants), VISIT)
+
+        members = by_community[community]
+        # Dense intra-community follows plus sparse cross-community ones.
+        for _ in range(3):
+            friend = rng.choice(members)
+            if friend != user:
+                add_edge(user, friend, FOLLOW)
+                if rng.random() < 0.7:
+                    add_edge(friend, user, FOLLOW)
+        if rng.random() < 0.25:
+            add_edge(user, rng.choice(users), FOLLOW)
+
+    # Planted regularities (with noise).
+    for community, members in by_community.items():
+        genre = community_genre[community]
+        if community_kind[community] == "music":
+            for user in members:
+                if rng.random() < 0.8:
+                    add_edge(user, f"music:{genre}", LIKE_MUSIC)
+                elif rng.random() < 0.5:
+                    add_edge(user, f"music:{rng.choice(music_genres)}", LIKE_MUSIC)
+        else:
+            for user in members:
+                if rng.random() < 0.75:
+                    add_edge(user, "book:profession development", LIKE_BOOK)
+                    if rng.random() < 0.85:
+                        add_edge(user, "book:personal development", LIKE_BOOK)
+                elif rng.random() < 0.3:
+                    add_edge(user, f"book:{rng.choice(book_topics)}", LIKE_BOOK)
+
+    graph = builder.build()
+    for source, target, label in sorted(graph_edges):
+        graph.add_edge(source, target, label)
+    return graph
+
+
+def googleplus_like(
+    num_users: int = 600,
+    num_circles: int = 10,
+    seed: int | random.Random | None = 0,
+    name: str = "googleplus_like",
+) -> Graph:
+    """A Google+-flavoured social-attribute graph (5 node / 5 edge types).
+
+    Node types: ``user``, ``school``, ``employer``, ``major``, ``place``.
+    Edge types: ``follow``, ``school``, ``employer``, ``major``, ``live_in``.
+    A regularity in the spirit of R11 is planted: users in the same circle
+    who follow each other and share school + employer tend to share a major.
+    """
+    if num_users < 10:
+        raise DatasetError("googleplus_like needs at least 10 users")
+    if num_circles < 1:
+        raise DatasetError("num_circles must be >= 1")
+    rng = ensure_rng(seed)
+    builder = GraphBuilder(name)
+
+    # As in the Pokec-like generator, attribute nodes carry specific labels
+    # (the school/employer/major name) so predicates such as
+    # major(user, "Computer Science") have both positives and LCWA negatives.
+    schools = ["CMU", "MIT", "Stanford", "Edinburgh", "Tsinghua"]
+    employers = ["Microsoft", "Google", "Amazon", "IBM"]
+    majors = ["Computer Science", "Math", "Biology", "Economics"]
+    places = [f"place{i}" for i in range(8)]
+
+    for school in schools:
+        builder.node(f"school:{school}", school)
+    for employer in employers:
+        builder.node(f"employer:{employer}", employer)
+    for major in majors:
+        builder.node(f"major:{major}", major)
+    for place in places:
+        builder.node(place, "place")
+
+    users = [f"g{i}" for i in range(num_users)]
+    for user in users:
+        builder.node(user, "user")
+
+    circle_of = {user: rng.randrange(num_circles) for user in users}
+    circle_school = {circle: schools[circle % len(schools)] for circle in range(num_circles)}
+    circle_employer = {
+        circle: employers[circle % len(employers)] for circle in range(num_circles)
+    }
+    circle_major = {circle: majors[circle % len(majors)] for circle in range(num_circles)}
+
+    edges: set[tuple[str, str, str]] = set()
+
+    def add_edge(source: str, target: str, label: str) -> None:
+        if source != target and (source, target, label) not in edges:
+            edges.add((source, target, label))
+
+    by_circle: dict[int, list[str]] = {}
+    for user in users:
+        by_circle.setdefault(circle_of[user], []).append(user)
+
+    for user in users:
+        circle = circle_of[user]
+        add_edge(user, places[circle % len(places)], LIVE_IN)
+        if rng.random() < 0.85:
+            add_edge(user, f"school:{circle_school[circle]}", SCHOOL)
+        else:
+            add_edge(user, f"school:{rng.choice(schools)}", SCHOOL)
+        if rng.random() < 0.8:
+            add_edge(user, f"employer:{circle_employer[circle]}", EMPLOYER)
+        else:
+            add_edge(user, f"employer:{rng.choice(employers)}", EMPLOYER)
+        # Planted regularity: circle members overwhelmingly share the major.
+        if rng.random() < 0.75:
+            add_edge(user, f"major:{circle_major[circle]}", MAJOR)
+        elif rng.random() < 0.4:
+            add_edge(user, f"major:{rng.choice(majors)}", MAJOR)
+
+        members = by_circle[circle]
+        for _ in range(3):
+            peer = rng.choice(members)
+            if peer != user:
+                add_edge(user, peer, FOLLOW)
+                if rng.random() < 0.6:
+                    add_edge(peer, user, FOLLOW)
+        if rng.random() < 0.2:
+            add_edge(user, rng.choice(users), FOLLOW)
+
+    graph = builder.build()
+    for source, target, label in sorted(edges):
+        graph.add_edge(source, target, label)
+    return graph

@@ -1,0 +1,427 @@
+"""Directed, node- and edge-labelled property graph.
+
+This is the substrate every other subsystem builds on.  It is deliberately a
+plain-Python adjacency structure (dict-of-dict-of-set) rather than a wrapper
+around networkx: the mining loops probe ``has_edge`` and ``out_neighbors``
+millions of times and the indirection of a general-purpose library is the
+bottleneck the reproduction hint warns about.
+
+Model (paper Section 2.1)
+-------------------------
+* ``G = (V, E, L)`` with a finite node set, directed edges, and a label on
+  every node and every edge.
+* Parallel edges with *different* labels between the same pair of nodes are
+  allowed (e.g. both ``like`` and ``visit`` from a customer to a restaurant);
+  parallel edges with the same label are not (they would be indistinguishable
+  to the matcher and to the support metrics).
+* ``|G| = |V| + |E|`` (the paper's size measure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterable, Iterator
+
+from repro.exceptions import EdgeNotFoundError, GraphError, NodeNotFoundError
+
+NodeId = Hashable
+Label = str
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed labelled edge ``source --label--> target``."""
+
+    source: NodeId
+    target: NodeId
+    label: Label
+
+    def reversed(self) -> "Edge":
+        """Return the edge with source and target swapped (same label)."""
+        return Edge(self.target, self.source, self.label)
+
+
+class Graph:
+    """A directed graph with labelled nodes and labelled edges.
+
+    Parameters
+    ----------
+    name:
+        Optional human-readable name used in ``repr`` and benchmark reports.
+
+    Example
+    -------
+    >>> g = Graph(name="toy")
+    >>> g.add_node("alice", "cust")
+    >>> g.add_node("cafe", "restaurant")
+    >>> g.add_edge("alice", "cafe", "visit")
+    >>> g.has_edge("alice", "cafe", "visit")
+    True
+    >>> sorted(g.nodes_with_label("cust"))
+    ['alice']
+    """
+
+    __slots__ = (
+        "name",
+        "_labels",
+        "_attrs",
+        "_out",
+        "_in",
+        "_nodes_by_label",
+        "_num_edges",
+        "_edge_label_counts",
+    )
+
+    def __init__(self, name: str = "graph") -> None:
+        self.name = name
+        # node id -> node label
+        self._labels: dict[NodeId, Label] = {}
+        # node id -> optional attribute dict (created lazily)
+        self._attrs: dict[NodeId, dict[str, Any]] = {}
+        # source -> edge label -> set of targets
+        self._out: dict[NodeId, dict[Label, set[NodeId]]] = {}
+        # target -> edge label -> set of sources
+        self._in: dict[NodeId, dict[Label, set[NodeId]]] = {}
+        # node label -> set of node ids
+        self._nodes_by_label: dict[Label, set[NodeId]] = {}
+        self._num_edges = 0
+        # edge label -> count
+        self._edge_label_counts: dict[Label, int] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(
+        self,
+        node_id: NodeId,
+        label: Label,
+        attrs: dict[str, Any] | None = None,
+    ) -> None:
+        """Add a node with *label*; re-adding with a different label fails."""
+        existing = self._labels.get(node_id)
+        if existing is not None:
+            if existing != label:
+                raise GraphError(
+                    f"node {node_id!r} already exists with label {existing!r}; "
+                    f"cannot re-add it with label {label!r}"
+                )
+            if attrs:
+                self._attrs.setdefault(node_id, {}).update(attrs)
+            return
+        self._labels[node_id] = label
+        self._out[node_id] = {}
+        self._in[node_id] = {}
+        self._nodes_by_label.setdefault(label, set()).add(node_id)
+        if attrs:
+            self._attrs[node_id] = dict(attrs)
+
+    def add_edge(self, source: NodeId, target: NodeId, label: Label) -> bool:
+        """Add edge ``source --label--> target``.
+
+        Both endpoints must already exist.  Returns ``True`` if the edge was
+        new, ``False`` if an identical edge was already present (the graph is
+        left unchanged in that case).
+        """
+        if source not in self._labels:
+            raise NodeNotFoundError(source)
+        if target not in self._labels:
+            raise NodeNotFoundError(target)
+        targets = self._out[source].setdefault(label, set())
+        if target in targets:
+            return False
+        targets.add(target)
+        self._in[target].setdefault(label, set()).add(source)
+        self._num_edges += 1
+        self._edge_label_counts[label] = self._edge_label_counts.get(label, 0) + 1
+        return True
+
+    def remove_edge(self, source: NodeId, target: NodeId, label: Label) -> None:
+        """Remove an edge; raises :class:`EdgeNotFoundError` if absent."""
+        targets = self._out.get(source, {}).get(label)
+        if not targets or target not in targets:
+            raise EdgeNotFoundError(source, target, label)
+        targets.discard(target)
+        if not targets:
+            del self._out[source][label]
+        sources = self._in[target][label]
+        sources.discard(source)
+        if not sources:
+            del self._in[target][label]
+        self._num_edges -= 1
+        remaining = self._edge_label_counts[label] - 1
+        if remaining:
+            self._edge_label_counts[label] = remaining
+        else:
+            del self._edge_label_counts[label]
+
+    def remove_node(self, node_id: NodeId) -> None:
+        """Remove a node and all incident edges."""
+        if node_id not in self._labels:
+            raise NodeNotFoundError(node_id)
+        for label, targets in list(self._out[node_id].items()):
+            for target in list(targets):
+                self.remove_edge(node_id, target, label)
+        for label, sources in list(self._in[node_id].items()):
+            for source in list(sources):
+                self.remove_edge(source, node_id, label)
+        label = self._labels.pop(node_id)
+        self._nodes_by_label[label].discard(node_id)
+        if not self._nodes_by_label[label]:
+            del self._nodes_by_label[label]
+        del self._out[node_id]
+        del self._in[node_id]
+        self._attrs.pop(node_id, None)
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``|V|``."""
+        return len(self._labels)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges ``|E|``."""
+        return self._num_edges
+
+    @property
+    def size(self) -> int:
+        """The paper's size measure ``|G| = |V| + |E|``."""
+        return self.num_nodes + self._num_edges
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __contains__(self, node_id: NodeId) -> bool:
+        return node_id in self._labels
+
+    def has_node(self, node_id: NodeId) -> bool:
+        """Whether *node_id* is a node of the graph."""
+        return node_id in self._labels
+
+    def node_label(self, node_id: NodeId) -> Label:
+        """Return the label of *node_id*."""
+        try:
+            return self._labels[node_id]
+        except KeyError:
+            raise NodeNotFoundError(node_id) from None
+
+    def node_attrs(self, node_id: NodeId) -> dict[str, Any]:
+        """Return the (possibly empty) attribute dict of *node_id*."""
+        if node_id not in self._labels:
+            raise NodeNotFoundError(node_id)
+        return self._attrs.get(node_id, {})
+
+    def nodes(self) -> Iterator[NodeId]:
+        """Iterate over node ids."""
+        return iter(self._labels)
+
+    def node_items(self) -> Iterator[tuple[NodeId, Label]]:
+        """Iterate over ``(node_id, label)`` pairs."""
+        return iter(self._labels.items())
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all edges as :class:`Edge` instances."""
+        for source, by_label in self._out.items():
+            for label, targets in by_label.items():
+                for target in targets:
+                    yield Edge(source, target, label)
+
+    def has_edge(self, source: NodeId, target: NodeId, label: Label | None = None) -> bool:
+        """Whether an edge from *source* to *target* exists.
+
+        If *label* is ``None`` any edge label counts; otherwise the label must
+        match exactly.
+        """
+        by_label = self._out.get(source)
+        if not by_label:
+            return False
+        if label is None:
+            return any(target in targets for targets in by_label.values())
+        targets = by_label.get(label)
+        return bool(targets) and target in targets
+
+    def edge_labels_between(self, source: NodeId, target: NodeId) -> set[Label]:
+        """Set of labels of edges from *source* to *target*."""
+        by_label = self._out.get(source, {})
+        return {label for label, targets in by_label.items() if target in targets}
+
+    # ------------------------------------------------------------------
+    # label index
+    # ------------------------------------------------------------------
+    def nodes_with_label(self, label: Label) -> set[NodeId]:
+        """Return (a copy of) the set of nodes carrying *label*."""
+        return set(self._nodes_by_label.get(label, ()))
+
+    def count_nodes_with_label(self, label: Label) -> int:
+        """Number of nodes carrying *label* (no copy)."""
+        return len(self._nodes_by_label.get(label, ()))
+
+    def node_labels(self) -> set[Label]:
+        """The set of distinct node labels present in the graph."""
+        return set(self._nodes_by_label)
+
+    def edge_labels(self) -> set[Label]:
+        """The set of distinct edge labels present in the graph."""
+        return set(self._edge_label_counts)
+
+    def node_label_counts(self) -> dict[Label, int]:
+        """Histogram of node labels."""
+        return {label: len(nodes) for label, nodes in self._nodes_by_label.items()}
+
+    def edge_label_counts(self) -> dict[Label, int]:
+        """Histogram of edge labels."""
+        return dict(self._edge_label_counts)
+
+    # ------------------------------------------------------------------
+    # adjacency
+    # ------------------------------------------------------------------
+    def out_neighbors(self, node_id: NodeId, label: Label | None = None) -> set[NodeId]:
+        """Targets of out-edges of *node_id*, optionally restricted by label."""
+        by_label = self._out.get(node_id)
+        if by_label is None:
+            raise NodeNotFoundError(node_id)
+        if label is not None:
+            return set(by_label.get(label, ()))
+        result: set[NodeId] = set()
+        for targets in by_label.values():
+            result.update(targets)
+        return result
+
+    def in_neighbors(self, node_id: NodeId, label: Label | None = None) -> set[NodeId]:
+        """Sources of in-edges of *node_id*, optionally restricted by label."""
+        by_label = self._in.get(node_id)
+        if by_label is None:
+            raise NodeNotFoundError(node_id)
+        if label is not None:
+            return set(by_label.get(label, ()))
+        result: set[NodeId] = set()
+        for sources in by_label.values():
+            result.update(sources)
+        return result
+
+    def neighbors(self, node_id: NodeId) -> set[NodeId]:
+        """Undirected neighbourhood (union of in- and out-neighbours)."""
+        return self.out_neighbors(node_id) | self.in_neighbors(node_id)
+
+    def out_edges(self, node_id: NodeId) -> Iterator[Edge]:
+        """Iterate over out-edges of *node_id*."""
+        by_label = self._out.get(node_id)
+        if by_label is None:
+            raise NodeNotFoundError(node_id)
+        for label, targets in by_label.items():
+            for target in targets:
+                yield Edge(node_id, target, label)
+
+    def in_edges(self, node_id: NodeId) -> Iterator[Edge]:
+        """Iterate over in-edges of *node_id*."""
+        by_label = self._in.get(node_id)
+        if by_label is None:
+            raise NodeNotFoundError(node_id)
+        for label, sources in by_label.items():
+            for source in sources:
+                yield Edge(source, node_id, label)
+
+    def out_degree(self, node_id: NodeId, label: Label | None = None) -> int:
+        """Number of out-edges of *node_id* (optionally of a given label)."""
+        by_label = self._out.get(node_id)
+        if by_label is None:
+            raise NodeNotFoundError(node_id)
+        if label is not None:
+            return len(by_label.get(label, ()))
+        return sum(len(targets) for targets in by_label.values())
+
+    def in_degree(self, node_id: NodeId, label: Label | None = None) -> int:
+        """Number of in-edges of *node_id* (optionally of a given label)."""
+        by_label = self._in.get(node_id)
+        if by_label is None:
+            raise NodeNotFoundError(node_id)
+        if label is not None:
+            return len(by_label.get(label, ()))
+        return sum(len(sources) for sources in by_label.values())
+
+    def degree(self, node_id: NodeId) -> int:
+        """Total degree (in + out) of *node_id*."""
+        return self.out_degree(node_id) + self.in_degree(node_id)
+
+    def has_out_edge_labeled(self, node_id: NodeId, label: Label) -> bool:
+        """Whether *node_id* has at least one out-edge with *label*.
+
+        Used by the LCWA statistics: a node is a "negative" example for a
+        predicate ``q`` only if it has *some* edge of type ``q``.
+        """
+        by_label = self._out.get(node_id)
+        if by_label is None:
+            raise NodeNotFoundError(node_id)
+        return bool(by_label.get(label))
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def copy(self, name: str | None = None) -> "Graph":
+        """Return a deep structural copy of the graph."""
+        clone = Graph(name=name or self.name)
+        for node_id, label in self._labels.items():
+            clone.add_node(node_id, label, self._attrs.get(node_id))
+        for edge in self.edges():
+            clone.add_edge(edge.source, edge.target, edge.label)
+        return clone
+
+    def induced_subgraph(self, node_ids: Iterable[NodeId], name: str | None = None) -> "Graph":
+        """Subgraph induced by *node_ids*: keeps all edges between them."""
+        keep = set(node_ids)
+        missing = [node for node in keep if node not in self._labels]
+        if missing:
+            raise NodeNotFoundError(missing[0])
+        sub = Graph(name=name or f"{self.name}|induced")
+        for node_id in keep:
+            sub.add_node(node_id, self._labels[node_id], self._attrs.get(node_id))
+        for node_id in keep:
+            for label, targets in self._out[node_id].items():
+                for target in targets:
+                    if target in keep:
+                        sub.add_edge(node_id, target, label)
+        return sub
+
+    def descendants(self, node_id: NodeId) -> set[NodeId]:
+        """All nodes reachable from *node_id* via directed paths (excluding it)."""
+        if node_id not in self._labels:
+            raise NodeNotFoundError(node_id)
+        seen: set[NodeId] = set()
+        frontier = [node_id]
+        while frontier:
+            current = frontier.pop()
+            for target in self.out_neighbors(current):
+                if target not in seen and target != node_id:
+                    seen.add(target)
+                    frontier.append(target)
+        return seen
+
+    # ------------------------------------------------------------------
+    # dunder helpers
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return (
+            f"Graph(name={self.name!r}, nodes={self.num_nodes}, "
+            f"edges={self.num_edges})"
+        )
+
+    def structure_equal(self, other: "Graph") -> bool:
+        """Exact structural equality: same node ids, labels and edges.
+
+        This is *not* isomorphism — node identity matters.  Used by tests and
+        by the fragment/partition round-trip checks.
+        """
+        if not isinstance(other, Graph):
+            return False
+        if self._labels != other._labels:
+            return False
+        if self._num_edges != other._num_edges:
+            return False
+        for source, by_label in self._out.items():
+            other_by_label = other._out.get(source, {})
+            for label, targets in by_label.items():
+                if targets != other_by_label.get(label, set()):
+                    return False
+        return True

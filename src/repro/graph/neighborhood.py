@@ -1,0 +1,86 @@
+"""Bounded breadth-first search utilities.
+
+The paper's algorithms rely on *data locality* of subgraph isomorphism: a node
+``vx`` matches the designated node ``x`` of a pattern of radius ``d`` iff it
+matches inside the d-neighbourhood ``Gd(vx)`` — the subgraph induced by all
+nodes within (undirected) distance ``d`` of ``vx`` (Sections 4.2 and 5.1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable
+
+from repro.exceptions import NodeNotFoundError
+from repro.graph.graph import Graph
+
+NodeId = Hashable
+
+
+def bfs_distances(
+    graph: Graph,
+    source: NodeId,
+    radius: int | None = None,
+    directed: bool = False,
+) -> dict[NodeId, int]:
+    """Map each node within *radius* of *source* to its hop distance.
+
+    Parameters
+    ----------
+    graph:
+        The graph to traverse.
+    source:
+        Start node (distance 0).
+    radius:
+        Maximum distance to explore; ``None`` explores the whole component.
+    directed:
+        If ``True`` follow out-edges only; otherwise treat edges as
+        undirected (the paper's notion of radius and ``Nr(vx)``).
+    """
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+    distances: dict[NodeId, int] = {source: 0}
+    queue: deque[NodeId] = deque([source])
+    while queue:
+        current = queue.popleft()
+        current_distance = distances[current]
+        if radius is not None and current_distance >= radius:
+            continue
+        if directed:
+            frontier = graph.out_neighbors(current)
+        else:
+            frontier = graph.neighbors(current)
+        for neighbor in frontier:
+            if neighbor not in distances:
+                distances[neighbor] = current_distance + 1
+                queue.append(neighbor)
+    return distances
+
+
+def ball(graph: Graph, center: NodeId, radius: int) -> set[NodeId]:
+    """``Nr(vx)``: the set of nodes within *radius* hops of *center*.
+
+    Includes *center* itself (distance 0).
+    """
+    if radius < 0:
+        raise ValueError(f"radius must be >= 0, got {radius}")
+    return set(bfs_distances(graph, center, radius=radius))
+
+
+def d_neighborhood(graph: Graph, center: NodeId, d: int, name: str | None = None) -> Graph:
+    """``Gd(vx)``: the subgraph induced by ``Nd(vx)``.
+
+    This is the unit of work shipped to a worker in both DMine and Match.
+    """
+    nodes = ball(graph, center, d)
+    return graph.induced_subgraph(nodes, name=name or f"{graph.name}|G{d}({center})")
+
+
+def eccentricity(graph: Graph, source: NodeId) -> int:
+    """Longest undirected shortest-path distance from *source*.
+
+    Only the component containing *source* is considered; for the connected
+    patterns the paper allows this equals the radius ``r(Q, x)``.
+    """
+    distances = bfs_distances(graph, source, radius=None, directed=False)
+    return max(distances.values()) if distances else 0

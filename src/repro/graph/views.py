@@ -1,0 +1,51 @@
+"""Subgraph extraction helpers (paper Section 2.1 notions of subgraph)."""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.graph.graph import Edge, Graph
+
+NodeId = Hashable
+
+
+def induced_subgraph(graph: Graph, nodes: Iterable[NodeId], name: str | None = None) -> Graph:
+    """Subgraph induced by *nodes*: all edges of *graph* between them."""
+    return graph.induced_subgraph(nodes, name=name)
+
+
+def subgraph_from_edges(
+    graph: Graph,
+    edges: Iterable[Edge | tuple],
+    name: str | None = None,
+) -> Graph:
+    """Subgraph containing exactly *edges* (and their endpoints).
+
+    Each edge may be an :class:`Edge` or a ``(source, target, label)`` tuple;
+    every edge must exist in *graph* with matching label.
+    """
+    sub = Graph(name=name or f"{graph.name}|edges")
+    for item in edges:
+        if isinstance(item, Edge):
+            source, target, label = item.source, item.target, item.label
+        else:
+            source, target, label = item
+        if not graph.has_edge(source, target, label):
+            raise ValueError(
+                f"edge {source!r} -> {target!r} ({label!r}) is not in {graph.name}"
+            )
+        sub.add_node(source, graph.node_label(source))
+        sub.add_node(target, graph.node_label(target))
+        sub.add_edge(source, target, label)
+    return sub
+
+
+def is_subgraph(small: Graph, big: Graph) -> bool:
+    """Whether *small* ⊆ *big* in the paper's sense (same ids, labels, edges)."""
+    for node, label in small.node_items():
+        if not big.has_node(node) or big.node_label(node) != label:
+            return False
+    for edge in small.edges():
+        if not big.has_edge(edge.source, edge.target, edge.label):
+            return False
+    return True

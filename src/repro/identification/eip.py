@@ -1,0 +1,110 @@
+"""EIP problem definition, configuration and result types."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+from repro.exceptions import IdentificationError
+from repro.graph.graph import Graph
+from repro.parallel.runtime import RunTimings
+from repro.pattern.gpar import GPAR
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class EIPConfig:
+    """Parameters of an entity-identification run.
+
+    Attributes
+    ----------
+    eta:
+        Confidence bound η > 0; only rules with ``conf(R, G) >= eta``
+        contribute identified entities.
+    num_workers:
+        Number of fragments / processors n.
+    seed:
+        Partitioning tie-break seed.
+    """
+
+    eta: float = 1.0
+    num_workers: int = 4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.eta <= 0:
+            raise IdentificationError(f"eta must be > 0, got {self.eta}")
+        if self.num_workers < 1:
+            raise IdentificationError(f"num_workers must be >= 1, got {self.num_workers}")
+
+
+@dataclass
+class EIPResult:
+    """Output of an EIP run."""
+
+    identified: set = field(default_factory=set)
+    rule_confidences: dict[GPAR, float] = field(default_factory=dict)
+    rule_matches: dict[GPAR, frozenset] = field(default_factory=dict)
+    accepted_rules: list[GPAR] = field(default_factory=list)
+    timings: RunTimings = field(default_factory=RunTimings)
+    candidates_examined: int = 0
+
+    def confidence_of(self, rule: GPAR) -> float:
+        """Global confidence computed for *rule* (KeyError if unknown)."""
+        return self.rule_confidences[rule]
+
+    def summary(self) -> str:
+        """Human-readable run summary used by examples."""
+        lines = [
+            f"identified {len(self.identified)} potential customers "
+            f"from {len(self.rule_confidences)} rules "
+            f"({len(self.accepted_rules)} above the confidence bound)"
+        ]
+        for rule in self.accepted_rules:
+            confidence = self.rule_confidences[rule]
+            conf = "inf" if math.isinf(confidence) else f"{confidence:.3f}"
+            lines.append(
+                f"  {rule.name}: conf={conf} matches={len(self.rule_matches[rule])}"
+            )
+        return "\n".join(lines)
+
+
+def _shared_predicate(rules: Sequence[GPAR]) -> GPAR:
+    """Validate that all rules pertain to the same predicate; return one of them."""
+    if not rules:
+        raise IdentificationError("EIP needs at least one GPAR")
+    first = rules[0]
+    signature = (first.x_label, first.consequent_label, first.y_label)
+    for rule in rules[1:]:
+        if (rule.x_label, rule.consequent_label, rule.y_label) != signature:
+            raise IdentificationError(
+                "all GPARs in Σ must pertain to the same predicate q(x, y); "
+                f"{rule.name} differs from {first.name}"
+            )
+    return first
+
+
+def identify_entities(
+    graph: Graph,
+    rules: Sequence[GPAR],
+    eta: float = 1.0,
+    num_workers: int = 4,
+    algorithm: str = "match",
+    seed: int = 0,
+) -> EIPResult:
+    """Solve EIP with the named algorithm (``match``, ``matchc`` or ``disvf2``)."""
+    from repro.identification.disvf2 import DisVF2
+    from repro.identification.match import Match
+    from repro.identification.matchc import MatchC
+
+    config = EIPConfig(eta=eta, num_workers=num_workers, seed=seed)
+    algorithms = {"match": Match, "matchc": MatchC, "disvf2": DisVF2}
+    try:
+        implementation = algorithms[algorithm.lower()]
+    except KeyError:
+        raise IdentificationError(
+            f"unknown algorithm {algorithm!r}; expected one of {sorted(algorithms)}"
+        ) from None
+    return implementation(config).identify(graph, list(rules))

@@ -1,0 +1,148 @@
+"""``Matchc``: the parallel-scalable EIP algorithm of Theorem 6.
+
+Steps (Section 5.1):
+
+1. **Partitioning** — fragment G so that every candidate centre's d-ball is
+   local to one fragment (d = the largest rule radius in Σ).
+2. **Matching** — each worker verifies, for every owned candidate ``vx`` and
+   every rule R, whether ``vx ∈ PR(x, Gd(vx))`` and ``vx ∈ Q(x, Gd(vx))``,
+   and classifies vx against the predicate (positive / LCWA-negative).
+3. **Assembling** — the coordinator sums the fragment-local counts into
+   ``conf(R, G)`` per rule and outputs the matches of rules whose confidence
+   reaches η.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+from repro.graph.graph import Graph
+from repro.matching.base import Matcher
+from repro.matching.locality import LocalityMatcher
+from repro.matching.vf2 import VF2Matcher
+from repro.metrics.confidence import bayes_factor_confidence
+from repro.metrics.lcwa import predicate_stats_over
+from repro.identification.eip import EIPConfig, EIPResult, _shared_predicate
+from repro.parallel.runtime import BSPRuntime
+from repro.partition.fragment import Fragment
+from repro.partition.partitioner import partition_graph
+from repro.pattern.gpar import GPAR
+
+NodeId = Hashable
+
+
+@dataclass
+class _FragmentReport:
+    """Per-fragment counts and witness sets returned to the coordinator."""
+
+    fragment_index: int
+    supp_q: int = 0
+    supp_q_bar: int = 0
+    candidates_examined: int = 0
+    rule_matches: dict[GPAR, set] = field(default_factory=dict)
+    antecedent_counts: dict[GPAR, int] = field(default_factory=dict)
+    qbar_counts: dict[GPAR, int] = field(default_factory=dict)
+
+
+class MatchC:
+    """Parallel EIP solver without the Section 5.2 optimisations."""
+
+    def __init__(self, config: EIPConfig) -> None:
+        self.config = config
+
+    # -- hooks overridden by Match / DisVF2 --------------------------------
+    def _make_matcher(self, max_radius: int) -> Matcher:
+        """Anchored matcher used per fragment (plain VF2 inside the d-ball)."""
+        return LocalityMatcher(VF2Matcher(), radius=max_radius)
+
+    def _verify_fragment(
+        self,
+        fragment: Fragment,
+        rules: Sequence[GPAR],
+        matcher: Matcher,
+        predicate,
+    ) -> _FragmentReport:
+        """Verify every owned candidate of *fragment* against every rule."""
+        graph = fragment.graph
+        stats = predicate_stats_over(graph, predicate, fragment.owned_centers)
+        owned = set(stats.positives) | set(stats.negatives) | set(stats.unknown)
+        report = _FragmentReport(fragment_index=fragment.index)
+        local_positives = set(stats.positives)
+        local_negatives = set(stats.negatives)
+        report.supp_q = len(local_positives)
+        report.supp_q_bar = len(local_negatives)
+
+        for rule in rules:
+            rule_matches: set[NodeId] = set()
+            antecedent_count = 0
+            qbar_count = 0
+            for candidate in owned:
+                report.candidates_examined += 1
+                in_antecedent = matcher.exists_match_at(graph, rule.antecedent, candidate)
+                if not in_antecedent:
+                    continue
+                antecedent_count += 1
+                if candidate in local_negatives:
+                    qbar_count += 1
+                if candidate in local_positives and matcher.exists_match_at(
+                    graph, rule.pr_pattern(), candidate
+                ):
+                    rule_matches.add(candidate)
+            report.rule_matches[rule] = rule_matches
+            report.antecedent_counts[rule] = antecedent_count
+            report.qbar_counts[rule] = qbar_count
+        return report
+
+    # ----------------------------------------------------------------------
+    def identify(self, graph: Graph, rules: Sequence[GPAR]) -> EIPResult:
+        """Compute ``Σ(x, G, η)`` on *graph*."""
+        representative = _shared_predicate(rules)
+        predicate = representative.q_pattern()
+        # Fragments must preserve a ball large enough to verify both PR and
+        # the antecedent Q at every owned candidate.
+        max_radius = max(rule.verification_radius for rule in rules)
+        centers = graph.nodes_with_label(representative.x_label)
+
+        fragments = partition_graph(
+            graph,
+            self.config.num_workers,
+            centers=centers,
+            d=max_radius,
+            seed=self.config.seed,
+        )
+        runtime = BSPRuntime(fragments)
+        runtime.start_run()
+
+        matchers = {
+            fragment.index: self._make_matcher(max_radius) for fragment in fragments
+        }
+
+        reports = runtime.run_round(
+            lambda fragment: self._verify_fragment(
+                fragment, rules, matchers[fragment.index], predicate
+            )
+        )
+
+        result = self._assemble(rules, reports)
+        result.timings = runtime.finish_run()
+        return result
+
+    def _assemble(self, rules: Sequence[GPAR], reports: Sequence[_FragmentReport]) -> EIPResult:
+        supp_q = sum(report.supp_q for report in reports)
+        supp_q_bar = sum(report.supp_q_bar for report in reports)
+        result = EIPResult()
+        result.candidates_examined = sum(report.candidates_examined for report in reports)
+        for rule in rules:
+            supp_r = sum(len(report.rule_matches.get(rule, ())) for report in reports)
+            supp_q_qbar = sum(report.qbar_counts.get(rule, 0) for report in reports)
+            matches = frozenset().union(
+                *(report.rule_matches.get(rule, set()) for report in reports)
+            )
+            confidence = bayes_factor_confidence(supp_r, supp_q_bar, supp_q_qbar, supp_q)
+            result.rule_confidences[rule] = confidence
+            result.rule_matches[rule] = matches
+            if confidence >= self.config.eta and supp_r > 0:
+                result.accepted_rules.append(rule)
+                result.identified.update(matches)
+        return result

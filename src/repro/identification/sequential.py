@@ -1,0 +1,41 @@
+"""Sequential reference implementation of EIP (test oracle).
+
+Evaluates each rule globally with :func:`repro.metrics.evaluate_rule` and
+applies the confidence bound — no partitioning, no parallel runtime.  The
+parallel algorithms must agree with this on every input.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.graph.graph import Graph
+from repro.matching.base import Matcher
+from repro.matching.vf2 import VF2Matcher
+from repro.metrics.confidence import evaluate_rule
+from repro.metrics.lcwa import predicate_stats
+from repro.identification.eip import EIPResult, _shared_predicate
+from repro.pattern.gpar import GPAR
+
+
+def identify_sequential(
+    graph: Graph,
+    rules: Sequence[GPAR],
+    eta: float = 1.0,
+    matcher: Matcher | None = None,
+) -> EIPResult:
+    """Compute ``Σ(x, G, η)`` with a plain sequential evaluation."""
+    representative = _shared_predicate(rules)
+    engine = matcher if matcher is not None else VF2Matcher()
+    stats = predicate_stats(graph, representative.q_pattern())
+
+    result = EIPResult()
+    for rule in rules:
+        evaluation = evaluate_rule(graph, rule, matcher=engine, stats=stats)
+        result.rule_confidences[rule] = evaluation.confidence
+        result.rule_matches[rule] = evaluation.rule_matches
+        result.candidates_examined += evaluation.supp_antecedent
+        if evaluation.confidence >= eta and evaluation.supp_r > 0:
+            result.accepted_rules.append(rule)
+            result.identified.update(evaluation.rule_matches)
+    return result

@@ -1,0 +1,56 @@
+"""Subgraph-isomorphism matching of patterns against data graphs.
+
+The paper's algorithms never need the full enumeration of matches: both the
+support metrics and entity identification only ask *which data nodes can play
+the role of the designated node x* (``Q(x, G)``).  The matchers therefore
+expose anchored, early-terminating queries in addition to full enumeration
+(which is retained for the ``disVF2`` baseline and as a test oracle).
+
+Matchers
+--------
+:class:`VF2Matcher`
+    Plain backtracking subgraph isomorphism with candidate filtering, in the
+    spirit of VF2 [Cordella et al. 2004].
+:class:`GuidedMatcher`
+    The optimised search of ``Match`` (paper Section 5.2): k-hop sketch
+    pruning and best-first candidate ordering, with early termination.
+:class:`LocalityMatcher`
+    Restricts an anchored search to the d-neighbourhood ``Gd(vx)``, the data
+    locality both DMine and Match rely on.
+:class:`MultiPatternMatcher`
+    Shares work across a set Σ of GPARs (adjacency profiles of candidates are
+    computed once per candidate and reused by every rule).
+"""
+
+from repro.matching.base import Matcher, MatchStatistics
+from repro.matching.candidates import (
+    adjacency_profile,
+    label_candidates,
+    profile_satisfies,
+    required_profile,
+)
+from repro.matching.vf2 import VF2Matcher
+from repro.matching.guided import GuidedMatcher
+from repro.matching.locality import LocalityMatcher
+from repro.matching.multi import MultiPatternMatcher
+from repro.matching.simulation import (
+    SimulationMatcher,
+    maximum_dual_simulation,
+    simulation_match_set,
+)
+
+__all__ = [
+    "Matcher",
+    "MatchStatistics",
+    "VF2Matcher",
+    "GuidedMatcher",
+    "LocalityMatcher",
+    "MultiPatternMatcher",
+    "SimulationMatcher",
+    "maximum_dual_simulation",
+    "simulation_match_set",
+    "label_candidates",
+    "adjacency_profile",
+    "required_profile",
+    "profile_satisfies",
+]

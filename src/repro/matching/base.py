@@ -1,0 +1,170 @@
+"""Matcher interface and shared search machinery."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Iterator
+
+from repro.exceptions import MatchingError
+from repro.graph.graph import Graph
+from repro.pattern.pattern import Pattern, PatternEdge
+
+NodeId = Hashable
+
+
+@dataclass
+class MatchStatistics:
+    """Counters describing the work a matcher performed.
+
+    The benchmark harness uses these to contrast e.g. ``Match`` (early
+    termination) against ``disVF2`` (full enumeration) in a way that is
+    independent of interpreter noise.
+    """
+
+    candidates_considered: int = 0
+    states_expanded: int = 0
+    backtracks: int = 0
+    matches_found: int = 0
+    sketch_prunes: int = 0
+    profile_prunes: int = 0
+
+    def merge(self, other: "MatchStatistics") -> None:
+        """Accumulate counters from another statistics object."""
+        self.candidates_considered += other.candidates_considered
+        self.states_expanded += other.states_expanded
+        self.backtracks += other.backtracks
+        self.matches_found += other.matches_found
+        self.sketch_prunes += other.sketch_prunes
+        self.profile_prunes += other.profile_prunes
+
+
+@dataclass
+class _SearchPlan:
+    """A connectivity-respecting elimination order for a pattern.
+
+    ``order[0]`` is the anchor (designated node).  ``anchors[i]`` lists, for
+    the i-th pattern node, the pattern edges connecting it to already-placed
+    nodes, which is where candidate sets come from during the search.
+    """
+
+    order: list = field(default_factory=list)
+    # For each position i >= 1: list of (edge, already_placed_is_source)
+    connections: list = field(default_factory=list)
+
+
+def build_search_plan(pattern: Pattern, anchor) -> _SearchPlan:
+    """Compute a BFS-style matching order starting from *anchor*.
+
+    Raises :class:`MatchingError` if the pattern is disconnected (every
+    practical GPAR pattern is connected by definition).
+    """
+    if not pattern.has_node(anchor):
+        raise MatchingError(f"anchor {anchor!r} is not a pattern node")
+    order = [anchor]
+    placed = {anchor}
+    connections: list[list[tuple[PatternEdge, bool]]] = [[]]
+    remaining = set(pattern.nodes()) - placed
+    while remaining:
+        best_node = None
+        best_links: list[tuple[PatternEdge, bool]] = []
+        for node in remaining:
+            links: list[tuple[PatternEdge, bool]] = []
+            for edge in pattern.out_edges(node):
+                if edge.target in placed:
+                    links.append((edge, False))
+            for edge in pattern.in_edges(node):
+                if edge.source in placed:
+                    links.append((edge, True))
+            if links and (best_node is None or len(links) > len(best_links)):
+                best_node = node
+                best_links = links
+        if best_node is None:
+            # Disconnected pattern (e.g. the antecedent of a GPAR whose y is
+            # only tied in through the consequent edge).  Place an arbitrary
+            # remaining node as a "free" node: it has no connections, so the
+            # matchers fall back to the label index for its candidates.
+            best_node = min(remaining, key=str)
+            best_links = []
+        order.append(best_node)
+        connections.append(best_links)
+        placed.add(best_node)
+        remaining.discard(best_node)
+    return _SearchPlan(order=order, connections=connections)
+
+
+class Matcher(ABC):
+    """Common interface of all subgraph-isomorphism matchers."""
+
+    def __init__(self) -> None:
+        self.statistics = MatchStatistics()
+
+    def reset_statistics(self) -> None:
+        """Zero the work counters."""
+        self.statistics = MatchStatistics()
+
+    # -- anchored queries -------------------------------------------------
+    @abstractmethod
+    def find_match_at(self, graph: Graph, pattern: Pattern, anchor_value: NodeId) -> dict | None:
+        """Return one isomorphism mapping ``pattern.x -> anchor_value``, or None."""
+
+    def exists_match_at(self, graph: Graph, pattern: Pattern, anchor_value: NodeId) -> bool:
+        """Whether some match maps the designated node x to *anchor_value*."""
+        return self.find_match_at(graph, pattern, anchor_value) is not None
+
+    # -- match sets -------------------------------------------------------
+    def match_set(
+        self,
+        graph: Graph,
+        pattern: Pattern,
+        candidates: Iterable[NodeId] | None = None,
+    ) -> set[NodeId]:
+        """``Q(x, G)``: data nodes that can play the designated node x.
+
+        *candidates* restricts the nodes to test (callers typically pass the
+        label-index candidates or a previously computed superset).
+        """
+        expanded = pattern.expanded()
+        if candidates is None:
+            pool: Iterable[NodeId] = graph.nodes_with_label(expanded.label(expanded.x))
+        else:
+            pool = candidates
+        matched: set[NodeId] = set()
+        for candidate in pool:
+            self.statistics.candidates_considered += 1
+            if self.exists_match_at(graph, expanded, candidate):
+                matched.add(candidate)
+        return matched
+
+    # -- full enumeration -------------------------------------------------
+    def find_all(
+        self,
+        graph: Graph,
+        pattern: Pattern,
+        limit: int | None = None,
+    ) -> list[dict]:
+        """Enumerate isomorphism mappings (pattern node -> data node).
+
+        Used by the disVF2 baseline and by tests; the core algorithms use the
+        anchored early-terminating queries instead.
+        """
+        expanded = pattern.expanded()
+        results: list[dict] = []
+        for candidate in sorted(graph.nodes_with_label(expanded.label(expanded.x)), key=str):
+            for mapping in self.iter_matches_at(graph, expanded, candidate):
+                results.append(mapping)
+                if limit is not None and len(results) >= limit:
+                    return results
+        return results
+
+    def iter_matches_at(
+        self, graph: Graph, pattern: Pattern, anchor_value: NodeId
+    ) -> Iterator[dict]:
+        """Iterate over all matches anchored at *anchor_value*.
+
+        Default implementation yields at most one (the anchored search);
+        matchers supporting full enumeration override it.
+        """
+        mapping = self.find_match_at(graph, pattern, anchor_value)
+        if mapping is not None:
+            yield mapping

@@ -1,0 +1,67 @@
+"""Candidate generation and cheap necessary-condition filters."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Hashable
+
+from repro.graph.graph import Graph
+from repro.pattern.pattern import Pattern
+
+NodeId = Hashable
+
+# A profile maps (direction, edge label, neighbour label) -> count, where
+# direction is "out" or "in".  It summarises the labelled adjacency of a node.
+Profile = dict[tuple[str, str, str], int]
+
+
+def label_candidates(graph: Graph, pattern: Pattern, pattern_node) -> set[NodeId]:
+    """Data nodes whose label satisfies the search condition of *pattern_node*."""
+    return graph.nodes_with_label(pattern.label(pattern_node))
+
+
+def required_profile(pattern: Pattern, pattern_node) -> Profile:
+    """Adjacency profile a data node must dominate to match *pattern_node*.
+
+    Computed on the copy-expanded pattern by the caller when copy counts
+    matter; here the pattern is used as given.
+    """
+    profile: Counter = Counter()
+    for edge in pattern.out_edges(pattern_node):
+        profile[("out", edge.label, pattern.label(edge.target))] += 1
+    for edge in pattern.in_edges(pattern_node):
+        profile[("in", edge.label, pattern.label(edge.source))] += 1
+    return dict(profile)
+
+
+def adjacency_profile(graph: Graph, node: NodeId) -> Profile:
+    """Labelled adjacency profile of a data node.
+
+    This is the quantity :class:`repro.matching.MultiPatternMatcher` caches
+    per candidate so that every rule in Σ reuses it.
+    """
+    profile: Counter = Counter()
+    for edge in graph.out_edges(node):
+        profile[("out", edge.label, graph.node_label(edge.target))] += 1
+    for edge in graph.in_edges(node):
+        profile[("in", edge.label, graph.node_label(edge.source))] += 1
+    return dict(profile)
+
+
+def profile_satisfies(candidate_profile: Profile, needed: Profile) -> bool:
+    """Whether a candidate's profile dominates the required profile."""
+    for key, count in needed.items():
+        if candidate_profile.get(key, 0) < count:
+            return False
+    return True
+
+
+def degree_consistent(graph: Graph, data_node: NodeId, pattern: Pattern, pattern_node) -> bool:
+    """Cheap degree-based necessary condition for ``data_node`` to match.
+
+    For every (direction, edge label, neighbour label) the pattern requires,
+    the data node must have at least as many such neighbours.
+    """
+    return profile_satisfies(
+        adjacency_profile(graph, data_node), required_profile(pattern, pattern_node)
+    )

@@ -1,0 +1,69 @@
+"""Data-locality matching inside ``Gd(vx)`` (paper Sections 4.2 and 5.1).
+
+For any pattern of radius ``d`` at x, a node ``vx`` matches x in G iff it
+matches x in the d-neighbourhood ``Gd(vx)``.  Restricting the search space to
+the (typically small) ball is what makes per-candidate work independent of
+``|G|`` and is the basis of the parallel-scalability argument.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.graph.graph import Graph
+from repro.graph.neighborhood import d_neighborhood
+from repro.matching.base import Matcher
+from repro.pattern.pattern import Pattern
+from repro.pattern.radius import pattern_radius
+
+NodeId = Hashable
+
+
+class LocalityMatcher(Matcher):
+    """Wrap another matcher so anchored queries run inside ``Gd(vx)``.
+
+    Parameters
+    ----------
+    inner:
+        The matcher performing the actual search (VF2 or guided).
+    radius:
+        Ball radius ``d``; when ``None`` the radius of the pattern at x is
+        used per query (the tight, always-correct choice).
+    cache_balls:
+        Cache extracted neighbourhoods per (graph, node, radius); useful when
+        the same candidate is probed by many rules (EIP with a set Σ).
+    """
+
+    def __init__(self, inner: Matcher, radius: int | None = None, cache_balls: bool = True) -> None:
+        super().__init__()
+        self.inner = inner
+        self.radius = radius
+        self.cache_balls = cache_balls
+        # Keyed by the graph object itself (identity hash) so cached balls
+        # keep their source graph alive and ids are never reused.
+        self._ball_cache: dict[tuple[Graph, NodeId, int], Graph] = {}
+
+    def _ball(self, graph: Graph, anchor_value: NodeId, radius: int) -> Graph:
+        if not self.cache_balls:
+            return d_neighborhood(graph, anchor_value, radius)
+        key = (graph, anchor_value, radius)
+        ball = self._ball_cache.get(key)
+        if ball is None:
+            ball = d_neighborhood(graph, anchor_value, radius)
+            self._ball_cache[key] = ball
+        return ball
+
+    def clear_caches(self) -> None:
+        """Drop cached neighbourhoods."""
+        self._ball_cache.clear()
+
+    def find_match_at(self, graph: Graph, pattern: Pattern, anchor_value: NodeId) -> dict | None:
+        if not graph.has_node(anchor_value):
+            return None
+        expanded = pattern.expanded()
+        radius = self.radius if self.radius is not None else pattern_radius(expanded, expanded.x)
+        ball = self._ball(graph, anchor_value, radius)
+        mapping = self.inner.find_match_at(ball, expanded, anchor_value)
+        self.statistics.merge(self.inner.statistics)
+        self.inner.reset_statistics()
+        return mapping

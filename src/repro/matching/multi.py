@@ -1,0 +1,105 @@
+"""Multi-pattern matching for a set Σ of GPARs.
+
+When EIP is posed with many rules over the same predicate, much of the
+per-candidate work is shared: the labelled adjacency profile of a candidate
+``vx`` is computed once and checked against every rule's required profile
+(a necessary condition), and only the surviving (rule, candidate) pairs run
+the expensive anchored isomorphism search.  This mirrors the paper's use of
+common sub-pattern extraction [32] in ``Match``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+from repro.graph.graph import Graph
+from repro.matching.base import Matcher, MatchStatistics
+from repro.matching.candidates import adjacency_profile, profile_satisfies, required_profile
+from repro.pattern.gpar import GPAR
+
+NodeId = Hashable
+
+
+class MultiPatternMatcher:
+    """Evaluate ``PR(x, G)`` for every rule of a workload while sharing work.
+
+    Parameters
+    ----------
+    matcher:
+        The anchored matcher used for the exact checks (typically a
+        :class:`repro.matching.GuidedMatcher`, possibly wrapped in a
+        :class:`repro.matching.LocalityMatcher`).
+    use_profile_filter:
+        Enable the shared adjacency-profile necessary condition.
+    """
+
+    def __init__(self, matcher: Matcher, use_profile_filter: bool = True) -> None:
+        self.matcher = matcher
+        self.use_profile_filter = use_profile_filter
+        self.statistics = MatchStatistics()
+
+    def match_sets(
+        self,
+        graph: Graph,
+        rules: Sequence[GPAR],
+        candidates: Iterable[NodeId] | None = None,
+    ) -> dict[GPAR, set[NodeId]]:
+        """Return ``{rule: PR(x, G)}`` for every rule in *rules*.
+
+        *candidates* restricts the data nodes probed (e.g. the candidate
+        centre nodes of a fragment); by default all nodes carrying the rule's
+        x-label are probed.
+        """
+        results: dict[GPAR, set[NodeId]] = {rule: set() for rule in rules}
+        if not rules:
+            return results
+
+        # Group candidate pools by x-label so the label index is hit once.
+        by_x_label: dict[str, list[GPAR]] = {}
+        for rule in rules:
+            by_x_label.setdefault(rule.x_label, []).append(rule)
+
+        # Pre-compute the required adjacency profile of x for every rule.
+        needed_profiles = {
+            rule: required_profile(rule.pr_pattern().expanded(), rule.x) for rule in rules
+        }
+
+        candidate_list = None if candidates is None else list(candidates)
+        for x_label, label_rules in by_x_label.items():
+            if candidate_list is None:
+                pool: Iterable[NodeId] = graph.nodes_with_label(x_label)
+            else:
+                pool = [
+                    node
+                    for node in candidate_list
+                    if graph.has_node(node) and graph.node_label(node) == x_label
+                ]
+            for candidate in pool:
+                profile = adjacency_profile(graph, candidate) if self.use_profile_filter else None
+                for rule in label_rules:
+                    self.statistics.candidates_considered += 1
+                    if profile is not None and not profile_satisfies(
+                        profile, needed_profiles[rule]
+                    ):
+                        self.statistics.profile_prunes += 1
+                        continue
+                    if self.matcher.exists_match_at(graph, rule.pr_pattern(), candidate):
+                        results[rule].add(candidate)
+        self.statistics.merge(self.matcher.statistics)
+        self.matcher.reset_statistics()
+        return results
+
+    def antecedent_match_sets(
+        self,
+        graph: Graph,
+        rules: Sequence[GPAR],
+        candidates: Iterable[NodeId] | None = None,
+    ) -> dict[GPAR, set[NodeId]]:
+        """Return ``{rule: Q(x, G)}`` (antecedent-only match sets)."""
+        results: dict[GPAR, set[NodeId]] = {}
+        for rule in rules:
+            pool = candidates
+            results[rule] = self.matcher.match_set(graph, rule.antecedent, candidates=pool)
+        self.statistics.merge(self.matcher.statistics)
+        self.matcher.reset_statistics()
+        return results

@@ -1,0 +1,38 @@
+"""Support, confidence and diversification metrics for GPARs (Section 3)."""
+
+from repro.metrics.support import (
+    antecedent_support,
+    minimum_image_support,
+    rule_support,
+    support,
+)
+from repro.metrics.lcwa import PredicateStats, predicate_stats
+from repro.metrics.confidence import (
+    RuleEvaluation,
+    bayes_factor_confidence,
+    evaluate_rule,
+    image_based_confidence,
+    pca_confidence,
+)
+from repro.metrics.diversification import (
+    DiversificationObjective,
+    jaccard_distance,
+    rule_difference,
+)
+
+__all__ = [
+    "support",
+    "antecedent_support",
+    "rule_support",
+    "minimum_image_support",
+    "PredicateStats",
+    "predicate_stats",
+    "RuleEvaluation",
+    "evaluate_rule",
+    "bayes_factor_confidence",
+    "pca_confidence",
+    "image_based_confidence",
+    "jaccard_distance",
+    "rule_difference",
+    "DiversificationObjective",
+]

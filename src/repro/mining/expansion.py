@@ -1,0 +1,202 @@
+"""Data-driven levelwise expansion of rule antecedents (``localMine``).
+
+A worker grows a GPAR by one antecedent edge at a time.  Rather than
+enumerating all label combinations, extensions are read off the data: for a
+matched centre, the antecedent match is overlaid on the fragment and every
+incident data edge that is not yet part of the pattern becomes a candidate
+extension — either a *closing* edge between two already-present pattern nodes
+or a *growing* edge to a fresh pattern node carrying the data node's label.
+Extensions supported by more centres are proposed first.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+from repro.graph.graph import Graph
+from repro.matching.base import Matcher
+from repro.pattern.gpar import GPAR
+from repro.pattern.pattern import Pattern, PatternEdge
+from repro.pattern.radius import pattern_radius
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class _ExtensionKey:
+    """Structural identity of a candidate extension.
+
+    ``closing`` extensions connect two existing pattern nodes; ``growing``
+    extensions attach a new node with *other_label* to *pattern_node*.
+    """
+
+    kind: str  # "closing" | "growing"
+    pattern_source: object
+    pattern_target: object
+    edge_label: str
+    other_label: str | None = None
+    outgoing: bool = True
+
+
+def _extension_keys_for_match(
+    graph: Graph,
+    antecedent: Pattern,
+    mapping: dict,
+    consequent_label: str,
+) -> set[_ExtensionKey]:
+    """All single-edge extensions suggested by one antecedent match."""
+    keys: set[_ExtensionKey] = set()
+    image = {data_node: pattern_node for pattern_node, data_node in mapping.items()}
+    existing_edges = set(antecedent.edges())
+    for pattern_node, data_node in mapping.items():
+        for edge in graph.out_edges(data_node):
+            other_pattern = image.get(edge.target)
+            if other_pattern is not None:
+                candidate = PatternEdge(pattern_node, other_pattern, edge.label)
+                if candidate in existing_edges or other_pattern == pattern_node:
+                    continue
+                # Never re-introduce the consequent edge q(x, y).
+                if (
+                    pattern_node == antecedent.x
+                    and other_pattern == antecedent.y
+                    and edge.label == consequent_label
+                ):
+                    continue
+                keys.add(
+                    _ExtensionKey(
+                        kind="closing",
+                        pattern_source=pattern_node,
+                        pattern_target=other_pattern,
+                        edge_label=edge.label,
+                    )
+                )
+            else:
+                keys.add(
+                    _ExtensionKey(
+                        kind="growing",
+                        pattern_source=pattern_node,
+                        pattern_target=None,
+                        edge_label=edge.label,
+                        other_label=graph.node_label(edge.target),
+                        outgoing=True,
+                    )
+                )
+        for edge in graph.in_edges(data_node):
+            other_pattern = image.get(edge.source)
+            if other_pattern is not None:
+                candidate = PatternEdge(other_pattern, pattern_node, edge.label)
+                if candidate in existing_edges or other_pattern == pattern_node:
+                    continue
+                if (
+                    other_pattern == antecedent.x
+                    and pattern_node == antecedent.y
+                    and edge.label == consequent_label
+                ):
+                    continue
+                keys.add(
+                    _ExtensionKey(
+                        kind="closing",
+                        pattern_source=other_pattern,
+                        pattern_target=pattern_node,
+                        edge_label=edge.label,
+                    )
+                )
+            else:
+                keys.add(
+                    _ExtensionKey(
+                        kind="growing",
+                        pattern_source=pattern_node,
+                        pattern_target=None,
+                        edge_label=edge.label,
+                        other_label=graph.node_label(edge.source),
+                        outgoing=False,
+                    )
+                )
+    return keys
+
+
+def _apply_extension(rule: GPAR, key: _ExtensionKey, name: str) -> GPAR | None:
+    """Materialise an extension key into a new GPAR (None if invalid).
+
+    Extensions are applied to the *unexpanded* antecedent; keys that refer to
+    copy-expansion sibling nodes (which only exist in the expanded view) are
+    rejected, as are extensions that would not change the pattern.
+    """
+    antecedent = rule.antecedent
+    try:
+        if key.kind == "closing":
+            new_antecedent = antecedent.with_edge(
+                key.pattern_source, key.pattern_target, key.edge_label
+            )
+        else:
+            new_node = f"v{antecedent.num_nodes}"
+            while antecedent.has_node(new_node):
+                new_node = new_node + "_"
+            if key.outgoing:
+                new_antecedent = antecedent.with_edge(
+                    key.pattern_source, new_node, key.edge_label, target_label=key.other_label
+                )
+            else:
+                new_antecedent = antecedent.with_edge(
+                    new_node, key.pattern_source, key.edge_label, source_label=key.other_label
+                )
+        if new_antecedent == antecedent:
+            return None
+        return GPAR(new_antecedent, rule.consequent_label, name=name, validate=False)
+    except Exception:
+        return None
+
+
+def candidate_extensions(
+    graph: Graph,
+    rule: GPAR,
+    centers: Iterable[NodeId],
+    matcher: Matcher,
+    max_radius: int,
+    max_extensions: int = 30,
+    consequent_label: str | None = None,
+) -> list[GPAR]:
+    """Single-edge extensions of *rule* suggested by *graph* around *centers*.
+
+    Parameters
+    ----------
+    centers:
+        Data nodes at which the antecedent currently matches (typically the
+        fragment's owned matched centres); each contributes one witness match.
+    max_radius:
+        Extensions whose rule pattern exceeds this radius at x are dropped.
+    max_extensions:
+        At most this many extensions are returned, most-supported first.
+
+    Returns
+    -------
+    list[GPAR]
+        New rules, each exactly one antecedent edge larger than *rule*.
+    """
+    q_label = consequent_label if consequent_label is not None else rule.consequent_label
+    antecedent = rule.antecedent.expanded()
+    votes: Counter = Counter()
+    for center in centers:
+        mapping = matcher.find_match_at(graph, antecedent, center)
+        if mapping is None:
+            continue
+        for key in _extension_keys_for_match(graph, antecedent, mapping, q_label):
+            votes[key] += 1
+
+    extensions: list[GPAR] = []
+    for key, _count in votes.most_common():
+        candidate = _apply_extension(rule, key, name=f"{rule.name}+")
+        if candidate is None:
+            continue
+        try:
+            radius = pattern_radius(candidate.pr_pattern(), candidate.x)
+        except Exception:
+            continue
+        if radius > max_radius:
+            continue
+        extensions.append(candidate)
+        if len(extensions) >= max_extensions:
+            break
+    return extensions

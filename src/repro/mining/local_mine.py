@@ -1,0 +1,151 @@
+"""Worker-side mining (procedure ``localMine`` of Fig. 4).
+
+Each worker holds one fragment.  Per round it (a) proposes single-edge
+extensions of the rules received from the coordinator, guided by the data
+around its matched centre nodes, and (b) evaluates rules on its fragment,
+producing the ``<R, conf, flag>`` messages the coordinator assembles.
+All support counts are restricted to the fragment's *owned* centres, so the
+coordinator can sum them without double counting.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from repro.matching.base import Matcher
+from repro.matching.guided import GuidedMatcher
+from repro.matching.vf2 import VF2Matcher
+from repro.metrics.lcwa import predicate_stats_over
+from repro.mining.config import DMineConfig
+from repro.mining.expansion import candidate_extensions
+from repro.parallel.messages import RuleMessage
+from repro.partition.fragment import Fragment
+from repro.pattern.gpar import GPAR
+from repro.pattern.pattern import Pattern
+
+NodeId = Hashable
+
+
+def make_matcher(kind: str) -> Matcher:
+    """Instantiate the anchored matcher named by a config string."""
+    if kind == "guided":
+        return GuidedMatcher()
+    return VF2Matcher()
+
+
+def seed_rule(predicate: Pattern, name: str = "seed") -> GPAR:
+    """The round-0 seed: the predicate with an *empty* antecedent.
+
+    It is not a valid (nontrivial) GPAR — its antecedent has no edge — so it
+    is built without validation and never reported; it exists only to be
+    expanded in the first round.
+    """
+    antecedent = Pattern(
+        nodes={predicate.x: predicate.label(predicate.x), predicate.y: predicate.label(predicate.y)},
+        edges=[],
+        x=predicate.x,
+        y=predicate.y,
+    )
+    edge = predicate.edges()[0]
+    return GPAR(antecedent, consequent_label=edge.label, name=name, validate=False)
+
+
+class LocalMiner:
+    """Per-fragment mining state and the propose/evaluate round steps."""
+
+    def __init__(self, fragment: Fragment, predicate: Pattern, config: DMineConfig) -> None:
+        self.fragment = fragment
+        self.predicate = predicate
+        self.config = config
+        self.matcher = make_matcher(config.matcher)
+
+        stats = predicate_stats_over(fragment.graph, predicate, fragment.owned_centers)
+        # Candidate centres C_i: owned nodes satisfying the search condition on x.
+        self.candidates: set[NodeId] = (
+            set(stats.positives) | set(stats.negatives) | set(stats.unknown)
+        )
+        self.local_positives: set[NodeId] = set(stats.positives)
+        self.local_negatives: set[NodeId] = set(stats.negatives)
+        # Cached antecedent/rule match sets from the previous evaluation,
+        # used to focus the next round's expansion on supporting centres.
+        self._last_rule_matches: dict[GPAR, set[NodeId]] = {}
+        # Candidate pool inherited from a rule's parent: by anti-monotonicity
+        # the antecedent matches of an extension are a subset of its parent's,
+        # so evaluation only needs to probe that subset.
+        self._inherited_pool: dict[GPAR, set[NodeId]] = {}
+        self._last_antecedent_matches: dict[GPAR, set[NodeId]] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def supp_q_local(self) -> int:
+        """Fragment-local ``supp(q, F_i)`` over owned centres."""
+        return len(self.local_positives)
+
+    @property
+    def supp_q_bar_local(self) -> int:
+        """Fragment-local ``supp(q̄, F_i)`` over owned centres."""
+        return len(self.local_negatives)
+
+    # ------------------------------------------------------------------
+    def propose(self, rules: Sequence[GPAR]) -> list[GPAR]:
+        """Propose single-edge extensions for every rule in *rules*."""
+        proposals: list[GPAR] = []
+        for rule in rules:
+            if rule.antecedent.num_edges == 0:
+                centers: set[NodeId] = set(self.local_positives)
+            else:
+                centers = self._last_rule_matches.get(rule, set(self.local_positives))
+            if not centers:
+                continue
+            parent_pool = self._last_antecedent_matches.get(rule, self.candidates)
+            extensions = candidate_extensions(
+                self.fragment.graph,
+                rule,
+                sorted(centers, key=str),
+                self.matcher,
+                max_radius=self.config.d,
+                max_extensions=self.config.max_extensions_per_rule,
+            )
+            for extension in extensions:
+                self._inherited_pool[extension] = set(parent_pool)
+            proposals.extend(extensions)
+        return proposals
+
+    def evaluate(self, rules: Sequence[GPAR]) -> list[RuleMessage]:
+        """Evaluate *rules* on the fragment, producing one message per rule."""
+        messages: list[RuleMessage] = []
+        for rule in rules:
+            pool = self._inherited_pool.get(rule, self.candidates)
+            antecedent_matches = self.matcher.match_set(
+                self.fragment.graph, rule.antecedent, candidates=pool
+            )
+            self._last_antecedent_matches[rule] = set(antecedent_matches)
+            rule_pool = antecedent_matches & self.local_positives
+            rule_matches = self.matcher.match_set(
+                self.fragment.graph, rule.pr_pattern(), candidates=rule_pool
+            )
+            qbar_matches = antecedent_matches & self.local_negatives
+            extendable = (
+                bool(rule_matches)
+                and rule.antecedent.num_edges < self.config.max_edges
+            )
+            self._last_rule_matches[rule] = set(rule_matches)
+            messages.append(
+                RuleMessage(
+                    rule=rule,
+                    fragment_index=self.fragment.index,
+                    supp_r=len(rule_matches),
+                    supp_antecedent=len(antecedent_matches),
+                    supp_q_qbar=len(qbar_matches),
+                    supp_q=self.supp_q_local,
+                    supp_q_bar=self.supp_q_bar_local,
+                    extendable=extendable,
+                    rule_matches=set(rule_matches),
+                    antecedent_matches=set(antecedent_matches),
+                    qbar_matches=set(qbar_matches),
+                    # Anti-monotone upper bound on the support any extension
+                    # of this rule can reach at this fragment.
+                    upper_support=len(rule_matches),
+                )
+            )
+        return messages

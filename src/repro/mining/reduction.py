@@ -1,0 +1,111 @@
+"""Message-reduction rules (Lemma 3 of Section 4.2).
+
+After each round the coordinator can discard
+
+1. rules in Σ whose best possible pairing — even with the most promising
+   future extension and maximal diversity — cannot beat the current minimum
+   pair score ``F'_m`` of the top-k queue, and
+2. rules in ΔE that are not extendable, or whose optimistic future
+   confidence paired with the best rule of Σ still cannot beat ``F'_m``.
+
+Both tests rely on anti-monotone upper bounds, so pruning never removes a
+rule that could still enter the top-k set.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Set
+
+from repro.metrics.diversification import DiversificationObjective
+from repro.mining.incdiv import RuleInfo
+from repro.pattern.gpar import GPAR
+
+
+@dataclass(frozen=True)
+class ReductionOutcome:
+    """Result of one application of the reduction rules."""
+
+    sigma: dict[GPAR, RuleInfo]
+    extendable: dict[GPAR, RuleInfo]
+    pruned_sigma: int
+    pruned_delta: int
+
+
+def apply_reduction_rules(
+    sigma: Mapping[GPAR, RuleInfo],
+    delta: Mapping[GPAR, RuleInfo],
+    objective: DiversificationObjective,
+    min_pair_score: float,
+    protected: Set[GPAR] = frozenset(),
+) -> ReductionOutcome:
+    """Apply Lemma 3 until a fixpoint.
+
+    Parameters
+    ----------
+    sigma:
+        All rules discovered so far (Σ) with their info.
+    delta:
+        This round's new rules (ΔE) with their info; only these can be
+        extended in the next round.
+    objective:
+        The diversification objective (provides F').
+    min_pair_score:
+        ``F'_m`` of the current top-k queue (``-inf`` disables pruning).
+    protected:
+        Rules that must not be pruned from Σ (the current top-k members).
+
+    Returns
+    -------
+    ReductionOutcome
+        The surviving Σ, the surviving extendable ΔE subset, and counts of
+        pruned rules.
+    """
+    kept_sigma: dict[GPAR, RuleInfo] = dict(sigma)
+    kept_delta: dict[GPAR, RuleInfo] = {
+        rule: info for rule, info in delta.items() if info.extendable
+    }
+    pruned_sigma = len(delta) - len(kept_delta)  # non-extendable rules (rule 2a)
+    pruned_delta_total = pruned_sigma
+    pruned_sigma_total = 0
+
+    if math.isinf(min_pair_score) and min_pair_score < 0:
+        return ReductionOutcome(kept_sigma, kept_delta, 0, pruned_delta_total)
+
+    changed = True
+    while changed:
+        changed = False
+        max_upper_delta = max(
+            (info.upper_confidence for info in kept_delta.values()), default=0.0
+        )
+        max_conf_sigma = max(
+            (info.finite_confidence for info in kept_sigma.values()), default=0.0
+        )
+
+        # Rule (1): Σ members that cannot contribute to Lk any more.
+        for rule in list(kept_sigma):
+            if rule in protected:
+                continue
+            info = kept_sigma[rule]
+            bound = objective.upper_bound_contribution(
+                info.finite_confidence, max_upper_delta
+            )
+            if bound <= min_pair_score:
+                del kept_sigma[rule]
+                kept_delta.pop(rule, None)
+                pruned_sigma_total += 1
+                changed = True
+
+        # Rule (2b): ΔE members whose extensions cannot contribute to Lk.
+        for rule in list(kept_delta):
+            info = kept_delta[rule]
+            bound = objective.upper_bound_contribution(
+                info.upper_confidence, max_conf_sigma
+            )
+            if bound <= min_pair_score:
+                del kept_delta[rule]
+                pruned_delta_total += 1
+                changed = True
+
+    return ReductionOutcome(kept_sigma, kept_delta, pruned_sigma_total, pruned_delta_total)

@@ -1,0 +1,25 @@
+"""Simulated coordinator/worker BSP runtime.
+
+The paper runs DMine and Match on an n-node cluster; this reproduction runs
+the same bulk-synchronous structure on one machine.  Each round applies a
+worker function to every fragment, records the per-worker compute time, and
+accounts the round's *simulated parallel time* as the maximum worker time
+plus the coordinator's assembling time.  Speedup-versus-n benchmarks use the
+simulated time, which makes the scaling curves deterministic and independent
+of how many physical cores the benchmark machine has; wall-clock time is
+recorded alongside for reference.
+"""
+
+from repro.parallel.executor import Executor, SequentialExecutor, ThreadPoolExecutorBackend
+from repro.parallel.messages import RuleMessage
+from repro.parallel.runtime import BSPRuntime, RoundTiming, RunTimings
+
+__all__ = [
+    "Executor",
+    "SequentialExecutor",
+    "ThreadPoolExecutorBackend",
+    "RuleMessage",
+    "BSPRuntime",
+    "RoundTiming",
+    "RunTimings",
+]

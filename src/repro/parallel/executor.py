@@ -1,0 +1,64 @@
+"""Execution backends for the BSP runtime.
+
+The sequential executor is the default: it runs worker functions one after
+another while timing each, which is all the simulated-parallel-time model
+needs.  A thread-pool backend is provided for callers who want real
+concurrency (useful when worker functions release the GIL or do I/O); the
+algorithms are backend-agnostic.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence
+
+
+class Executor(ABC):
+    """Runs a batch of zero-argument tasks and reports per-task durations."""
+
+    @abstractmethod
+    def run(self, tasks: Sequence[Callable[[], object]]) -> tuple[list[object], list[float]]:
+        """Execute *tasks*; return (results, per-task elapsed seconds)."""
+
+
+class SequentialExecutor(Executor):
+    """Run tasks one at a time (default backend)."""
+
+    def run(self, tasks: Sequence[Callable[[], object]]) -> tuple[list[object], list[float]]:
+        results: list[object] = []
+        durations: list[float] = []
+        for task in tasks:
+            started = time.perf_counter()
+            results.append(task())
+            durations.append(time.perf_counter() - started)
+        return results, durations
+
+
+class ThreadPoolExecutorBackend(Executor):
+    """Run tasks on a thread pool.
+
+    Per-task durations are measured inside each task, so the simulated
+    parallel-time accounting stays meaningful even under real concurrency.
+    """
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        self.max_workers = max_workers
+
+    def run(self, tasks: Sequence[Callable[[], object]]) -> tuple[list[object], list[float]]:
+        results: list[object | None] = [None] * len(tasks)
+        durations: list[float] = [0.0] * len(tasks)
+
+        def timed(index: int, task: Callable[[], object]) -> None:
+            started = time.perf_counter()
+            results[index] = task()
+            durations[index] = time.perf_counter() - started
+
+        if not tasks:
+            return [], []
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            futures = [pool.submit(timed, index, task) for index, task in enumerate(tasks)]
+            for future in futures:
+                future.result()
+        return list(results), durations

@@ -1,0 +1,49 @@
+"""Messages exchanged between workers and the coordinator (Section 4.2).
+
+A worker reports, for every GPAR it generated or evaluated locally, the
+triple ``<R, conf, flag>`` of the paper: the rule, the local support counts
+needed to assemble the global confidence, and whether the rule can still be
+extended at this worker.  The local match sets of the designated node are
+included so the coordinator can compute the diversification distance
+``diff(R, R')`` (Jaccard over match sets) — exactly the information shown in
+the message tables of Example 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.pattern.gpar import GPAR
+
+NodeId = Hashable
+
+
+@dataclass
+class RuleMessage:
+    """Per-rule, per-fragment message ``<R, conf, flag>``."""
+
+    rule: GPAR
+    fragment_index: int
+    supp_r: int = 0
+    supp_antecedent: int = 0
+    supp_q_qbar: int = 0
+    supp_q: int = 0
+    supp_q_bar: int = 0
+    extendable: bool = False
+    # Witness sets (owned centres only), used for diff() and for Σ(x, G, η).
+    rule_matches: set = field(default_factory=set)
+    antecedent_matches: set = field(default_factory=set)
+    qbar_matches: set = field(default_factory=set)
+    # Upper-bound support for the message-reduction rules (Lemma 3): owned
+    # centres matching R that still have unexplored structure at hop r + 1.
+    upper_support: int = 0
+
+    def payload_size(self) -> int:
+        """Rough message size (number of ids + counters), for reporting."""
+        return (
+            7
+            + len(self.rule_matches)
+            + len(self.antecedent_matches)
+            + len(self.qbar_matches)
+        )

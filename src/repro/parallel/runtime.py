@@ -1,0 +1,142 @@
+"""Bulk-synchronous coordinator/worker runtime with time accounting."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.parallel.executor import Executor, SequentialExecutor
+from repro.partition.fragment import Fragment
+
+
+@dataclass(frozen=True)
+class RoundTiming:
+    """Timing of one BSP round."""
+
+    round_index: int
+    worker_times: tuple[float, ...]
+    coordinator_time: float
+
+    @property
+    def parallel_time(self) -> float:
+        """Simulated round time: slowest worker plus coordinator work."""
+        slowest = max(self.worker_times) if self.worker_times else 0.0
+        return slowest + self.coordinator_time
+
+    @property
+    def sequential_time(self) -> float:
+        """Total work of the round if it ran on one processor."""
+        return sum(self.worker_times) + self.coordinator_time
+
+    @property
+    def skew(self) -> float:
+        """``(max - min) / max`` of worker times (0 when perfectly even)."""
+        if not self.worker_times:
+            return 0.0
+        slowest = max(self.worker_times)
+        if slowest == 0:
+            return 0.0
+        return (slowest - min(self.worker_times)) / slowest
+
+
+@dataclass
+class RunTimings:
+    """Accumulated timings of a whole parallel run."""
+
+    rounds: list[RoundTiming] = field(default_factory=list)
+    wall_time: float = 0.0
+
+    @property
+    def simulated_parallel_time(self) -> float:
+        """Σ over rounds of (max worker time + coordinator time)."""
+        return sum(round_timing.parallel_time for round_timing in self.rounds)
+
+    @property
+    def sequential_time(self) -> float:
+        """Σ over rounds of (Σ worker times + coordinator time)."""
+        return sum(round_timing.sequential_time for round_timing in self.rounds)
+
+    @property
+    def speedup(self) -> float:
+        """Sequential / simulated-parallel time (≥ 1 for balanced work)."""
+        parallel = self.simulated_parallel_time
+        if parallel == 0:
+            return 1.0
+        return self.sequential_time / parallel
+
+    @property
+    def num_rounds(self) -> int:
+        """Number of BSP rounds executed."""
+        return len(self.rounds)
+
+    def max_worker_skew(self) -> float:
+        """Worst per-round worker-time skew (the paper reports ≤ 14.4%)."""
+        return max((round_timing.skew for round_timing in self.rounds), default=0.0)
+
+
+class BSPRuntime:
+    """Applies worker functions to fragments round by round.
+
+    Parameters
+    ----------
+    fragments:
+        The fragments produced by :func:`repro.partition.partition_graph`;
+        worker i holds ``fragments[i]`` for the whole run.
+    executor:
+        Execution backend; defaults to :class:`SequentialExecutor`.
+    """
+
+    def __init__(self, fragments: Sequence[Fragment], executor: Executor | None = None) -> None:
+        self.fragments = list(fragments)
+        self.executor = executor if executor is not None else SequentialExecutor()
+        self.timings = RunTimings()
+        self._run_started: float | None = None
+
+    @property
+    def num_workers(self) -> int:
+        """Number of workers (= fragments)."""
+        return len(self.fragments)
+
+    def start_run(self) -> None:
+        """Mark the start of the run for wall-clock accounting."""
+        self._run_started = time.perf_counter()
+        self.timings = RunTimings()
+
+    def finish_run(self) -> RunTimings:
+        """Close the run and return its timings."""
+        if self._run_started is not None:
+            self.timings.wall_time = time.perf_counter() - self._run_started
+            self._run_started = None
+        return self.timings
+
+    def run_round(
+        self,
+        worker_fn: Callable[[Fragment], object],
+        coordinator_fn: Callable[[list[object]], object] | None = None,
+    ) -> object:
+        """Run one BSP round.
+
+        *worker_fn* is applied to every fragment (the "computation" phase);
+        *coordinator_fn* receives the list of worker results (the "barrier
+        synchronisation" phase) and its return value is the round's result.
+        """
+        if self._run_started is None:
+            self.start_run()
+        tasks = [
+            (lambda fragment=fragment: worker_fn(fragment)) for fragment in self.fragments
+        ]
+        worker_results, durations = self.executor.run(tasks)
+        coordinator_started = time.perf_counter()
+        outcome: object = worker_results
+        if coordinator_fn is not None:
+            outcome = coordinator_fn(worker_results)
+        coordinator_elapsed = time.perf_counter() - coordinator_started
+        self.timings.rounds.append(
+            RoundTiming(
+                round_index=len(self.timings.rounds),
+                worker_times=tuple(durations),
+                coordinator_time=coordinator_elapsed,
+            )
+        )
+        return outcome

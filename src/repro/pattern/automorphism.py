@@ -1,0 +1,118 @@
+"""Isomorphism between rule patterns and automorphic grouping.
+
+DMine deduplicates GPARs generated independently by different workers; two
+GPARs are "automorphic" when their rule patterns PR are isomorphic under a
+mapping that preserves the designated nodes (paper Section 4.2).  The exact
+check is exponential, so :func:`group_automorphic` first filters pairs with
+the bisimulation necessary condition (Lemma 4) and the cheap canonical code.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.pattern.bisimulation import are_bisimilar
+from repro.pattern.canonical import canonical_code
+from repro.pattern.gpar import GPAR
+from repro.pattern.pattern import Pattern
+
+
+def are_isomorphic(first: Pattern, second: Pattern) -> bool:
+    """Designated-node-preserving isomorphism between two patterns.
+
+    Both patterns are copy-expanded first.  The mapping must send x to x and
+    y to y (when present), preserve node labels, and induce a bijection
+    between the edge sets with matching labels.
+    """
+    a = first.expanded()
+    b = second.expanded()
+    if a.num_nodes != b.num_nodes or a.num_edges != b.num_edges:
+        return False
+    if (a.y is None) != (b.y is None):
+        return False
+
+    b_nodes_by_label: dict[str, list] = {}
+    for node, label in b.node_items():
+        b_nodes_by_label.setdefault(label, []).append(node)
+    a_nodes = sorted(a.nodes(), key=lambda n: (n != a.x, n != a.y, str(n)))
+    b_edge_set = {(e.source, e.target, e.label) for e in b.edges()}
+    a_edges = a.edges()
+
+    def consistent(mapping: dict) -> bool:
+        for edge in a_edges:
+            if edge.source in mapping and edge.target in mapping:
+                if (mapping[edge.source], mapping[edge.target], edge.label) not in b_edge_set:
+                    return False
+        return True
+
+    def backtrack(index: int, mapping: dict, used: set) -> bool:
+        if index == len(a_nodes):
+            return True
+        node = a_nodes[index]
+        if node == a.x:
+            candidates = [b.x]
+        elif a.y is not None and node == a.y:
+            candidates = [b.y]
+        else:
+            candidates = b_nodes_by_label.get(a.label(node), [])
+        for candidate in candidates:
+            if candidate in used:
+                continue
+            if b.label(candidate) != a.label(node):
+                continue
+            mapping[node] = candidate
+            used.add(candidate)
+            if consistent(mapping) and backtrack(index + 1, mapping, used):
+                return True
+            used.discard(candidate)
+            del mapping[node]
+        return False
+
+    return backtrack(0, {}, set())
+
+
+def gpars_automorphic(first: GPAR, second: GPAR) -> bool:
+    """Whether two GPARs have the same consequent and isomorphic PR patterns."""
+    if first.consequent_label != second.consequent_label:
+        return False
+    return are_isomorphic(first.pr_pattern(), second.pr_pattern())
+
+
+def group_automorphic(
+    rules: Sequence[GPAR],
+    use_bisimulation_filter: bool = True,
+) -> list[list[GPAR]]:
+    """Partition *rules* into groups of pairwise-automorphic GPARs.
+
+    The bisimulation filter (Lemma 4: not bisimilar ⇒ not automorphic) and the
+    canonical-code filter cheaply reject most non-automorphic pairs before the
+    exponential exact check runs.
+    """
+    groups: list[list[GPAR]] = []
+    group_codes: list[str] = []
+    for rule in rules:
+        code = canonical_code(rule.pr_pattern())
+        placed = False
+        for index, group in enumerate(groups):
+            representative = group[0]
+            if rule.consequent_label != representative.consequent_label:
+                continue
+            if group_codes[index] != code:
+                continue
+            if use_bisimulation_filter and not are_bisimilar(
+                rule.pr_pattern(), representative.pr_pattern()
+            ):
+                continue
+            if gpars_automorphic(rule, representative):
+                group.append(rule)
+                placed = True
+                break
+        if not placed:
+            groups.append([rule])
+            group_codes.append(code)
+    return groups
+
+
+def deduplicate(rules: Iterable[GPAR]) -> list[GPAR]:
+    """Keep one representative GPAR per automorphism class, preserving order."""
+    return [group[0] for group in group_automorphic(list(rules))]

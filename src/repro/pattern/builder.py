@@ -1,0 +1,68 @@
+"""Fluent construction of patterns."""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.pattern.pattern import Pattern, PatternEdge
+
+
+class PatternBuilder:
+    """Incrementally assemble a :class:`Pattern`.
+
+    Example
+    -------
+    >>> q = (
+    ...     PatternBuilder()
+    ...     .node("x", "cust")
+    ...     .node("y", "restaurant")
+    ...     .edge("x", "y", "like")
+    ...     .designate(x="x", y="y")
+    ...     .build()
+    ... )
+    >>> q.num_edges
+    1
+    """
+
+    def __init__(self) -> None:
+        self._nodes: dict[Hashable, str] = {}
+        self._edges: list[PatternEdge] = []
+        self._copies: dict[Hashable, int] = {}
+        self._x: Hashable | None = None
+        self._y: Hashable | None = None
+
+    def node(self, node_id: Hashable, label: str, copies: int = 1) -> "PatternBuilder":
+        """Add a pattern node with optional copy count."""
+        self._nodes[node_id] = label
+        if copies > 1:
+            self._copies[node_id] = copies
+        return self
+
+    def edge(self, source: Hashable, target: Hashable, label: str) -> "PatternBuilder":
+        """Add a pattern edge (endpoints must have been declared)."""
+        self._edges.append(PatternEdge(source, target, label))
+        return self
+
+    def undirected_edge(self, a: Hashable, b: Hashable, label: str) -> "PatternBuilder":
+        """Add both directions of an edge (symmetric relations like friend)."""
+        self._edges.append(PatternEdge(a, b, label))
+        self._edges.append(PatternEdge(b, a, label))
+        return self
+
+    def designate(self, x: Hashable, y: Hashable | None = None) -> "PatternBuilder":
+        """Declare the designated node(s)."""
+        self._x = x
+        self._y = y
+        return self
+
+    def build(self) -> Pattern:
+        """Construct the pattern."""
+        if self._x is None:
+            raise ValueError("designate(x=...) must be called before build()")
+        return Pattern(
+            nodes=self._nodes,
+            edges=self._edges,
+            x=self._x,
+            y=self._y,
+            copies=self._copies,
+        )

@@ -1,0 +1,75 @@
+"""Pattern subsumption ``Q' ⊑ Q`` (paper Section 2.1).
+
+``Q'`` is subsumed by ``Q`` when ``(V'p, E'p)`` is a subgraph of
+``(Vp, Ep)`` and the labelling/copy functions of ``Q'`` are restrictions of
+those of ``Q``.  With our identity-based pattern nodes this is a direct
+containment check; a label-respecting embedding check is also provided for
+patterns built with different node ids.
+"""
+
+from __future__ import annotations
+
+from repro.pattern.pattern import Pattern
+
+
+def subsumes(bigger: Pattern, smaller: Pattern) -> bool:
+    """Whether ``smaller ⊑ bigger`` using shared node identities."""
+    for node, label in smaller.node_items():
+        if not bigger.has_node(node) or bigger.label(node) != label:
+            return False
+        if smaller.copy_count(node) > bigger.copy_count(node):
+            return False
+    bigger_edges = set(bigger.edges())
+    return all(edge in bigger_edges for edge in smaller.edges())
+
+
+def embeds(bigger: Pattern, smaller: Pattern) -> bool:
+    """Whether *smaller* has a label-preserving embedding into *bigger*.
+
+    This relaxes :func:`subsumes` to patterns whose node ids differ; it runs a
+    small backtracking search (patterns have a handful of nodes) over the
+    copy-expanded patterns and requires designated nodes to map to designated
+    nodes.
+    """
+    small = smaller.expanded()
+    big = bigger.expanded()
+    small_nodes = list(small.nodes())
+    big_nodes = list(big.nodes())
+
+    def candidates(node):
+        if node == small.x:
+            return [big.x]
+        if small.y is not None and node == small.y:
+            return [big.y] if big.y is not None else []
+        return [
+            candidate
+            for candidate in big_nodes
+            if big.label(candidate) == small.label(node)
+        ]
+
+    big_edges = set(big.edges())
+
+    def backtrack(index: int, mapping: dict) -> bool:
+        if index == len(small_nodes):
+            return True
+        node = small_nodes[index]
+        for candidate in candidates(node):
+            if candidate in mapping.values():
+                continue
+            mapping[node] = candidate
+            consistent = True
+            for edge in small.edges():
+                if edge.source in mapping and edge.target in mapping:
+                    mapped = (mapping[edge.source], mapping[edge.target], edge.label)
+                    if not any(
+                        e.source == mapped[0] and e.target == mapped[1] and e.label == mapped[2]
+                        for e in big_edges
+                    ):
+                        consistent = False
+                        break
+            if consistent and backtrack(index + 1, mapping):
+                return True
+            del mapping[node]
+        return False
+
+    return backtrack(0, {})

@@ -1,0 +1,34 @@
+"""Deterministic random-number-generator plumbing.
+
+All stochastic code in the library (synthetic graph generators, workload
+generators, partition tie-breaking) accepts either an integer seed, an
+existing :class:`random.Random`, or ``None``; :func:`ensure_rng` normalises
+those into a :class:`random.Random` instance so results are reproducible
+whenever a seed is supplied.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def ensure_rng(seed_or_rng: int | random.Random | None = None) -> random.Random:
+    """Return a :class:`random.Random` for *seed_or_rng*.
+
+    Parameters
+    ----------
+    seed_or_rng:
+        ``None`` for a fresh unseeded generator, an ``int`` seed for a
+        deterministic generator, or an existing :class:`random.Random`
+        which is returned unchanged.
+    """
+    if seed_or_rng is None:
+        return random.Random()
+    if isinstance(seed_or_rng, random.Random):
+        return seed_or_rng
+    if isinstance(seed_or_rng, bool) or not isinstance(seed_or_rng, int):
+        raise TypeError(
+            "seed_or_rng must be None, an int seed, or a random.Random, "
+            f"got {type(seed_or_rng).__name__}"
+        )
+    return random.Random(seed_or_rng)

@@ -1,0 +1,37 @@
+"""Argument-validation helpers.
+
+These raise :class:`ValueError`/:class:`TypeError` with consistent messages;
+library-level errors (graph/pattern/mining) use :mod:`repro.exceptions`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def require_positive(value: float, name: str) -> None:
+    """Raise :class:`ValueError` unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+
+
+def require_non_negative(value: float, name: str) -> None:
+    """Raise :class:`ValueError` unless ``value >= 0``."""
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+
+
+def require_in_range(value: float, name: str, low: float, high: float) -> None:
+    """Raise :class:`ValueError` unless ``low <= value <= high``."""
+    if not (low <= value <= high):
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+
+
+def require_type(value: Any, name: str, expected: type | tuple[type, ...]) -> None:
+    """Raise :class:`TypeError` unless *value* is an instance of *expected*."""
+    if not isinstance(value, expected):
+        if isinstance(expected, tuple):
+            names = ", ".join(t.__name__ for t in expected)
+        else:
+            names = expected.__name__
+        raise TypeError(f"{name} must be of type {names}, got {type(value).__name__}")

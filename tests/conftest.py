@@ -1,0 +1,118 @@
+"""Shared fixtures: the paper's example graphs/rules and small social graphs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    example7_graph,
+    example7_rule_r2,
+    googleplus_like,
+    graph_g1,
+    graph_g2,
+    most_frequent_predicates,
+    pokec_like,
+    rule_r1,
+    rule_r4,
+    rule_r5,
+    rule_r6,
+    rule_r7,
+    rule_r8,
+    visit_french_predicate,
+)
+
+
+@pytest.fixture(scope="session")
+def g1():
+    """The restaurant-recommendation graph G1 (Fig. 2 left)."""
+    return graph_g1()
+
+
+@pytest.fixture(scope="session")
+def g2():
+    """The fake-account graph G2 (Fig. 2 right)."""
+    return graph_g2()
+
+
+@pytest.fixture(scope="session")
+def g_ecuador():
+    """The Example 6/7 graph."""
+    return example7_graph()
+
+
+@pytest.fixture(scope="session")
+def r1():
+    return rule_r1()
+
+
+@pytest.fixture(scope="session")
+def r2():
+    return example7_rule_r2()
+
+
+@pytest.fixture(scope="session")
+def r4():
+    return rule_r4()
+
+
+@pytest.fixture(scope="session")
+def r5():
+    return rule_r5()
+
+
+@pytest.fixture(scope="session")
+def r6():
+    return rule_r6()
+
+
+@pytest.fixture(scope="session")
+def r7():
+    return rule_r7()
+
+
+@pytest.fixture(scope="session")
+def r8():
+    return rule_r8()
+
+
+@pytest.fixture(scope="session")
+def g1_rules(r1, r5, r6, r7, r8):
+    """The five visit-predicate rules used throughout the paper's examples."""
+    return [r1, r5, r6, r7, r8]
+
+
+@pytest.fixture(scope="session")
+def visit_predicate():
+    return visit_french_predicate()
+
+
+@pytest.fixture(scope="session")
+def small_pokec():
+    """A small Pokec-like graph for integration tests."""
+    return pokec_like(num_users=120, num_communities=6, seed=3)
+
+
+@pytest.fixture(scope="session")
+def small_googleplus():
+    """A small Google+-like graph for integration tests."""
+    return googleplus_like(num_users=120, num_circles=6, seed=3)
+
+
+@pytest.fixture(scope="session")
+def pokec_book_predicate(small_pokec):
+    """The planted like_book(user, "personal development") predicate."""
+    for predicate in most_frequent_predicates(small_pokec, top=20):
+        edge = predicate.edges()[0]
+        if edge.label == "like_book" and predicate.label(predicate.y) == "personal development":
+            return predicate
+    raise RuntimeError("planted predicate missing from the Pokec-like generator")
+
+
+@pytest.fixture(scope="session")
+def googleplus_major_predicate(small_googleplus):
+    """The planted major(user, "Computer Science") predicate."""
+    for predicate in most_frequent_predicates(small_googleplus, top=20):
+        edge = predicate.edges()[0]
+        if edge.label == "major" and predicate.label(predicate.y) == "Computer Science":
+            return predicate
+    raise RuntimeError("planted predicate missing from the Google+-like generator")

@@ -1,0 +1,148 @@
+"""Tests for isomorphism grouping, bisimulation and canonical codes."""
+
+import pytest
+
+from repro.pattern import (
+    GPAR,
+    Pattern,
+    are_bisimilar,
+    are_isomorphic,
+    canonical_code,
+    group_automorphic,
+)
+from repro.pattern.automorphism import deduplicate, gpars_automorphic
+
+
+def _rule(nodes, edges, x="x", y="y", consequent="visit", name="R"):
+    return GPAR(Pattern(nodes, edges, x=x, y=y), consequent, name=name, validate=False)
+
+
+@pytest.fixture
+def rule_a():
+    return _rule(
+        {"x": "cust", "f": "cust", "y": "restaurant"},
+        [("x", "f", "friend"), ("f", "y", "visit")],
+    )
+
+
+@pytest.fixture
+def rule_a_renamed():
+    """Same structure as rule_a but with different internal node ids."""
+    return _rule(
+        {"x": "cust", "buddy": "cust", "y": "restaurant"},
+        [("x", "buddy", "friend"), ("buddy", "y", "visit")],
+    )
+
+
+@pytest.fixture
+def rule_b():
+    """Different structure: the friend edge points the other way."""
+    return _rule(
+        {"x": "cust", "f": "cust", "y": "restaurant"},
+        [("f", "x", "friend"), ("f", "y", "visit")],
+    )
+
+
+class TestIsomorphism:
+    def test_renamed_patterns_are_isomorphic(self, rule_a, rule_a_renamed):
+        assert are_isomorphic(rule_a.pr_pattern(), rule_a_renamed.pr_pattern())
+        assert gpars_automorphic(rule_a, rule_a_renamed)
+
+    def test_different_structure_not_isomorphic(self, rule_a, rule_b):
+        assert not are_isomorphic(rule_a.pr_pattern(), rule_b.pr_pattern())
+
+    def test_designated_nodes_must_correspond(self):
+        first = Pattern(
+            {"x": "cust", "f": "cust"}, [("x", "f", "friend")], x="x", y=None
+        )
+        second = Pattern(
+            {"x": "cust", "f": "cust"}, [("x", "f", "friend")], x="f", y=None
+        )
+        assert not are_isomorphic(first, second)
+
+    def test_copy_expansion_respected(self, r1):
+        # The same rule compared against itself must of course be isomorphic,
+        # including the expansion of its 3-copies node.
+        assert are_isomorphic(r1.pr_pattern(), r1.pr_pattern())
+
+    def test_size_mismatch_fast_reject(self, rule_a):
+        bigger = _rule(
+            {"x": "cust", "f": "cust", "g": "cust", "y": "restaurant"},
+            [("x", "f", "friend"), ("f", "g", "friend"), ("f", "y", "visit")],
+        )
+        assert not are_isomorphic(rule_a.pr_pattern(), bigger.pr_pattern())
+
+    def test_different_consequent_not_automorphic(self, rule_a):
+        other = _rule(
+            {"x": "cust", "f": "cust", "y": "restaurant"},
+            [("x", "f", "friend"), ("f", "y", "visit")],
+            consequent="like",
+        )
+        assert not gpars_automorphic(rule_a, other)
+
+
+class TestBisimulation:
+    def test_renamed_patterns_are_bisimilar(self, rule_a, rule_a_renamed):
+        assert are_bisimilar(rule_a.pr_pattern(), rule_a_renamed.pr_pattern())
+
+    def test_non_bisimilar_implies_non_automorphic(self, rule_a, rule_b):
+        """Lemma 4: if not bisimilar then not automorphic."""
+        if not are_bisimilar(rule_a.pr_pattern(), rule_b.pr_pattern()):
+            assert not are_isomorphic(rule_a.pr_pattern(), rule_b.pr_pattern())
+
+    def test_label_mismatch_not_bisimilar(self, rule_a):
+        other = _rule(
+            {"x": "cust", "f": "city", "y": "restaurant"},
+            [("x", "f", "friend"), ("f", "y", "visit")],
+        )
+        assert not are_bisimilar(rule_a.pr_pattern(), other.pr_pattern())
+
+    def test_bisimilar_but_not_isomorphic(self):
+        """Bisimulation is coarser than isomorphism (copy counts collapse)."""
+        one = Pattern(
+            {"x": "cust", "r": "restaurant"}, [("x", "r", "like")], x="x"
+        )
+        two = Pattern(
+            {"x": "cust", "r1": "restaurant", "r2": "restaurant"},
+            [("x", "r1", "like"), ("x", "r2", "like")],
+            x="x",
+        )
+        assert are_bisimilar(one, two)
+        assert not are_isomorphic(one, two)
+
+
+class TestCanonicalCode:
+    def test_same_code_for_renamed(self, rule_a, rule_a_renamed):
+        assert canonical_code(rule_a.pr_pattern()) == canonical_code(
+            rule_a_renamed.pr_pattern()
+        )
+
+    def test_different_code_for_different_structure(self, rule_a, rule_b):
+        assert canonical_code(rule_a.pr_pattern()) != canonical_code(rule_b.pr_pattern())
+
+    def test_code_is_deterministic(self, r1):
+        assert canonical_code(r1.pr_pattern()) == canonical_code(r1.pr_pattern())
+
+
+class TestGrouping:
+    def test_group_automorphic(self, rule_a, rule_a_renamed, rule_b):
+        groups = group_automorphic([rule_a, rule_a_renamed, rule_b])
+        assert len(groups) == 2
+        sizes = sorted(len(group) for group in groups)
+        assert sizes == [1, 2]
+
+    def test_group_without_bisimulation_filter(self, rule_a, rule_a_renamed, rule_b):
+        groups = group_automorphic(
+            [rule_a, rule_a_renamed, rule_b], use_bisimulation_filter=False
+        )
+        assert len(groups) == 2
+
+    def test_deduplicate_keeps_one_per_group(self, rule_a, rule_a_renamed, rule_b):
+        unique = deduplicate([rule_a, rule_a_renamed, rule_b])
+        assert len(unique) == 2
+        assert unique[0] is rule_a
+
+    def test_grouping_paper_rules(self, g1_rules):
+        groups = group_automorphic(list(g1_rules))
+        # The five paper rules are pairwise non-automorphic.
+        assert len(groups) == len(g1_rules)

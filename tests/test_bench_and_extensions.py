@@ -1,0 +1,112 @@
+"""Tests for the benchmark harness and the multi-predicate mining helpers."""
+
+import pytest
+
+from repro.bench import format_rows, print_series
+from repro.bench.harness import DMineRow, EIPRow, run_dmine_config, run_eip_config
+from repro.bench.workloads import eip_workload, mining_workload, synthetic_mining_workload
+from repro.datasets import most_frequent_predicates
+from repro.mining import DMineConfig, dmine_auto, dmine_for_predicates
+
+
+class TestReporting:
+    def test_format_rows_aligns_columns(self):
+        rows = [
+            {"dataset": "pokec", "n": 2, "time": 1.5},
+            {"dataset": "googleplus", "n": 16, "time": 0.25},
+        ]
+        text = format_rows(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "dataset" in lines[0]
+        assert "googleplus" in lines[3]
+
+    def test_format_rows_empty(self):
+        assert format_rows([]) == "(no rows)"
+
+    def test_format_rows_accepts_dataclasses(self):
+        row = EIPRow(
+            dataset="pokec", algorithm="match", parameter="n", value=4,
+            simulated_parallel_time=0.5, wall_time=1.0, identified=10,
+            candidates_examined=100,
+        )
+        assert "match" in format_rows([row])
+
+    def test_print_series_smoke(self, capsys):
+        print_series("demo", [{"a": 1}])
+        captured = capsys.readouterr()
+        assert "demo" in captured.out
+
+
+class TestWorkloads:
+    def test_mining_workload_datasets(self):
+        for dataset in ("pokec", "googleplus", "synthetic"):
+            graph, predicate = mining_workload(dataset, scale=120 if dataset != "synthetic" else 300)
+            assert graph.num_nodes > 0
+            assert predicate.num_edges == 1
+
+    def test_mining_workload_is_cached(self):
+        first = mining_workload("pokec", scale=120)
+        second = mining_workload("pokec", scale=120)
+        assert first[0] is second[0]
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError):
+            mining_workload("twitter")
+
+    def test_eip_workload_rules_share_predicate(self):
+        graph, rules = eip_workload("pokec", num_rules=4, scale=120, seed=3)
+        assert len(rules) == 4
+        signatures = {(r.x_label, r.consequent_label, r.y_label) for r in rules}
+        assert len(signatures) == 1
+
+    def test_synthetic_workload_size(self):
+        graph, predicate = synthetic_mining_workload(300, 900)
+        assert graph.num_nodes == 300
+        assert graph.num_edges == 900
+
+
+class TestHarnessRunners:
+    def test_run_dmine_config_row(self):
+        graph, predicate = mining_workload("pokec", scale=120)
+        row = run_dmine_config(
+            "pokec", graph, predicate, num_workers=2, sigma=6,
+            optimized=True, parameter="n", value=2,
+            max_edges=1, max_extensions_per_rule=5, max_rules_per_round=10,
+        )
+        assert isinstance(row, DMineRow)
+        assert row.algorithm == "DMine"
+        assert row.simulated_parallel_time >= 0
+        assert row.as_dict()["n"] == 2
+
+    def test_run_eip_config_row(self):
+        graph, rules = eip_workload("pokec", num_rules=3, scale=120, seed=3)
+        row = run_eip_config(
+            "pokec", graph, rules, num_workers=2, algorithm="match",
+            parameter="n", value=2,
+        )
+        assert isinstance(row, EIPRow)
+        assert row.identified >= 0
+        assert row.as_dict()["algorithm"] == "match"
+
+
+class TestMultiPredicateMining:
+    def test_dmine_for_predicates(self, g1, visit_predicate):
+        config = DMineConfig(
+            k=2, d=1, sigma=1, num_workers=2, max_edges=1,
+            max_extensions_per_rule=6, max_rules_per_round=10,
+        )
+        results = dmine_for_predicates(g1, [visit_predicate, visit_predicate], config)
+        # Duplicate predicates are mined once.
+        assert len(results) == 1
+        assert results[visit_predicate].top_k
+
+    def test_dmine_auto_uses_frequent_predicates(self, g1):
+        config = DMineConfig(
+            k=2, d=1, sigma=1, num_workers=2, max_edges=1,
+            max_extensions_per_rule=5, max_rules_per_round=10,
+        )
+        results = dmine_auto(g1, config, top_predicates=2)
+        assert len(results) == 2
+        frequent = most_frequent_predicates(g1, top=2)
+        assert set(results) == set(frequent)

@@ -1,0 +1,68 @@
+"""End-to-end tests of the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_predicate, build_parser, main
+
+
+@pytest.fixture(scope="module")
+def graph_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "graph.json"
+    exit_code = main(
+        ["generate", "--kind", "pokec", "--users", "120", "--seed", "3", "--out", str(path)]
+    )
+    assert exit_code == 0
+    return path
+
+
+class TestParsing:
+    def test_parse_predicate(self):
+        predicate = _parse_predicate("user:like_book:personal development")
+        assert predicate.label("x") == "user"
+        assert predicate.label("y") == "personal development"
+        assert predicate.edges()[0].label == "like_book"
+
+    def test_parse_predicate_rejects_malformed(self):
+        with pytest.raises(Exception):
+            _parse_predicate("user:like_book")
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_generate_writes_json(self, graph_file):
+        assert graph_file.exists()
+        assert '"label": "user"' in graph_file.read_text()
+
+    def test_generate_synthetic(self, tmp_path):
+        out = tmp_path / "syn.json"
+        assert main(["generate", "--kind", "synthetic", "--users", "50", "--out", str(out)]) == 0
+        assert out.exists()
+
+    def test_mine_prints_rules(self, graph_file, capsys):
+        exit_code = main(
+            [
+                "mine", str(graph_file),
+                "--predicate", "user:like_book:personal development",
+                "-k", "2", "-d", "1", "--sigma", "4", "--workers", "2", "--max-edges", "1",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "F(Lk)" in output
+        assert "=> like_book(x, y)" in output
+
+    def test_identify_prints_summary(self, graph_file, capsys):
+        exit_code = main(
+            [
+                "identify", str(graph_file),
+                "--predicate", "user:like_book:personal development",
+                "--rules", "3", "--eta", "1.0", "--workers", "2", "--max-edges", "3",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "potential customers" in output
+        assert "first identified entities" in output

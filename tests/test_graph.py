@@ -1,0 +1,253 @@
+"""Unit tests for the property-graph substrate."""
+
+import pytest
+
+from repro.exceptions import EdgeNotFoundError, GraphError, NodeNotFoundError
+from repro.graph import Graph, GraphBuilder
+
+
+@pytest.fixture
+def toy() -> Graph:
+    graph = Graph(name="toy")
+    graph.add_node("a", "cust")
+    graph.add_node("b", "cust")
+    graph.add_node("r", "restaurant")
+    graph.add_edge("a", "b", "friend")
+    graph.add_edge("b", "a", "friend")
+    graph.add_edge("a", "r", "visit")
+    graph.add_edge("a", "r", "like")
+    return graph
+
+
+class TestNodes:
+    def test_add_and_count(self, toy):
+        assert toy.num_nodes == 3
+        assert len(toy) == 3
+        assert set(toy.nodes()) == {"a", "b", "r"}
+
+    def test_labels(self, toy):
+        assert toy.node_label("a") == "cust"
+        assert toy.node_label("r") == "restaurant"
+
+    def test_contains(self, toy):
+        assert "a" in toy
+        assert "zzz" not in toy
+        assert toy.has_node("b")
+
+    def test_readd_same_label_is_idempotent(self, toy):
+        toy.add_node("a", "cust")
+        assert toy.num_nodes == 3
+
+    def test_readd_different_label_fails(self, toy):
+        with pytest.raises(GraphError):
+            toy.add_node("a", "restaurant")
+
+    def test_unknown_node_label_raises(self, toy):
+        with pytest.raises(NodeNotFoundError):
+            toy.node_label("missing")
+
+    def test_attrs_roundtrip(self):
+        graph = Graph()
+        graph.add_node("k", "keyword", {"text": "claim a prize"})
+        assert graph.node_attrs("k") == {"text": "claim a prize"}
+        assert graph.node_attrs("k") is not None
+
+    def test_attrs_default_empty(self, toy):
+        assert toy.node_attrs("a") == {}
+
+    def test_attrs_unknown_node(self, toy):
+        with pytest.raises(NodeNotFoundError):
+            toy.node_attrs("nope")
+
+    def test_node_items(self, toy):
+        assert dict(toy.node_items())["a"] == "cust"
+
+    def test_remove_node_removes_incident_edges(self, toy):
+        toy_copy = toy.copy()
+        toy_copy.remove_node("a")
+        assert not toy_copy.has_node("a")
+        assert toy_copy.num_edges == 0
+
+    def test_remove_unknown_node(self, toy):
+        with pytest.raises(NodeNotFoundError):
+            toy.remove_node("ghost")
+
+
+class TestEdges:
+    def test_add_and_count(self, toy):
+        assert toy.num_edges == 4
+        assert toy.size == 3 + 4
+
+    def test_duplicate_edge_not_added(self, toy):
+        assert toy.add_edge("a", "b", "friend") is False
+        assert toy.num_edges == 4
+
+    def test_parallel_edges_different_labels(self, toy):
+        assert toy.has_edge("a", "r", "visit")
+        assert toy.has_edge("a", "r", "like")
+        assert toy.edge_labels_between("a", "r") == {"visit", "like"}
+
+    def test_has_edge_any_label(self, toy):
+        assert toy.has_edge("a", "r")
+        assert not toy.has_edge("r", "a")
+
+    def test_edge_to_missing_node(self, toy):
+        with pytest.raises(NodeNotFoundError):
+            toy.add_edge("a", "ghost", "friend")
+        with pytest.raises(NodeNotFoundError):
+            toy.add_edge("ghost", "a", "friend")
+
+    def test_edges_iteration(self, toy):
+        edges = {(e.source, e.target, e.label) for e in toy.edges()}
+        assert ("a", "b", "friend") in edges
+        assert len(edges) == 4
+
+    def test_remove_edge(self, toy):
+        toy_copy = toy.copy()
+        toy_copy.remove_edge("a", "r", "like")
+        assert not toy_copy.has_edge("a", "r", "like")
+        assert toy_copy.has_edge("a", "r", "visit")
+        assert toy_copy.num_edges == 3
+
+    def test_remove_missing_edge(self, toy):
+        with pytest.raises(EdgeNotFoundError):
+            toy.remove_edge("a", "r", "hates")
+
+    def test_edge_label_counts(self, toy):
+        counts = toy.edge_label_counts()
+        assert counts["friend"] == 2
+        assert counts["visit"] == 1
+
+    def test_reversed_edge(self, toy):
+        edge = next(iter(toy.out_edges("a")))
+        assert edge.reversed().target == edge.source
+
+
+class TestAdjacency:
+    def test_out_neighbors(self, toy):
+        assert toy.out_neighbors("a") == {"b", "r"}
+        assert toy.out_neighbors("a", "visit") == {"r"}
+        assert toy.out_neighbors("a", "unknown-label") == set()
+
+    def test_in_neighbors(self, toy):
+        assert toy.in_neighbors("r") == {"a"}
+        assert toy.in_neighbors("a", "friend") == {"b"}
+
+    def test_neighbors_undirected(self, toy):
+        assert toy.neighbors("a") == {"b", "r"}
+        assert toy.neighbors("r") == {"a"}
+
+    def test_degrees(self, toy):
+        assert toy.out_degree("a") == 3
+        assert toy.in_degree("a") == 1
+        assert toy.degree("a") == 4
+        assert toy.out_degree("a", "friend") == 1
+
+    def test_degree_of_missing_node(self, toy):
+        with pytest.raises(NodeNotFoundError):
+            toy.out_degree("missing")
+        with pytest.raises(NodeNotFoundError):
+            toy.in_neighbors("missing")
+
+    def test_has_out_edge_labeled(self, toy):
+        assert toy.has_out_edge_labeled("a", "visit")
+        assert not toy.has_out_edge_labeled("b", "visit")
+
+    def test_in_out_edges(self, toy):
+        assert {e.label for e in toy.out_edges("a")} == {"friend", "visit", "like"}
+        assert {e.source for e in toy.in_edges("r")} == {"a"}
+
+
+class TestLabelIndex:
+    def test_nodes_with_label(self, toy):
+        assert toy.nodes_with_label("cust") == {"a", "b"}
+        assert toy.nodes_with_label("missing") == set()
+
+    def test_count_nodes_with_label(self, toy):
+        assert toy.count_nodes_with_label("cust") == 2
+
+    def test_label_sets(self, toy):
+        assert toy.node_labels() == {"cust", "restaurant"}
+        assert toy.edge_labels() == {"friend", "visit", "like"}
+
+    def test_node_label_counts(self, toy):
+        assert toy.node_label_counts() == {"cust": 2, "restaurant": 1}
+
+    def test_label_index_updated_on_removal(self, toy):
+        toy_copy = toy.copy()
+        toy_copy.remove_node("r")
+        assert toy_copy.nodes_with_label("restaurant") == set()
+        assert "restaurant" not in toy_copy.node_labels()
+
+
+class TestDerivedGraphs:
+    def test_copy_is_structurally_equal(self, toy):
+        clone = toy.copy()
+        assert clone.structure_equal(toy)
+        clone.add_node("z", "cust")
+        assert not clone.structure_equal(toy)
+
+    def test_copy_is_independent(self, toy):
+        clone = toy.copy()
+        clone.remove_edge("a", "b", "friend")
+        assert toy.has_edge("a", "b", "friend")
+
+    def test_induced_subgraph_keeps_internal_edges(self, toy):
+        sub = toy.induced_subgraph({"a", "b"})
+        assert sub.num_nodes == 2
+        assert sub.has_edge("a", "b", "friend")
+        assert sub.has_edge("b", "a", "friend")
+        assert not sub.has_node("r")
+
+    def test_induced_subgraph_missing_node(self, toy):
+        with pytest.raises(NodeNotFoundError):
+            toy.induced_subgraph({"a", "ghost"})
+
+    def test_descendants(self, toy):
+        assert toy.descendants("b") == {"a", "r"}
+        assert toy.descendants("r") == set()
+
+    def test_structure_equal_rejects_non_graph(self, toy):
+        assert toy.structure_equal(object()) is False
+
+    def test_repr_mentions_counts(self, toy):
+        assert "nodes=3" in repr(toy)
+
+
+class TestGraphBuilder:
+    def test_fluent_build(self):
+        graph = (
+            GraphBuilder("b")
+            .node("x", "cust")
+            .edge("x", "y", "visit", target_label="restaurant")
+            .build()
+        )
+        assert graph.num_nodes == 2
+        assert graph.has_edge("x", "y", "visit")
+
+    def test_undirected_edge(self):
+        graph = (
+            GraphBuilder()
+            .node("a", "cust")
+            .node("b", "cust")
+            .undirected_edge("a", "b", "friend")
+            .build()
+        )
+        assert graph.has_edge("a", "b", "friend")
+        assert graph.has_edge("b", "a", "friend")
+
+    def test_bulk_nodes_and_edges(self):
+        graph = (
+            GraphBuilder()
+            .nodes([("a", "cust"), ("b", "cust")])
+            .edges([("a", "b", "friend")])
+            .build()
+        )
+        assert graph.num_edges == 1
+
+    def test_builder_reset_after_build(self):
+        builder = GraphBuilder("x").node("a", "cust")
+        first = builder.build()
+        second = builder.build()
+        assert first.num_nodes == 1
+        assert second.num_nodes == 0

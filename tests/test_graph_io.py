@@ -1,0 +1,77 @@
+"""Serialisation round-trips for graphs."""
+
+import pytest
+
+from repro.graph import (
+    Graph,
+    graph_from_dict,
+    graph_to_dict,
+    load_edge_list,
+    load_graph_json,
+    save_edge_list,
+    save_graph_json,
+)
+
+
+@pytest.fixture
+def sample() -> Graph:
+    graph = Graph(name="sample")
+    graph.add_node("u1", "user", {"age": 30})
+    graph.add_node("u2", "user")
+    graph.add_node("c", "city")
+    graph.add_edge("u1", "u2", "follow")
+    graph.add_edge("u1", "c", "live_in")
+    graph.add_edge("u2", "c", "live_in")
+    return graph
+
+
+class TestDictRoundTrip:
+    def test_roundtrip_preserves_structure(self, sample):
+        rebuilt = graph_from_dict(graph_to_dict(sample))
+        assert rebuilt.structure_equal(sample)
+        assert rebuilt.name == "sample"
+
+    def test_roundtrip_preserves_attrs(self, sample):
+        rebuilt = graph_from_dict(graph_to_dict(sample))
+        assert rebuilt.node_attrs("u1") == {"age": 30}
+
+    def test_dict_shape(self, sample):
+        document = graph_to_dict(sample)
+        assert {node["id"] for node in document["nodes"]} == {"u1", "u2", "c"}
+        assert len(document["edges"]) == 3
+
+
+class TestJsonFiles:
+    def test_json_roundtrip(self, sample, tmp_path):
+        path = tmp_path / "graph.json"
+        save_graph_json(sample, path)
+        loaded = load_graph_json(path)
+        assert loaded.structure_equal(sample)
+
+    def test_json_file_is_readable_text(self, sample, tmp_path):
+        path = tmp_path / "graph.json"
+        save_graph_json(sample, path)
+        assert '"label": "user"' in path.read_text()
+
+
+class TestEdgeListFiles:
+    def test_edge_list_roundtrip(self, sample, tmp_path):
+        path = tmp_path / "graph.tsv"
+        save_edge_list(sample, path)
+        loaded = load_edge_list(path)
+        # Edge-list format stores endpoints as strings; structure must agree.
+        assert loaded.num_nodes == sample.num_nodes
+        assert loaded.num_edges == sample.num_edges
+        assert loaded.has_edge("u1", "u2", "follow")
+
+    def test_edge_list_skips_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "graph.tsv"
+        path.write_text("# comment\n\nu1\tuser\tu2\tuser\tfollow\n")
+        loaded = load_edge_list(path)
+        assert loaded.num_edges == 1
+
+    def test_edge_list_malformed_row(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("u1\tuser\tu2\n")
+        with pytest.raises(ValueError):
+            load_edge_list(path)

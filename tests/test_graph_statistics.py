@@ -1,0 +1,59 @@
+"""Tests for graph statistics and views."""
+
+import pytest
+
+from repro.graph import Graph, induced_subgraph, subgraph_from_edges, summarize
+from repro.graph.statistics import degree_histogram, most_frequent_edge_patterns
+from repro.graph.views import is_subgraph
+
+
+class TestSummaries:
+    def test_summarize_counts(self, g1):
+        summary = summarize(g1)
+        assert summary.num_nodes == g1.num_nodes
+        assert summary.num_edges == g1.num_edges
+        assert summary.num_node_labels == len(g1.node_labels())
+        assert summary.avg_out_degree == pytest.approx(g1.num_edges / g1.num_nodes)
+        assert "|V|" in summary.as_row()
+
+    def test_summarize_empty_graph(self):
+        summary = summarize(Graph(name="empty"))
+        assert summary.num_nodes == 0
+        assert summary.avg_out_degree == 0.0
+
+    def test_degree_histogram(self, g1):
+        histogram = degree_histogram(g1)
+        assert sum(histogram.values()) == g1.num_nodes
+        assert all(degree >= 0 for degree in histogram)
+
+    def test_most_frequent_edge_patterns(self, g1):
+        patterns = most_frequent_edge_patterns(g1, top=3)
+        assert len(patterns) == 3
+        counts = [count for *_rest, count in patterns]
+        assert counts == sorted(counts, reverse=True)
+        top = patterns[0]
+        assert top[3] >= patterns[-1][3]
+
+
+class TestViews:
+    def test_induced_subgraph_function(self, g1):
+        sub = induced_subgraph(g1, ["cust1", "cust2", "LeBernardin"])
+        assert sub.num_nodes == 3
+        assert sub.has_edge("cust1", "cust2", "friend")
+        assert sub.has_edge("cust1", "LeBernardin", "visit")
+
+    def test_subgraph_from_edges(self, g1):
+        sub = subgraph_from_edges(g1, [("cust1", "LeBernardin", "visit")])
+        assert sub.num_nodes == 2
+        assert sub.num_edges == 1
+
+    def test_subgraph_from_edges_rejects_missing_edge(self, g1):
+        with pytest.raises(ValueError):
+            subgraph_from_edges(g1, [("cust1", "LeBernardin", "hates")])
+
+    def test_is_subgraph(self, g1):
+        sub = induced_subgraph(g1, ["cust1", "cust2"])
+        assert is_subgraph(sub, g1)
+        other = Graph()
+        other.add_node("cust1", "restaurant")
+        assert not is_subgraph(other, g1)

@@ -1,0 +1,297 @@
+"""Tests for the subgraph-isomorphism matchers.
+
+The VF2-style matcher is checked against a brute-force oracle on small
+graphs; the guided matcher and the locality/multi-pattern wrappers are
+checked for agreement with the VF2 matcher on the paper's graphs.
+"""
+
+from itertools import permutations
+
+import pytest
+
+from repro.datasets import graph_g1
+from repro.graph import Graph
+from repro.matching import (
+    GuidedMatcher,
+    LocalityMatcher,
+    MultiPatternMatcher,
+    VF2Matcher,
+    adjacency_profile,
+    label_candidates,
+    profile_satisfies,
+    required_profile,
+)
+from repro.matching.base import build_search_plan
+from repro.matching.candidates import degree_consistent
+from repro.exceptions import MatchingError
+from repro.pattern import Pattern, PatternBuilder
+
+
+def brute_force_match_set(graph: Graph, pattern: Pattern) -> set:
+    """Oracle: try every injective assignment of pattern nodes to data nodes."""
+    expanded = pattern.expanded()
+    pattern_nodes = list(expanded.nodes())
+    data_nodes = list(graph.nodes())
+    matches = set()
+    if len(pattern_nodes) > len(data_nodes):
+        return matches
+    for assignment in permutations(data_nodes, len(pattern_nodes)):
+        mapping = dict(zip(pattern_nodes, assignment))
+        if any(graph.node_label(mapping[u]) != expanded.label(u) for u in pattern_nodes):
+            continue
+        if all(
+            graph.has_edge(mapping[e.source], mapping[e.target], e.label)
+            for e in expanded.edges()
+        ):
+            matches.add(mapping[expanded.x])
+    return matches
+
+
+@pytest.fixture
+def tiny_graph() -> Graph:
+    graph = Graph(name="tiny")
+    for node, label in (
+        ("a", "cust"),
+        ("b", "cust"),
+        ("c", "cust"),
+        ("r1", "restaurant"),
+        ("r2", "restaurant"),
+    ):
+        graph.add_node(node, label)
+    graph.add_edge("a", "b", "friend")
+    graph.add_edge("b", "a", "friend")
+    graph.add_edge("b", "c", "friend")
+    graph.add_edge("a", "r1", "visit")
+    graph.add_edge("b", "r1", "visit")
+    graph.add_edge("b", "r2", "like")
+    graph.add_edge("c", "r2", "visit")
+    return graph
+
+
+@pytest.fixture
+def friend_visit_pattern() -> Pattern:
+    return (
+        PatternBuilder()
+        .node("x", "cust")
+        .node("f", "cust")
+        .node("y", "restaurant")
+        .edge("x", "f", "friend")
+        .edge("f", "y", "visit")
+        .designate(x="x", y="y")
+        .build()
+    )
+
+
+class TestSearchPlan:
+    def test_plan_starts_at_anchor(self, friend_visit_pattern):
+        plan = build_search_plan(friend_visit_pattern, "x")
+        assert plan.order[0] == "x"
+        assert len(plan.order) == 3
+        # Every later node connects to already-placed ones.
+        assert all(plan.connections[i] for i in range(1, 3))
+
+    def test_plan_unknown_anchor(self, friend_visit_pattern):
+        with pytest.raises(MatchingError):
+            build_search_plan(friend_visit_pattern, "ghost")
+
+    def test_plan_handles_disconnected_pattern(self):
+        pattern = Pattern(
+            nodes={"x": "cust", "y": "restaurant"}, edges=[], x="x", y="y"
+        )
+        plan = build_search_plan(pattern, "x")
+        assert len(plan.order) == 2
+        assert plan.connections[1] == []
+
+
+class TestCandidates:
+    def test_label_candidates(self, tiny_graph, friend_visit_pattern):
+        assert label_candidates(tiny_graph, friend_visit_pattern, "y") == {"r1", "r2"}
+
+    def test_required_profile(self, friend_visit_pattern):
+        profile = required_profile(friend_visit_pattern, "f")
+        assert profile[("out", "visit", "restaurant")] == 1
+        assert profile[("in", "friend", "cust")] == 1
+
+    def test_adjacency_profile_and_satisfaction(self, tiny_graph, friend_visit_pattern):
+        needed = required_profile(friend_visit_pattern, "f")
+        assert profile_satisfies(adjacency_profile(tiny_graph, "b"), needed)
+        # A restaurant node has neither the friend in-edge nor a visit out-edge.
+        assert not profile_satisfies(adjacency_profile(tiny_graph, "r1"), needed)
+
+    def test_degree_consistent(self, tiny_graph, friend_visit_pattern):
+        assert degree_consistent(tiny_graph, "a", friend_visit_pattern, "x")
+        assert not degree_consistent(tiny_graph, "r1", friend_visit_pattern, "x")
+
+
+@pytest.mark.parametrize("matcher_factory", [VF2Matcher, GuidedMatcher])
+class TestAnchoredMatching:
+    def test_match_set_against_oracle(self, matcher_factory, tiny_graph, friend_visit_pattern):
+        matcher = matcher_factory()
+        expected = brute_force_match_set(tiny_graph, friend_visit_pattern)
+        assert matcher.match_set(tiny_graph, friend_visit_pattern) == expected
+
+    def test_find_match_at_returns_valid_mapping(
+        self, matcher_factory, tiny_graph, friend_visit_pattern
+    ):
+        matcher = matcher_factory()
+        mapping = matcher.find_match_at(tiny_graph, friend_visit_pattern, "a")
+        assert mapping is not None
+        assert mapping["x"] == "a"
+        assert tiny_graph.has_edge(mapping["x"], mapping["f"], "friend")
+        assert tiny_graph.has_edge(mapping["f"], mapping["y"], "visit")
+        assert len(set(mapping.values())) == len(mapping)
+
+    def test_no_match_for_wrong_label(self, matcher_factory, tiny_graph, friend_visit_pattern):
+        matcher = matcher_factory()
+        assert matcher.find_match_at(tiny_graph, friend_visit_pattern, "r1") is None
+
+    def test_no_match_for_unknown_node(self, matcher_factory, tiny_graph, friend_visit_pattern):
+        matcher = matcher_factory()
+        assert not matcher.exists_match_at(tiny_graph, friend_visit_pattern, "ghost")
+
+    def test_injectivity_enforced(self, matcher_factory):
+        """Two pattern nodes with the same label need two distinct data nodes."""
+        graph = Graph()
+        graph.add_node("x", "cust")
+        graph.add_node("r", "restaurant")
+        graph.add_edge("x", "r", "like")
+        pattern = (
+            PatternBuilder()
+            .node("x", "cust")
+            .node("r", "restaurant", copies=2)
+            .edge("x", "r", "like")
+            .designate(x="x")
+            .build()
+        )
+        matcher = matcher_factory()
+        assert matcher.match_set(graph, pattern) == set()
+
+    def test_copies_matched_on_paper_graph(self, matcher_factory, r1):
+        matcher = matcher_factory()
+        matches = matcher.match_set(graph_g1(), r1.pr_pattern())
+        assert matches == {"cust1", "cust2", "cust3"}
+
+    def test_edge_label_must_match(self, matcher_factory, tiny_graph):
+        pattern = (
+            PatternBuilder()
+            .node("x", "cust")
+            .node("y", "restaurant")
+            .edge("x", "y", "hates")
+            .designate(x="x", y="y")
+            .build()
+        )
+        assert matcher_factory().match_set(tiny_graph, pattern) == set()
+
+    def test_disconnected_pattern_free_node(self, matcher_factory, tiny_graph):
+        pattern = Pattern(
+            nodes={"x": "cust", "other": "restaurant"}, edges=[], x="x", y="other"
+        )
+        matcher = matcher_factory()
+        # Every cust matches: some restaurant exists somewhere.
+        assert matcher.match_set(tiny_graph, pattern) == {"a", "b", "c"}
+
+    def test_statistics_counters_move(self, matcher_factory, tiny_graph, friend_visit_pattern):
+        matcher = matcher_factory()
+        matcher.match_set(tiny_graph, friend_visit_pattern)
+        assert matcher.statistics.candidates_considered > 0
+        matcher.reset_statistics()
+        assert matcher.statistics.candidates_considered == 0
+
+
+class TestFullEnumeration:
+    def test_find_all_counts_distinct_mappings(self, tiny_graph, friend_visit_pattern):
+        matcher = VF2Matcher()
+        mappings = matcher.find_all(tiny_graph, friend_visit_pattern)
+        keys = {tuple(sorted(m.items(), key=lambda kv: str(kv[0]))) for m in mappings}
+        assert len(keys) == len(mappings)
+        assert {m["x"] for m in mappings} == brute_force_match_set(
+            tiny_graph, friend_visit_pattern
+        )
+
+    def test_find_all_limit(self, tiny_graph, friend_visit_pattern):
+        matcher = VF2Matcher()
+        assert len(matcher.find_all(tiny_graph, friend_visit_pattern, limit=1)) == 1
+
+    def test_guided_iter_matches_agree_with_vf2(self, tiny_graph, friend_visit_pattern):
+        vf2_anchors = {
+            m["x"] for m in VF2Matcher().find_all(tiny_graph, friend_visit_pattern)
+        }
+        guided_anchors = {
+            m["x"] for m in GuidedMatcher().find_all(tiny_graph, friend_visit_pattern)
+        }
+        assert vf2_anchors == guided_anchors
+
+
+class TestGuidedSpecifics:
+    def test_sketch_pruning_counts(self, tiny_graph, friend_visit_pattern):
+        matcher = GuidedMatcher(use_sketch_pruning=True)
+        matcher.match_set(tiny_graph, friend_visit_pattern)
+        # Pruning may or may not trigger on this tiny graph, but the counter
+        # must never be negative and caches must be populated.
+        assert matcher.statistics.sketch_prunes >= 0
+        matcher.clear_caches()
+
+    def test_invalid_sketch_hops(self):
+        with pytest.raises(ValueError):
+            GuidedMatcher(sketch_hops=0)
+
+    def test_pruning_disabled_agrees(self, g1, r7):
+        with_pruning = GuidedMatcher(use_sketch_pruning=True)
+        without_pruning = GuidedMatcher(use_sketch_pruning=False)
+        assert with_pruning.match_set(g1, r7.pr_pattern()) == without_pruning.match_set(
+            g1, r7.pr_pattern()
+        )
+
+
+class TestLocalityMatcher:
+    def test_agrees_with_global_when_radius_sufficient(self, g1, r7):
+        local = LocalityMatcher(VF2Matcher(), radius=2)
+        globally = VF2Matcher()
+        assert local.match_set(g1, r7.pr_pattern()) == globally.match_set(
+            g1, r7.pr_pattern()
+        )
+
+    def test_unknown_anchor_returns_none(self, g1, r7):
+        local = LocalityMatcher(VF2Matcher(), radius=2)
+        assert local.find_match_at(g1, r7.pr_pattern(), "ghost") is None
+
+    def test_radius_defaults_to_pattern_radius(self, g1, r1):
+        local = LocalityMatcher(VF2Matcher(), radius=None)
+        assert local.match_set(g1, r1.pr_pattern()) == {"cust1", "cust2", "cust3"}
+
+    def test_ball_cache_can_be_cleared(self, g1, r7):
+        local = LocalityMatcher(VF2Matcher(), radius=2)
+        local.match_set(g1, r7.pr_pattern())
+        local.clear_caches()
+        assert local.match_set(g1, r7.pr_pattern()) == {"cust1", "cust2", "cust3"}
+
+
+class TestMultiPatternMatcher:
+    def test_match_sets_agree_with_individual(self, g1, g1_rules):
+        multi = MultiPatternMatcher(GuidedMatcher())
+        combined = multi.match_sets(g1, list(g1_rules))
+        single = VF2Matcher()
+        for rule in g1_rules:
+            assert combined[rule] == single.match_set(g1, rule.pr_pattern())
+
+    def test_profile_filter_only_prunes_impossible(self, g1, g1_rules):
+        with_filter = MultiPatternMatcher(VF2Matcher(), use_profile_filter=True)
+        without_filter = MultiPatternMatcher(VF2Matcher(), use_profile_filter=False)
+        assert with_filter.match_sets(g1, list(g1_rules)) == without_filter.match_sets(
+            g1, list(g1_rules)
+        )
+        assert with_filter.statistics.profile_prunes >= 0
+
+    def test_candidate_restriction(self, g1, r1):
+        multi = MultiPatternMatcher(VF2Matcher())
+        result = multi.match_sets(g1, [r1], candidates=["cust1", "cust5"])
+        assert result[r1] == {"cust1"}
+
+    def test_antecedent_match_sets(self, g1, r1):
+        multi = MultiPatternMatcher(VF2Matcher())
+        result = multi.antecedent_match_sets(g1, [r1])
+        assert result[r1] == {"cust1", "cust2", "cust3", "cust5"}
+
+    def test_empty_rule_list(self, g1):
+        multi = MultiPatternMatcher(VF2Matcher())
+        assert multi.match_sets(g1, []) == {}

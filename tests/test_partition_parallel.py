@@ -1,0 +1,148 @@
+"""Tests for graph fragmentation and the BSP runtime."""
+
+import pytest
+
+from repro.exceptions import PartitionError
+from repro.graph import ball
+from repro.parallel import BSPRuntime, RuleMessage, SequentialExecutor, ThreadPoolExecutorBackend
+from repro.partition import Fragment, fragmentation_report, partition_graph
+
+
+class TestPartitioner:
+    def test_every_center_owned_exactly_once(self, g1):
+        centers = g1.nodes_with_label("cust")
+        fragments = partition_graph(g1, 3, centers=centers, d=2, seed=0)
+        owned = [node for fragment in fragments for node in fragment.owned_centers]
+        assert sorted(owned) == sorted(centers)
+        assert len(owned) == len(set(owned))
+
+    def test_d_ball_preserved_in_owning_fragment(self, g1):
+        """The defining property: Gd(vx) lives inside vx's fragment."""
+        centers = g1.nodes_with_label("cust")
+        for d in (1, 2):
+            fragments = partition_graph(g1, 3, centers=centers, d=d, seed=0)
+            for fragment in fragments:
+                for center in fragment.owned_centers:
+                    for node in ball(g1, center, d):
+                        assert fragment.graph.has_node(node)
+
+    def test_fragment_edges_are_graph_edges(self, g1):
+        fragments = partition_graph(g1, 2, centers=g1.nodes_with_label("cust"), d=1, seed=0)
+        for fragment in fragments:
+            for edge in fragment.graph.edges():
+                assert g1.has_edge(edge.source, edge.target, edge.label)
+
+    def test_requested_number_of_fragments(self, g1):
+        fragments = partition_graph(g1, 5, centers=g1.nodes_with_label("cust"), d=1, seed=0)
+        assert len(fragments) == 5
+
+    def test_more_fragments_than_centers(self, g1):
+        fragments = partition_graph(g1, 10, centers=["cust1"], d=1, seed=0)
+        assert len(fragments) == 10
+        assert sum(len(fragment.owned_centers) for fragment in fragments) == 1
+
+    def test_invalid_arguments(self, g1):
+        with pytest.raises(PartitionError):
+            partition_graph(g1, 0, centers=["cust1"], d=1)
+        with pytest.raises(PartitionError):
+            partition_graph(g1, 2, centers=["cust1"], d=-1)
+        with pytest.raises(PartitionError):
+            partition_graph(g1, 2, centers=["ghost"], d=1)
+
+    def test_deterministic_for_fixed_seed(self, g1):
+        centers = g1.nodes_with_label("cust")
+        first = partition_graph(g1, 3, centers=centers, d=1, seed=7)
+        second = partition_graph(g1, 3, centers=centers, d=1, seed=7)
+        assert [f.owned_centers for f in first] == [f.owned_centers for f in second]
+
+    def test_balance_on_social_graph(self, small_pokec):
+        centers = small_pokec.nodes_with_label("user")
+        fragments = partition_graph(small_pokec, 4, centers=centers, d=1, seed=0)
+        report = fragmentation_report(small_pokec, fragments)
+        assert report.num_fragments == 4
+        assert report.max_size > 0
+        # Greedy balancing keeps the skew moderate (paper reports <= 14.4%).
+        assert report.skew <= 0.5
+        assert "fragments=4" in report.as_row()
+
+    def test_report_counts_replication(self, g1):
+        fragments = partition_graph(g1, 3, centers=g1.nodes_with_label("cust"), d=2, seed=0)
+        report = fragmentation_report(g1, fragments)
+        total_local = sum(fragment.graph.num_nodes for fragment in fragments)
+        assert report.replicated_nodes == total_local - len(
+            {node for fragment in fragments for node in fragment.graph.nodes()}
+        )
+
+    def test_empty_report(self, g1):
+        report = fragmentation_report(g1, [])
+        assert report.max_size == 0
+        assert report.skew == 0.0
+
+
+class TestExecutors:
+    def test_sequential_executor(self):
+        results, durations = SequentialExecutor().run([lambda: 1, lambda: 2])
+        assert results == [1, 2]
+        assert len(durations) == 2
+        assert all(duration >= 0 for duration in durations)
+
+    def test_thread_pool_executor(self):
+        backend = ThreadPoolExecutorBackend(max_workers=2)
+        results, durations = backend.run([lambda: "a", lambda: "b", lambda: "c"])
+        assert results == ["a", "b", "c"]
+        assert len(durations) == 3
+
+    def test_thread_pool_empty(self):
+        assert ThreadPoolExecutorBackend().run([]) == ([], [])
+
+
+class TestBSPRuntime:
+    def _fragments(self, g1):
+        return partition_graph(g1, 3, centers=g1.nodes_with_label("cust"), d=1, seed=0)
+
+    def test_round_applies_worker_to_every_fragment(self, g1):
+        runtime = BSPRuntime(self._fragments(g1))
+        sizes = runtime.run_round(lambda fragment: fragment.graph.num_nodes)
+        assert len(sizes) == 3
+        assert all(isinstance(size, int) for size in sizes)
+
+    def test_coordinator_phase(self, g1):
+        runtime = BSPRuntime(self._fragments(g1))
+        total = runtime.run_round(lambda fragment: fragment.graph.num_nodes, sum)
+        assert total == sum(f.graph.num_nodes for f in self._fragments(g1))
+
+    def test_timings_accumulate(self, g1):
+        runtime = BSPRuntime(self._fragments(g1))
+        runtime.start_run()
+        runtime.run_round(lambda fragment: fragment.graph.num_nodes)
+        runtime.run_round(lambda fragment: fragment.graph.num_edges)
+        timings = runtime.finish_run()
+        assert timings.num_rounds == 2
+        assert timings.simulated_parallel_time <= timings.sequential_time + 1e-9
+        assert timings.speedup >= 1.0
+        assert timings.wall_time > 0
+        assert 0.0 <= timings.max_worker_skew() <= 1.0
+
+    def test_round_timing_properties(self, g1):
+        runtime = BSPRuntime(self._fragments(g1))
+        runtime.run_round(lambda fragment: fragment.graph.num_nodes)
+        round_timing = runtime.timings.rounds[0]
+        assert round_timing.parallel_time == pytest.approx(
+            max(round_timing.worker_times) + round_timing.coordinator_time
+        )
+        assert round_timing.sequential_time >= round_timing.parallel_time
+
+    def test_num_workers(self, g1):
+        assert BSPRuntime(self._fragments(g1)).num_workers == 3
+
+
+class TestMessages:
+    def test_payload_size(self, r1):
+        message = RuleMessage(
+            rule=r1,
+            fragment_index=0,
+            rule_matches={"a", "b"},
+            antecedent_matches={"a", "b", "c"},
+            qbar_matches={"d"},
+        )
+        assert message.payload_size() == 7 + 2 + 3 + 1

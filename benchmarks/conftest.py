@@ -2,15 +2,17 @@
 
 Every benchmark module accumulates the rows of its figure/table and hands
 them to :func:`record_series` at module teardown; the series is printed and
-also written to ``benchmarks/results/<name>.txt`` so the regenerated
-"figure" survives pytest's output capturing.
+written to ``benchmarks/results/<name>.txt`` (the regenerated "figure",
+surviving pytest's output capturing) and to
+``benchmarks/results/BENCH_<name>.json`` — the machine-readable form the CI
+smoke job and future PRs use to track the perf trajectory.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
 
-from repro.bench import format_rows
+from repro.bench import format_rows, rows_as_json
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -20,4 +22,5 @@ def record_series(name: str, title: str, rows) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     text = f"== {title} ==\n{format_rows(rows)}\n"
     (RESULTS_DIR / f"{name}.txt").write_text(text)
+    (RESULTS_DIR / f"BENCH_{name}.json").write_text(rows_as_json(name, title, rows) + "\n")
     print("\n" + text)

@@ -1,14 +1,33 @@
-"""Single-configuration runners used by the benchmark modules."""
+"""Single-configuration runners used by the benchmark modules.
+
+Each runner executes one (algorithm, workload, backend) configuration and
+returns a measured row.  Rows carry both the *simulated* parallel time (the
+deterministic max-worker-plus-coordinator model the paper's scaling figures
+use) and the real wall-clock time; :func:`run_dmine_backends` /
+:func:`run_eip_backends` run the same configuration on several execution
+backends and annotate each row with its wall-clock speedup over the
+sequential baseline, turning the fig5 scalability figures from simulations
+into measurements.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import hashlib
+from dataclasses import dataclass, replace
+from typing import Iterable, Sequence
 
+from repro.bench.reporting import wall_speedups
 from repro.graph.graph import Graph
 from repro.identification import identify_entities
 from repro.mining import DMine, DMineConfig
+from repro.pattern.canonical import canonical_code
 from repro.pattern.gpar import GPAR
 from repro.pattern.pattern import Pattern
+
+
+def _digest(parts: Iterable[str]) -> str:
+    """Short content hash of a result, for cross-backend equivalence gates."""
+    return hashlib.sha1("\n".join(sorted(parts)).encode()).hexdigest()[:12]
 
 
 @dataclass(frozen=True)
@@ -24,18 +43,29 @@ class DMineRow:
     rules_discovered: int
     candidates_generated: int
     objective: float
+    backend: str = "sequential"
+    wall_speedup: float | None = None
+    # Content hash of the mined rule set (structure + support + confidence);
+    # two rows with equal fingerprints mined *the same rules*, not merely
+    # the same number of rules.
+    fingerprint: str = ""
 
     def as_dict(self) -> dict:
-        return {
+        row = {
             "dataset": self.dataset,
             "algorithm": self.algorithm,
             self.parameter: self.value,
+            "backend": self.backend,
             "sim_parallel_s": round(self.simulated_parallel_time, 3),
             "wall_s": round(self.wall_time, 3),
             "rules": self.rules_discovered,
             "candidates": self.candidates_generated,
             "F(Lk)": round(self.objective, 3),
+            "fingerprint": self.fingerprint,
         }
+        if self.wall_speedup is not None:
+            row["wall_speedup"] = round(self.wall_speedup, 2)
+        return row
 
 
 @dataclass(frozen=True)
@@ -50,17 +80,26 @@ class EIPRow:
     wall_time: float
     identified: int
     candidates_examined: int
+    backend: str = "sequential"
+    wall_speedup: float | None = None
+    # Content hash of the identified entities + per-rule confidences.
+    fingerprint: str = ""
 
     def as_dict(self) -> dict:
-        return {
+        row = {
             "dataset": self.dataset,
             "algorithm": self.algorithm,
             self.parameter: self.value,
+            "backend": self.backend,
             "sim_parallel_s": round(self.simulated_parallel_time, 3),
             "wall_s": round(self.wall_time, 3),
             "identified": self.identified,
             "checks": self.candidates_examined,
+            "fingerprint": self.fingerprint,
         }
+        if self.wall_speedup is not None:
+            row["wall_speedup"] = round(self.wall_speedup, 2)
+        return row
 
 
 # Benchmark-sized mining defaults: small enough that a full sweep finishes in
@@ -84,11 +123,19 @@ def run_dmine_config(
     optimized: bool = True,
     parameter: str = "n",
     value: object = None,
+    backend: str = "sequential",
+    executor_workers: int | None = None,
     **overrides,
 ) -> DMineRow:
     """Run one DMine / DMineno configuration and return its measured row."""
     settings = {**MINING_DEFAULTS, **overrides}
-    config = DMineConfig(num_workers=num_workers, sigma=sigma, **settings)
+    config = DMineConfig(
+        num_workers=num_workers,
+        sigma=sigma,
+        backend=backend,
+        executor_workers=executor_workers,
+        **settings,
+    )
     if not optimized:
         config = config.without_optimizations()
     result = DMine(config).mine(graph, predicate)
@@ -102,6 +149,11 @@ def run_dmine_config(
         rules_discovered=result.num_rules_discovered,
         candidates_generated=result.candidates_generated,
         objective=result.objective_value,
+        backend=config.backend,
+        fingerprint=_digest(
+            f"{canonical_code(rule.pr_pattern())}|{info.support}|{round(info.confidence, 9)}"
+            for rule, info in result.all_rules.items()
+        ),
     )
 
 
@@ -114,10 +166,18 @@ def run_eip_config(
     eta: float = 1.0,
     parameter: str = "n",
     value: object = None,
+    backend: str = "sequential",
+    executor_workers: int | None = None,
 ) -> EIPRow:
     """Run one Match / Matchc / disVF2 configuration and return its row."""
     result = identify_entities(
-        graph, list(rules), eta=eta, num_workers=num_workers, algorithm=algorithm
+        graph,
+        list(rules),
+        eta=eta,
+        num_workers=num_workers,
+        algorithm=algorithm,
+        backend=backend,
+        executor_workers=executor_workers,
     )
     return EIPRow(
         dataset=dataset,
@@ -128,4 +188,87 @@ def run_eip_config(
         wall_time=result.timings.wall_time,
         identified=len(result.identified),
         candidates_examined=result.candidates_examined,
+        backend=backend,
+        fingerprint=_digest(
+            [f"id:{entity}" for entity in map(str, result.identified)]
+            + [
+                f"{rule.name}|{round(confidence, 9)}"
+                for rule, confidence in result.rule_confidences.items()
+            ]
+        ),
     )
+
+
+def _annotate_speedups(rows: Sequence) -> list:
+    """Fill ``wall_speedup`` on *rows* relative to their sequential row."""
+    speedups = wall_speedups(rows)
+    return [replace(row, wall_speedup=speedups.get(row.backend)) for row in rows]
+
+
+def run_dmine_backends(
+    dataset: str,
+    graph: Graph,
+    predicate: Pattern,
+    num_workers: int,
+    sigma: int,
+    backends: Sequence[str] = ("sequential", "processes"),
+    executor_workers: int | None = None,
+    **overrides,
+) -> list[DMineRow]:
+    """Run one DMine configuration on several backends.
+
+    Returns one row per backend, each annotated with the real wall-clock
+    speedup over the sequential run (the sequential baseline is added
+    automatically when missing).
+    """
+    names = list(backends)
+    if "sequential" not in names:
+        names.insert(0, "sequential")
+    rows = [
+        run_dmine_config(
+            dataset,
+            graph,
+            predicate,
+            num_workers,
+            sigma,
+            parameter="backend",
+            value=name,
+            backend=name,
+            executor_workers=executor_workers,
+            **overrides,
+        )
+        for name in names
+    ]
+    return _annotate_speedups(rows)
+
+
+def run_eip_backends(
+    dataset: str,
+    graph: Graph,
+    rules: tuple[GPAR, ...],
+    num_workers: int,
+    algorithm: str,
+    eta: float = 1.0,
+    backends: Sequence[str] = ("sequential", "processes"),
+    executor_workers: int | None = None,
+) -> list[EIPRow]:
+    """Run one EIP configuration on several backends (see :func:`run_dmine_backends`)."""
+    names = list(backends)
+    if "sequential" not in names:
+        names.insert(0, "sequential")
+    rows = [
+        run_eip_config(
+            dataset,
+            graph,
+            rules,
+            num_workers,
+            algorithm,
+            eta=eta,
+            parameter="backend",
+            value=name,
+            backend=name,
+            executor_workers=executor_workers,
+        )
+        for name in names
+    ]
+    return _annotate_speedups(rows)

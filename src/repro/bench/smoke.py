@@ -1,0 +1,121 @@
+"""Benchmark smoke runner: one tiny fig5 workload per algorithm family.
+
+Used by the CI benchmark-smoke job to catch pickling and hang regressions in
+the execution backends without paying for a full fig5 sweep::
+
+    python -m repro.bench.smoke --family dmine --backend processes --workers 2
+    python -m repro.bench.smoke --family match --backend processes --workers 2
+
+Each run executes the configuration on the sequential baseline and on the
+requested backend, asserts the two produce identical results, prints the
+paper-style table and writes a machine-readable ``BENCH_smoke_<family>.json``
+(same row shape as ``benchmarks/results``) so successive CI runs can track
+the perf trajectory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.bench.harness import run_dmine_backends, run_eip_backends
+from repro.bench.reporting import format_rows, rows_as_json, wall_speedups
+from repro.bench.workloads import eip_workload, mining_workload
+from repro.parallel.executor import BACKENDS
+
+FAMILIES = ("dmine", "match")
+
+# Tiny-but-nontrivial smoke scales: seconds per family, not minutes.
+SMOKE_SCALE = 400
+SMOKE_SIGMA = 2
+SMOKE_RULES = 6
+
+
+def run_smoke(
+    family: str,
+    backend: str,
+    workers: int,
+    pool_size: int | None = None,
+    scale: int = SMOKE_SCALE,
+) -> list:
+    """Run the family's smoke workload on sequential + *backend*; return rows."""
+    if family == "dmine":
+        graph, predicate = mining_workload("synthetic", scale)
+        return run_dmine_backends(
+            "synthetic",
+            graph,
+            predicate,
+            num_workers=workers,
+            sigma=SMOKE_SIGMA,
+            backends=[backend],
+            executor_workers=pool_size,
+        )
+    if family == "match":
+        graph, rules = eip_workload("synthetic", num_rules=SMOKE_RULES, scale=scale)
+        return run_eip_backends(
+            "synthetic",
+            graph,
+            rules,
+            num_workers=workers,
+            algorithm="match",
+            eta=0.5,
+            backends=[backend],
+            executor_workers=pool_size,
+        )
+    raise ValueError(f"unknown family {family!r}; expected one of {FAMILIES}")
+
+
+def _check_equivalence(rows) -> None:
+    """The smoke's correctness gate: every backend must match sequential.
+
+    Compares the rows' content *fingerprints* (hash of the full rule set /
+    identified-entity set), so a backend returning different-but-same-sized
+    results fails loudly.
+    """
+    fingerprints = {row.backend: row.fingerprint for row in rows}
+    reference = fingerprints.get("sequential")
+    for backend, fingerprint in fingerprints.items():
+        if fingerprint != reference:
+            raise SystemExit(
+                f"backend {backend!r} diverged from sequential: "
+                f"result fingerprint {fingerprint} != {reference}"
+            )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench-smoke",
+        description="Tiny per-family benchmark smoke run for CI.",
+    )
+    parser.add_argument("--family", choices=list(FAMILIES), required=True)
+    parser.add_argument("--backend", choices=list(BACKENDS), default="processes")
+    parser.add_argument("--workers", type=int, default=2, help="fragments / BSP workers")
+    parser.add_argument("--pool-size", type=int, default=None, dest="pool_size")
+    parser.add_argument("--scale", type=int, default=SMOKE_SCALE, help="workload node count")
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="JSON output path (default BENCH_smoke_<family>.json in cwd)",
+    )
+    args = parser.parse_args(argv)
+
+    rows = run_smoke(args.family, args.backend, args.workers, args.pool_size, args.scale)
+    _check_equivalence(rows)
+
+    title = f"smoke {args.family} (n={args.workers}, backend={args.backend})"
+    print(f"== {title} ==")
+    print(format_rows(rows))
+    speedups = wall_speedups(rows)
+    if args.backend in speedups:
+        print(f"wall speedup ({args.backend} vs sequential): {speedups[args.backend]:.2f}x")
+
+    out = args.out if args.out is not None else Path(f"BENCH_smoke_{args.family}.json")
+    out.write_text(rows_as_json(f"smoke_{args.family}", title, rows) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,7 @@ from repro.datasets import generate_gpars, googleplus_like, pokec_like, syntheti
 from repro.graph.io import load_graph_json, save_graph_json
 from repro.identification import identify_entities
 from repro.mining import DMineConfig, dmine
+from repro.parallel.executor import BACKENDS
 from repro.pattern.pattern import Pattern, PatternEdge
 
 
@@ -71,12 +72,16 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         lam=args.diversification,
         num_workers=args.workers,
         max_edges=args.max_edges,
+        backend=args.backend,
+        executor_workers=args.pool_size,
     )
     result = dmine(graph, args.predicate, config)
     print(
         f"mined {result.num_rules_discovered} rules "
         f"({result.candidates_generated} candidates) in "
-        f"{result.rounds_executed} rounds; F(Lk) = {result.objective_value:.3f}"
+        f"{result.rounds_executed} rounds; F(Lk) = {result.objective_value:.3f} "
+        f"[backend={config.backend} wall={result.timings.wall_time:.3f}s "
+        f"sim={result.timings.simulated_parallel_time:.3f}s]"
     )
     for mined in result.top_k:
         print()
@@ -96,7 +101,13 @@ def _cmd_identify(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     result = identify_entities(
-        graph, rules, eta=args.eta, num_workers=args.workers, algorithm=args.algorithm
+        graph,
+        rules,
+        eta=args.eta,
+        num_workers=args.workers,
+        algorithm=args.algorithm,
+        backend=args.backend,
+        executor_workers=args.pool_size,
     )
     print(result.summary())
     preview = sorted(map(str, result.identified))[: args.show]
@@ -119,7 +130,9 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--out", type=Path, required=True, help="output JSON path")
     generate.set_defaults(handler=_cmd_generate)
 
-    mine = subparsers.add_parser("mine", help="mine diversified top-k GPARs (DMine)")
+    mine = subparsers.add_parser(
+        "mine", aliases=["dmine"], help="mine diversified top-k GPARs (DMine)"
+    )
     mine.add_argument("graph", type=Path, help="graph JSON produced by 'generate'")
     mine.add_argument("--predicate", type=_parse_predicate, required=True,
                       help="predicate as x_label:edge_label:y_label")
@@ -127,23 +140,46 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument("-d", type=int, default=2, help="maximum rule radius")
     mine.add_argument("--sigma", type=int, default=5, help="minimum support")
     mine.add_argument("--diversification", type=float, default=0.5, help="lambda in [0, 1]")
-    mine.add_argument("--workers", type=int, default=4)
+    mine.add_argument("--workers", type=int, default=4,
+                      help="number of fragments / BSP workers n")
     mine.add_argument("--max-edges", type=int, default=3, dest="max_edges")
+    _add_backend_arguments(mine)
     mine.set_defaults(handler=_cmd_mine)
 
-    identify = subparsers.add_parser("identify", help="identify potential customers (EIP)")
+    identify = subparsers.add_parser(
+        "identify", aliases=["match"], help="identify potential customers (EIP)"
+    )
     identify.add_argument("graph", type=Path)
     identify.add_argument("--predicate", type=_parse_predicate, required=True)
     identify.add_argument("--rules", type=int, default=6, help="size of the sampled rule set Σ")
     identify.add_argument("--eta", type=float, default=1.0, help="confidence bound")
     identify.add_argument("--algorithm", choices=["match", "matchc", "disvf2"], default="match")
-    identify.add_argument("--workers", type=int, default=4)
+    identify.add_argument("--workers", type=int, default=4,
+                          help="number of fragments / BSP workers n")
     identify.add_argument("-d", type=int, default=2)
     identify.add_argument("--max-edges", type=int, default=4, dest="max_edges")
     identify.add_argument("--seed", type=int, default=0)
     identify.add_argument("--show", type=int, default=10, help="how many identified entities to list")
+    _add_backend_arguments(identify)
     identify.set_defaults(handler=_cmd_identify)
     return parser
+
+
+def _add_backend_arguments(subparser: argparse.ArgumentParser) -> None:
+    """Execution-backend flags shared by the mine and identify subcommands."""
+    subparser.add_argument(
+        "--backend",
+        choices=list(BACKENDS),
+        default="sequential",
+        help="execution backend: 'processes' uses a persistent multi-core pool",
+    )
+    subparser.add_argument(
+        "--pool-size",
+        type=int,
+        default=None,
+        dest="pool_size",
+        help="thread/process pool size (default: min(workers, cpu count))",
+    )
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -68,6 +68,29 @@ class MiningError(ReproError):
     """Raised for invalid mining configurations (e.g. k < 1, d < 1)."""
 
 
+class ExecutorError(ReproError):
+    """Raised for invalid execution-backend requests (e.g. unknown backend)."""
+
+
+class WorkerError(ReproError):
+    """Raised when a worker task fails on any execution backend.
+
+    Carries the fragment id of the failing worker so coordinator-side code
+    (and CI logs) can attribute the failure; the original exception is
+    attached as ``__cause__`` when it was raised in the same process, or
+    summarised in *detail* when it crossed a process boundary.
+    """
+
+    def __init__(self, fragment_id, detail: str = ""):
+        super().__init__(fragment_id, detail)
+        self.fragment_id = fragment_id
+        self.detail = detail
+
+    def __str__(self) -> str:
+        suffix = f": {self.detail}" if self.detail else ""
+        return f"worker for fragment {self.fragment_id} failed{suffix}"
+
+
 class IdentificationError(ReproError):
     """Raised for invalid entity-identification requests."""
 

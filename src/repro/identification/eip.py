@@ -8,6 +8,7 @@ from typing import Hashable, Sequence
 
 from repro.exceptions import IdentificationError
 from repro.graph.graph import Graph
+from repro.parallel.executor import BACKENDS
 from repro.parallel.runtime import RunTimings
 from repro.pattern.gpar import GPAR
 
@@ -27,17 +28,34 @@ class EIPConfig:
         Number of fragments / processors n.
     seed:
         Partitioning tie-break seed.
+    backend:
+        Execution backend: ``"sequential"`` (default), ``"threads"`` or
+        ``"processes"`` (real multi-core parallelism).  All backends
+        produce identical matches.
+    executor_workers:
+        Pool size for the thread/process backends; ``None`` sizes the pool
+        to ``min(num_workers, cpu_count)``.
     """
 
     eta: float = 1.0
     num_workers: int = 4
     seed: int = 0
+    backend: str = "sequential"
+    executor_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.eta <= 0:
             raise IdentificationError(f"eta must be > 0, got {self.eta}")
         if self.num_workers < 1:
             raise IdentificationError(f"num_workers must be >= 1, got {self.num_workers}")
+        if self.backend not in BACKENDS:
+            raise IdentificationError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if self.executor_workers is not None and self.executor_workers < 1:
+            raise IdentificationError(
+                f"executor_workers must be >= 1, got {self.executor_workers}"
+            )
 
 
 @dataclass
@@ -93,13 +111,21 @@ def identify_entities(
     num_workers: int = 4,
     algorithm: str = "match",
     seed: int = 0,
+    backend: str = "sequential",
+    executor_workers: int | None = None,
 ) -> EIPResult:
     """Solve EIP with the named algorithm (``match``, ``matchc`` or ``disvf2``)."""
     from repro.identification.disvf2 import DisVF2
     from repro.identification.match import Match
     from repro.identification.matchc import MatchC
 
-    config = EIPConfig(eta=eta, num_workers=num_workers, seed=seed)
+    config = EIPConfig(
+        eta=eta,
+        num_workers=num_workers,
+        seed=seed,
+        backend=backend,
+        executor_workers=executor_workers,
+    )
     algorithms = {"match": Match, "matchc": MatchC, "disvf2": DisVF2}
     try:
         implementation = algorithms[algorithm.lower()]

@@ -24,12 +24,42 @@ from repro.matching.vf2 import VF2Matcher
 from repro.metrics.confidence import bayes_factor_confidence
 from repro.metrics.lcwa import predicate_stats_over
 from repro.identification.eip import EIPConfig, EIPResult, _shared_predicate
+from repro.parallel.executor import make_executor
 from repro.parallel.runtime import BSPRuntime
+from repro.parallel.worker import WorkerContext
 from repro.partition.fragment import Fragment
 from repro.partition.partitioner import partition_graph
 from repro.pattern.gpar import GPAR
 
 NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class VerifyPayload:
+    """Round payload of the matching step (coordinator → worker).
+
+    Ships the solver *class* (picklable by reference) plus its config so a
+    worker process can rebuild the solver — and through it the right matcher
+    — deterministically; the fragment itself never travels with the round.
+    """
+
+    solver_cls: type
+    config: EIPConfig
+    rules: tuple[GPAR, ...]
+    max_radius: int
+    predicate: object
+
+
+def verify_worker(context: WorkerContext, payload: VerifyPayload) -> "_FragmentReport":
+    """BSP worker function: verify one fragment's owned candidates."""
+    solver = payload.solver_cls(payload.config)
+    matcher = context.cached(
+        ("eip-matcher", payload.solver_cls, payload.config, payload.max_radius),
+        lambda: solver._make_matcher(payload.max_radius),
+    )
+    return solver._verify_fragment(
+        context.fragment, payload.rules, matcher, payload.predicate
+    )
 
 
 @dataclass
@@ -111,21 +141,27 @@ class MatchC:
             d=max_radius,
             seed=self.config.seed,
         )
-        runtime = BSPRuntime(fragments)
+        executor = make_executor(self.config.backend, self.config.executor_workers)
+        runtime = BSPRuntime(fragments, executor)
         runtime.start_run()
 
-        matchers = {
-            fragment.index: self._make_matcher(max_radius) for fragment in fragments
-        }
-
-        reports = runtime.run_round(
-            lambda fragment: self._verify_fragment(
-                fragment, rules, matchers[fragment.index], predicate
-            )
+        payload = VerifyPayload(
+            solver_cls=type(self),
+            config=self.config,
+            rules=tuple(rules),
+            max_radius=max_radius,
+            predicate=predicate,
         )
-
-        result = self._assemble(rules, reports)
-        result.timings = runtime.finish_run()
+        try:
+            reports = runtime.run_round(
+                verify_worker, [payload] * len(fragments)
+            )
+            # Assemble inside the timed window so wall_time keeps covering
+            # the coordinator's assembling phase, as it always has.
+            result = self._assemble(rules, reports)
+        finally:
+            timings = runtime.finish_run()
+        result.timings = timings
         return result
 
     def _assemble(self, rules: Sequence[GPAR], reports: Sequence[_FragmentReport]) -> EIPResult:

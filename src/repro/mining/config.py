@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.exceptions import MiningError
+from repro.parallel.executor import BACKENDS
 
 
 @dataclass(frozen=True)
@@ -50,6 +51,13 @@ class DMineConfig:
         Bisimulation prefilter before exact automorphism checks on/off.
     seed:
         Seed for partitioning tie-breaks.
+    backend:
+        Execution backend: ``"sequential"`` (default), ``"threads"`` or
+        ``"processes"`` (real multi-core parallelism via a persistent
+        worker pool).  All backends produce identical rule sets.
+    executor_workers:
+        Pool size for the thread/process backends; ``None`` sizes the pool
+        to ``min(num_workers, cpu_count)``.
     """
 
     k: int = 10
@@ -66,6 +74,8 @@ class DMineConfig:
     use_reduction_rules: bool = True
     use_bisimulation_filter: bool = True
     seed: int = 0
+    backend: str = "sequential"
+    executor_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -86,6 +96,14 @@ class DMineConfig:
             )
         if self.matcher not in ("guided", "vf2"):
             raise MiningError(f"matcher must be 'guided' or 'vf2', got {self.matcher!r}")
+        if self.backend not in BACKENDS:
+            raise MiningError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if self.executor_workers is not None and self.executor_workers < 1:
+            raise MiningError(
+                f"executor_workers must be >= 1, got {self.executor_workers}"
+            )
 
     @property
     def rounds(self) -> int:
@@ -109,4 +127,6 @@ class DMineConfig:
             use_reduction_rules=False,
             use_bisimulation_filter=False,
             seed=self.seed,
+            backend=self.backend,
+            executor_workers=self.executor_workers,
         )

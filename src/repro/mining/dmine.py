@@ -32,9 +32,16 @@ from repro.metrics.lcwa import predicate_stats
 from repro.mining.config import DMineConfig
 from repro.mining.diversify import greedy_diversify
 from repro.mining.incdiv import IncrementalDiversifier, RuleInfo
-from repro.mining.local_mine import LocalMiner, seed_rule
+from repro.mining.local_mine import evaluate_worker, propose_worker, seed_rule
 from repro.mining.reduction import apply_reduction_rules
-from repro.parallel.messages import RuleMessage
+from repro.parallel.executor import make_executor
+from repro.parallel.messages import (
+    EvaluatePayload,
+    Proposal,
+    ProposePayload,
+    RuleFocus,
+    RuleMessage,
+)
 from repro.parallel.runtime import BSPRuntime, RunTimings
 from repro.partition.partitioner import partition_graph
 from repro.pattern.automorphism import group_automorphic
@@ -110,88 +117,137 @@ class DMine:
             d=config.d,
             seed=config.seed,
         )
-        miners = [LocalMiner(fragment, predicate, config) for fragment in fragments]
-        runtime = BSPRuntime(fragments)
+        executor = make_executor(config.backend, config.executor_workers)
+        runtime = BSPRuntime(fragments, executor)
         runtime.start_run()
 
         diversifier = IncrementalDiversifier(objective, config.k)
         sigma: dict[GPAR, RuleInfo] = {}
         seen_codes: set[str] = set()
         message_set: list[GPAR] = [seed_rule(predicate)]
+        # Previous-round witness sets per (fragment index, rule): the
+        # coordinator keeps them so the workers can stay stateless across
+        # rounds (any pool process may serve any fragment).
+        witness: dict[tuple[int, GPAR], RuleMessage] = {}
         candidates_generated = 0
         candidates_pruned = 0
         rounds_executed = 0
 
-        for _round in range(config.rounds):
-            if not message_set:
-                break
-            rounds_executed += 1
+        try:
+            for _round in range(config.rounds):
+                if not message_set:
+                    break
+                rounds_executed += 1
+                rules = tuple(message_set)
 
-            # Half-round 1: propose extensions at every worker; the
-            # coordinator deduplicates them in the synchronisation phase.
-            def _dedup_phase(proposals_per_worker):
-                proposals = [
-                    rule for worker_rules in proposals_per_worker for rule in worker_rules
-                ]
-                return len(proposals), self._deduplicate(proposals, seen_codes)
-
-            proposed_count, representatives = runtime.run_round(
-                lambda fragment, rules=tuple(message_set): miners[fragment.index].propose(rules),
-                _dedup_phase,
-            )
-            candidates_generated += proposed_count
-            if not representatives:
-                break
-
-            # Half-round 2: evaluate the representatives at every worker; the
-            # coordinator assembles confidences, updates the top-k set and
-            # prunes Σ / ΔE — all accounted as coordinator time.
-            def _coordinate(messages_per_worker):
-                nonlocal sigma, candidates_pruned
-                delta = self._assemble(representatives, messages_per_worker, global_stats)
-                delta = {
-                    rule: info
-                    for rule, info in delta.items()
-                    if info.support >= config.sigma and not math.isinf(info.confidence)
-                }
-                sigma.update(delta)
-
-                if config.use_incremental_diversification:
-                    diversifier.update(delta, sigma)
-                else:
-                    # The "discover then diversify" behaviour of DMineno: the
-                    # top-k set is recomputed from scratch over the whole Σ at
-                    # every round instead of being maintained incrementally.
-                    greedy_diversify(sigma, config.k, objective)
-
-                if config.use_reduction_rules and config.use_incremental_diversification:
-                    outcome = apply_reduction_rules(
-                        sigma,
-                        delta,
-                        objective,
-                        diversifier.min_pair_score,
-                        protected=set(diversifier.top_k()),
+                # Half-round 1: propose extensions at every worker; the
+                # coordinator deduplicates them in the synchronisation phase.
+                propose_payloads = [
+                    ProposePayload(
+                        rules=rules,
+                        focus=tuple(
+                            self._focus_for(witness.get((fragment.index, rule)))
+                            for rule in rules
+                        ),
+                        predicate=predicate,
+                        config=config,
                     )
-                    sigma = outcome.sigma
-                    extendable = outcome.extendable
-                    candidates_pruned += outcome.pruned_sigma + outcome.pruned_delta
-                else:
-                    extendable = {rule: info for rule, info in delta.items() if info.extendable}
+                    for fragment in fragments
+                ]
+                proposals_per_worker: list[list[Proposal]] = []
 
-                # Beam: carry the most promising extendable rules into the
-                # next round (highest optimistic confidence, then support).
-                ranked = sorted(
-                    extendable.items(),
-                    key=lambda item: (-item[1].upper_confidence, -item[1].support),
+                def _dedup_phase(worker_results):
+                    proposals_per_worker.extend(worker_results)
+                    proposals = [
+                        proposal.rule
+                        for worker_proposals in worker_results
+                        for proposal in worker_proposals
+                    ]
+                    return len(proposals), self._deduplicate(proposals, seen_codes)
+
+                proposed_count, representatives = runtime.run_round(
+                    propose_worker, propose_payloads, _dedup_phase
                 )
-                return [rule for rule, _info in ranked[: config.max_rules_per_round]]
+                candidates_generated += proposed_count
+                if not representatives:
+                    break
 
-            message_set = runtime.run_round(
-                lambda fragment, rules=tuple(representatives): miners[fragment.index].evaluate(rules),
-                _coordinate,
-            )
+                # Half-round 2: evaluate the representatives at every worker;
+                # the coordinator assembles confidences, updates the top-k
+                # set and prunes Σ / ΔE — all accounted as coordinator time.
+                evaluate_payloads = [
+                    EvaluatePayload(
+                        rules=tuple(representatives),
+                        pools=self._inherited_pools(
+                            representatives,
+                            proposals_per_worker[position],
+                            rules,
+                            fragment.index,
+                            witness,
+                        ),
+                        predicate=predicate,
+                        config=config,
+                    )
+                    for position, fragment in enumerate(fragments)
+                ]
 
-        timings = runtime.finish_run()
+                def _coordinate(messages_per_worker):
+                    nonlocal sigma, candidates_pruned
+                    for worker_messages in messages_per_worker:
+                        for message in worker_messages:
+                            witness[(message.fragment_index, message.rule)] = message
+                    delta = self._assemble(representatives, messages_per_worker, global_stats)
+                    delta = {
+                        rule: info
+                        for rule, info in delta.items()
+                        if info.support >= config.sigma and not math.isinf(info.confidence)
+                    }
+                    sigma.update(delta)
+
+                    if config.use_incremental_diversification:
+                        diversifier.update(delta, sigma)
+                    else:
+                        # The "discover then diversify" behaviour of DMineno:
+                        # the top-k set is recomputed from scratch over the
+                        # whole Σ at every round instead of being maintained
+                        # incrementally.
+                        greedy_diversify(sigma, config.k, objective)
+
+                    if config.use_reduction_rules and config.use_incremental_diversification:
+                        outcome = apply_reduction_rules(
+                            sigma,
+                            delta,
+                            objective,
+                            diversifier.min_pair_score,
+                            protected=set(diversifier.top_k()),
+                        )
+                        sigma = outcome.sigma
+                        extendable = outcome.extendable
+                        candidates_pruned += outcome.pruned_sigma + outcome.pruned_delta
+                    else:
+                        extendable = {
+                            rule: info for rule, info in delta.items() if info.extendable
+                        }
+
+                    # Beam: carry the most promising extendable rules into the
+                    # next round (highest optimistic confidence, then support).
+                    ranked = sorted(
+                        extendable.items(),
+                        key=lambda item: (-item[1].upper_confidence, -item[1].support),
+                    )
+                    return [rule for rule, _info in ranked[: config.max_rules_per_round]]
+
+                message_set = runtime.run_round(
+                    evaluate_worker, evaluate_payloads, _coordinate
+                )
+                # Only the beam's rules are expanded next round; drop the rest
+                # of the witness state to bound coordinator memory.
+                carried = set(message_set)
+                witness = {
+                    key: message for key, message in witness.items() if key[1] in carried
+                }
+        finally:
+            timings = runtime.finish_run()
 
         if config.use_incremental_diversification:
             top_rules = diversifier.top_k()
@@ -228,6 +284,39 @@ class DMine:
         )
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _focus_for(message: RuleMessage | None) -> RuleFocus:
+        """Focus entry for one rule at one fragment from last round's message."""
+        if message is None:
+            return RuleFocus()
+        return RuleFocus(centers=frozenset(message.rule_matches))
+
+    @staticmethod
+    def _inherited_pools(
+        representatives: Sequence[GPAR],
+        proposals: Sequence[Proposal],
+        parent_rules: Sequence[GPAR],
+        fragment_index: int,
+        witness: dict[tuple[int, GPAR], RuleMessage],
+    ) -> tuple[frozenset | None, ...]:
+        """Per-representative candidate pools for one fragment's evaluation.
+
+        A representative inherits the antecedent match set of the parent it
+        was proposed from *at this fragment* (anti-monotonicity makes the
+        restriction lossless).  Fragments that proposed a structurally
+        different member of the representative's automorphism group — or
+        none at all — get ``None`` and fall back to their full candidate
+        set, exactly as the per-worker caches used to behave.
+        """
+        pool_by_rule: dict[GPAR, frozenset | None] = {}
+        for proposal in proposals:
+            parent = parent_rules[proposal.parent_index]
+            message = witness.get((fragment_index, parent))
+            pool_by_rule[proposal.rule] = (
+                frozenset(message.antecedent_matches) if message is not None else None
+            )
+        return tuple(pool_by_rule.get(rule) for rule in representatives)
+
     def _deduplicate(self, proposals: Sequence[GPAR], seen_codes: set[str]) -> list[GPAR]:
         """Group automorphic proposals and drop rules evaluated before.
 

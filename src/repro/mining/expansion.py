@@ -39,6 +39,17 @@ class _ExtensionKey:
     other_label: str | None = None
     outgoing: bool = True
 
+    def sort_key(self) -> tuple:
+        """A total order independent of hash seeds and process identity."""
+        return (
+            self.kind,
+            str(self.pattern_source),
+            str(self.pattern_target),
+            self.edge_label,
+            str(self.other_label),
+            self.outgoing,
+        )
+
 
 def _extension_keys_for_match(
     graph: Graph,
@@ -185,8 +196,14 @@ def candidate_extensions(
         for key in _extension_keys_for_match(graph, antecedent, mapping, q_label):
             votes[key] += 1
 
+    # Most-supported first with a *total* tie order: Counter.most_common
+    # breaks ties by insertion order, which follows set iteration and hence
+    # the per-process hash seed — sorting on the key itself keeps the
+    # max_extensions truncation identical on every execution backend
+    # (including spawn-based process pools).
+    ranked = sorted(votes.items(), key=lambda item: (-item[1], item[0].sort_key()))
     extensions: list[GPAR] = []
-    for key, _count in votes.most_common():
+    for key, _count in ranked:
         candidate = _apply_extension(rule, key, name=f"{rule.name}+")
         if candidate is None:
             continue

@@ -6,6 +6,16 @@ around its matched centre nodes, and (b) evaluates rules on its fragment,
 producing the ``<R, conf, flag>`` messages the coordinator assembles.
 All support counts are restricted to the fragment's *owned* centres, so the
 coordinator can sum them without double counting.
+
+The miner itself is **stateless across rounds**: everything it needs beyond
+its fragment arrives in the round payload (previous-round witness sets are
+tracked by the coordinator and shipped back as :class:`RuleFocus` entries).
+That makes the propose/evaluate steps pure functions of
+``(fragment, payload)``, which is what allows the process-pool backend to
+run any fragment's task in any worker process and still produce results
+identical to the sequential backend.  The module-level
+:func:`propose_worker` / :func:`evaluate_worker` functions are the picklable
+entry points handed to :class:`repro.parallel.runtime.BSPRuntime`.
 """
 
 from __future__ import annotations
@@ -18,7 +28,14 @@ from repro.matching.vf2 import VF2Matcher
 from repro.metrics.lcwa import predicate_stats_over
 from repro.mining.config import DMineConfig
 from repro.mining.expansion import candidate_extensions
-from repro.parallel.messages import RuleMessage
+from repro.parallel.messages import (
+    EvaluatePayload,
+    Proposal,
+    ProposePayload,
+    RuleFocus,
+    RuleMessage,
+)
+from repro.parallel.worker import WorkerContext
 from repro.partition.fragment import Fragment
 from repro.pattern.gpar import GPAR
 from repro.pattern.pattern import Pattern
@@ -51,7 +68,12 @@ def seed_rule(predicate: Pattern, name: str = "seed") -> GPAR:
 
 
 class LocalMiner:
-    """Per-fragment mining state and the propose/evaluate round steps."""
+    """Per-fragment mining state and the propose/evaluate round steps.
+
+    Construction is deterministic in ``(fragment, predicate, config)``, so a
+    worker process can rebuild an equivalent miner from scratch; the
+    instance carries no cross-round mutable state.
+    """
 
     def __init__(self, fragment: Fragment, predicate: Pattern, config: DMineConfig) -> None:
         self.fragment = fragment
@@ -66,14 +88,6 @@ class LocalMiner:
         )
         self.local_positives: set[NodeId] = set(stats.positives)
         self.local_negatives: set[NodeId] = set(stats.negatives)
-        # Cached antecedent/rule match sets from the previous evaluation,
-        # used to focus the next round's expansion on supporting centres.
-        self._last_rule_matches: dict[GPAR, set[NodeId]] = {}
-        # Candidate pool inherited from a rule's parent: by anti-monotonicity
-        # the antecedent matches of an extension are a subset of its parent's,
-        # so evaluation only needs to probe that subset.
-        self._inherited_pool: dict[GPAR, set[NodeId]] = {}
-        self._last_antecedent_matches: dict[GPAR, set[NodeId]] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -87,17 +101,26 @@ class LocalMiner:
         return len(self.local_negatives)
 
     # ------------------------------------------------------------------
-    def propose(self, rules: Sequence[GPAR]) -> list[GPAR]:
-        """Propose single-edge extensions for every rule in *rules*."""
-        proposals: list[GPAR] = []
-        for rule in rules:
-            if rule.antecedent.num_edges == 0:
+    def propose(
+        self, rules: Sequence[GPAR], focus: Sequence[RuleFocus] | None = None
+    ) -> list[Proposal]:
+        """Propose single-edge extensions for every rule in *rules*.
+
+        *focus* (parallel to *rules*) carries the previous round's witness
+        sets at this fragment: expansion starts from the centres that
+        matched the rule, and each proposal is tagged with its parent's index
+        so the coordinator can hand the evaluation the parent's anti-monotone
+        candidate pool.
+        """
+        proposals: list[Proposal] = []
+        for index, rule in enumerate(rules):
+            entry = focus[index] if focus is not None else RuleFocus()
+            if rule.antecedent.num_edges == 0 or entry.centers is None:
                 centers: set[NodeId] = set(self.local_positives)
             else:
-                centers = self._last_rule_matches.get(rule, set(self.local_positives))
+                centers = set(entry.centers)
             if not centers:
                 continue
-            parent_pool = self._last_antecedent_matches.get(rule, self.candidates)
             extensions = candidate_extensions(
                 self.fragment.graph,
                 rule,
@@ -106,20 +129,27 @@ class LocalMiner:
                 max_radius=self.config.d,
                 max_extensions=self.config.max_extensions_per_rule,
             )
-            for extension in extensions:
-                self._inherited_pool[extension] = set(parent_pool)
-            proposals.extend(extensions)
+            proposals.extend(Proposal(extension, index) for extension in extensions)
         return proposals
 
-    def evaluate(self, rules: Sequence[GPAR]) -> list[RuleMessage]:
-        """Evaluate *rules* on the fragment, producing one message per rule."""
+    def evaluate(
+        self, rules: Sequence[GPAR], pools: Sequence[frozenset | None] | None = None
+    ) -> list[RuleMessage]:
+        """Evaluate *rules* on the fragment, producing one message per rule.
+
+        *pools* (parallel to *rules*) restricts each rule's evaluation to the
+        inherited candidate pool — its parent's antecedent matches at this
+        fragment; by anti-monotonicity the restriction never changes the
+        result, only the work.  ``None`` entries fall back to the fragment's
+        full candidate set.
+        """
         messages: list[RuleMessage] = []
-        for rule in rules:
-            pool = self._inherited_pool.get(rule, self.candidates)
+        for index, rule in enumerate(rules):
+            inherited = pools[index] if pools is not None else None
+            pool = set(inherited) if inherited is not None else self.candidates
             antecedent_matches = self.matcher.match_set(
                 self.fragment.graph, rule.antecedent, candidates=pool
             )
-            self._last_antecedent_matches[rule] = set(antecedent_matches)
             rule_pool = antecedent_matches & self.local_positives
             rule_matches = self.matcher.match_set(
                 self.fragment.graph, rule.pr_pattern(), candidates=rule_pool
@@ -129,7 +159,6 @@ class LocalMiner:
                 bool(rule_matches)
                 and rule.antecedent.num_edges < self.config.max_edges
             )
-            self._last_rule_matches[rule] = set(rule_matches)
             messages.append(
                 RuleMessage(
                     rule=rule,
@@ -140,12 +169,35 @@ class LocalMiner:
                     supp_q=self.supp_q_local,
                     supp_q_bar=self.supp_q_bar_local,
                     extendable=extendable,
-                    rule_matches=set(rule_matches),
-                    antecedent_matches=set(antecedent_matches),
-                    qbar_matches=set(qbar_matches),
+                    rule_matches=frozenset(rule_matches),
+                    antecedent_matches=frozenset(antecedent_matches),
+                    qbar_matches=frozenset(qbar_matches),
                     # Anti-monotone upper bound on the support any extension
                     # of this rule can reach at this fragment.
                     upper_support=len(rule_matches),
                 )
             )
         return messages
+
+
+# ----------------------------------------------------------------------
+# Module-level worker entry points (picklable by reference).
+# ----------------------------------------------------------------------
+def miner_for(context: WorkerContext, predicate: Pattern, config: DMineConfig) -> LocalMiner:
+    """The context's cached :class:`LocalMiner` for (predicate, config)."""
+    return context.cached(
+        ("local-miner", predicate, config),
+        lambda: LocalMiner(context.fragment, predicate, config),
+    )
+
+
+def propose_worker(context: WorkerContext, payload: ProposePayload) -> list[Proposal]:
+    """BSP worker function for the propose half-round."""
+    miner = miner_for(context, payload.predicate, payload.config)
+    return miner.propose(payload.rules, payload.focus)
+
+
+def evaluate_worker(context: WorkerContext, payload: EvaluatePayload) -> list[RuleMessage]:
+    """BSP worker function for the evaluate half-round."""
+    miner = miner_for(context, payload.predicate, payload.config)
+    return miner.evaluate(payload.rules, payload.pools)

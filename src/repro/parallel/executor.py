@@ -1,64 +1,249 @@
 """Execution backends for the BSP runtime.
 
-The sequential executor is the default: it runs worker functions one after
-another while timing each, which is all the simulated-parallel-time model
-needs.  A thread-pool backend is provided for callers who want real
-concurrency (useful when worker functions release the GIL or do I/O); the
-algorithms are backend-agnostic.
+All backends share one contract: :meth:`Executor.start` receives the
+fragments once per run, :meth:`Executor.run` executes a batch of
+:class:`WorkerTask` descriptors — ``(worker_fn, fragment_id, payload)``, no
+closures over graphs — and :meth:`Executor.shutdown` releases any pooled
+resources.  Worker functions take ``(context, payload)`` where the
+:class:`~repro.parallel.worker.WorkerContext` persists across rounds.
+
+* :class:`SequentialExecutor` runs tasks one after another while timing
+  each, which is all the simulated-parallel-time model needs (default).
+* :class:`ThreadPoolExecutorBackend` gives real concurrency when worker
+  functions release the GIL or do I/O.
+* :class:`ProcessPoolExecutorBackend` gives real multi-core parallelism: a
+  persistent ``multiprocessing`` pool whose processes hold the fragments for
+  the whole run, so per-round messages stay small.  Worker functions must be
+  module-level (picklable by reference) and payloads picklable.
+
+Worker exceptions are wrapped in :class:`repro.exceptions.WorkerError`
+carrying the fragment id, on every backend.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+import sys
 import time
 from abc import ABC, abstractmethod
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from typing import Callable, Sequence
+
+from repro.exceptions import ExecutorError, WorkerError
+from repro.parallel.worker import TASK_OK, WorkerContext, init_worker, run_task
+from repro.partition.fragment import Fragment
+
+#: Names accepted by :func:`make_executor` (and the ``--backend`` CLI flag).
+BACKENDS = ("sequential", "threads", "processes")
+
+
+@dataclass(frozen=True)
+class WorkerTask:
+    """One unit of round work: apply *fn* to a fragment's context.
+
+    ``fn`` must be a module-level callable and ``payload`` picklable for the
+    process backend; the sequential and thread backends accept anything.
+    """
+
+    fn: Callable[[WorkerContext, object], object]
+    fragment_id: int
+    payload: object = None
 
 
 class Executor(ABC):
-    """Runs a batch of zero-argument tasks and reports per-task durations."""
+    """Runs batches of :class:`WorkerTask` and reports per-task durations."""
+
+    name = "abstract"
+
+    def start(self, fragments: Sequence[Fragment]) -> None:
+        """Receive the run's fragments; called once before the first round."""
+        self._contexts = {
+            fragment.index: WorkerContext(fragment) for fragment in fragments
+        }
+
+    def shutdown(self) -> None:
+        """Release pooled resources; called once after the last round."""
 
     @abstractmethod
-    def run(self, tasks: Sequence[Callable[[], object]]) -> tuple[list[object], list[float]]:
+    def run(self, tasks: Sequence[WorkerTask]) -> tuple[list[object], list[float]]:
         """Execute *tasks*; return (results, per-task elapsed seconds)."""
+
+    # -- shared helper for the in-process backends --------------------------
+    def _context(self, fragment_id: int) -> WorkerContext:
+        try:
+            return self._contexts[fragment_id]
+        except (AttributeError, KeyError):
+            raise ExecutorError(
+                f"unknown fragment id {fragment_id!r}; was start() called with the run's fragments?"
+            ) from None
+
+    def _run_in_process(self, task: WorkerTask) -> tuple[object, float]:
+        context = self._context(task.fragment_id)
+        started = time.perf_counter()
+        try:
+            result = task.fn(context, task.payload)
+        except Exception as exc:
+            raise WorkerError(task.fragment_id, f"{type(exc).__name__}: {exc}") from exc
+        return result, time.perf_counter() - started
 
 
 class SequentialExecutor(Executor):
     """Run tasks one at a time (default backend)."""
 
-    def run(self, tasks: Sequence[Callable[[], object]]) -> tuple[list[object], list[float]]:
+    name = "sequential"
+
+    def run(self, tasks: Sequence[WorkerTask]) -> tuple[list[object], list[float]]:
         results: list[object] = []
         durations: list[float] = []
         for task in tasks:
-            started = time.perf_counter()
-            results.append(task())
-            durations.append(time.perf_counter() - started)
+            result, elapsed = self._run_in_process(task)
+            results.append(result)
+            durations.append(elapsed)
         return results, durations
 
 
 class ThreadPoolExecutorBackend(Executor):
-    """Run tasks on a thread pool.
+    """Run tasks on a persistent thread pool.
 
-    Per-task durations are measured inside each task, so the simulated
-    parallel-time accounting stays meaningful even under real concurrency.
+    The pool is created by :meth:`start` and reused across every round of
+    the run (mirroring the process backend, so thread-vs-process wall-clock
+    comparisons pay the same lifecycle costs).  Per-task durations are
+    measured inside each task, so the simulated parallel-time accounting
+    stays meaningful even under real concurrency.  A worker exception is
+    re-raised as :class:`WorkerError` instead of being left behind as a
+    ``None`` result.
     """
+
+    name = "threads"
 
     def __init__(self, max_workers: int | None = None) -> None:
         self.max_workers = max_workers
+        self._pool: ThreadPoolExecutor | None = None
 
-    def run(self, tasks: Sequence[Callable[[], object]]) -> tuple[list[object], list[float]]:
-        results: list[object | None] = [None] * len(tasks)
-        durations: list[float] = [0.0] * len(tasks)
+    def start(self, fragments: Sequence[Fragment]) -> None:
+        super().start(fragments)
+        self.shutdown()
+        workers = self.max_workers
+        if workers is None:
+            workers = min(len(fragments) or 1, os.cpu_count() or 1)
+        self._pool = ThreadPoolExecutor(max_workers=max(1, workers))
 
-        def timed(index: int, task: Callable[[], object]) -> None:
-            started = time.perf_counter()
-            results[index] = task()
-            durations[index] = time.perf_counter() - started
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
 
+    def run(self, tasks: Sequence[WorkerTask]) -> tuple[list[object], list[float]]:
         if not tasks:
             return [], []
-        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-            futures = [pool.submit(timed, index, task) for index, task in enumerate(tasks)]
-            for future in futures:
-                future.result()
-        return list(results), durations
+        # Tolerate direct use without the start()/shutdown() lifecycle.
+        pool = self._pool if self._pool is not None else ThreadPoolExecutor(self.max_workers)
+        try:
+            futures = [pool.submit(self._run_in_process, task) for task in tasks]
+            outcomes = [future.result() for future in futures]
+        finally:
+            if pool is not self._pool:
+                pool.shutdown(wait=True)
+        return [result for result, _ in outcomes], [elapsed for _, elapsed in outcomes]
+
+
+def _default_start_method() -> str:
+    """``fork`` on Linux (cheap, no re-import), else ``spawn``.
+
+    macOS offers ``fork`` but CPython documents it as unsafe there (system
+    frameworks may deadlock in forked children), so everything that is not
+    Linux gets ``spawn``.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods and sys.platform.startswith("linux"):
+        return "fork"
+    return "spawn"
+
+
+class ProcessPoolExecutorBackend(Executor):
+    """Run tasks on a persistent multi-process pool (real parallelism).
+
+    The pool is created by :meth:`start` with the fragments shipped once via
+    the :func:`repro.parallel.worker.init_worker` initializer; it stays warm
+    until :meth:`shutdown`, so a multi-round BSP run pays the fork/pickle
+    cost once rather than per round.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size; defaults to ``min(num_fragments, cpu_count)``.
+    start_method:
+        ``multiprocessing`` start method (``fork``/``spawn``/``forkserver``);
+        defaults to ``fork`` where the platform offers it.
+    """
+
+    name = "processes"
+
+    def __init__(self, max_workers: int | None = None, start_method: str | None = None) -> None:
+        self.max_workers = max_workers
+        self.start_method = start_method
+        self._pool = None
+
+    def start(self, fragments: Sequence[Fragment]) -> None:
+        super().start(fragments)
+        self.shutdown()
+        fragment_list = list(fragments)
+        processes = self.max_workers
+        if processes is None:
+            processes = min(len(fragment_list), os.cpu_count() or 1)
+        processes = max(1, min(processes, len(fragment_list) or 1))
+        context = multiprocessing.get_context(self.start_method or _default_start_method())
+        # concurrent.futures rather than multiprocessing.Pool: a worker that
+        # dies abruptly (segfault, OOM kill) breaks the pending futures with
+        # BrokenProcessPool instead of hanging result retrieval forever.
+        self._pool = ProcessPoolExecutor(
+            max_workers=processes,
+            mp_context=context,
+            initializer=init_worker,
+            initargs=(fragment_list,),
+        )
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def run(self, tasks: Sequence[WorkerTask]) -> tuple[list[object], list[float]]:
+        if not tasks:
+            return [], []
+        if self._pool is None:
+            raise ExecutorError(
+                "process pool not started; call start(fragments) before run()"
+            )
+        futures = [
+            self._pool.submit(run_task, task.fn, task.fragment_id, task.payload)
+            for task in tasks
+        ]
+        results: list[object] = []
+        durations: list[float] = []
+        for task, future in zip(tasks, futures):
+            try:
+                status, value, elapsed = future.result()
+            except BrokenProcessPool as exc:
+                raise WorkerError(
+                    task.fragment_id, f"worker process died abruptly: {exc}"
+                ) from exc
+            if status != TASK_OK:
+                raise WorkerError(task.fragment_id, value)
+            results.append(value)
+            durations.append(elapsed)
+        return results, durations
+
+
+def make_executor(backend: str, max_workers: int | None = None) -> Executor:
+    """Instantiate the execution backend named by a config/CLI string."""
+    if backend == "sequential":
+        return SequentialExecutor()
+    if backend == "threads":
+        return ThreadPoolExecutorBackend(max_workers=max_workers)
+    if backend == "processes":
+        return ProcessPoolExecutorBackend(max_workers=max_workers)
+    raise ExecutorError(f"unknown backend {backend!r}; expected one of {BACKENDS}")

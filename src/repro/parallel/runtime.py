@@ -6,7 +6,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-from repro.parallel.executor import Executor, SequentialExecutor
+from repro.parallel.executor import Executor, SequentialExecutor, WorkerTask
+from repro.parallel.worker import WorkerContext
 from repro.partition.fragment import Fragment
 
 
@@ -78,6 +79,13 @@ class RunTimings:
 class BSPRuntime:
     """Applies worker functions to fragments round by round.
 
+    A round's work is described by ``(worker_fn, fragment_id, payload)``
+    descriptors rather than closures over fragments: the executor owns the
+    fragments for the whole run (the process backend ships them to its pool
+    exactly once), and each round only sends small per-fragment payloads.
+    ``worker_fn(context, payload)`` must be a module-level callable and the
+    payloads picklable when a process backend is used.
+
     Parameters
     ----------
     fragments:
@@ -92,6 +100,7 @@ class BSPRuntime:
         self.executor = executor if executor is not None else SequentialExecutor()
         self.timings = RunTimings()
         self._run_started: float | None = None
+        self._executor_started = False
 
     @property
     def num_workers(self) -> int:
@@ -99,32 +108,52 @@ class BSPRuntime:
         return len(self.fragments)
 
     def start_run(self) -> None:
-        """Mark the start of the run for wall-clock accounting."""
+        """Mark the start of the run and bring up the execution backend."""
         self._run_started = time.perf_counter()
         self.timings = RunTimings()
+        if not self._executor_started:
+            self.executor.start(self.fragments)
+            self._executor_started = True
 
     def finish_run(self) -> RunTimings:
-        """Close the run and return its timings."""
+        """Close the run, release the backend and return the timings.
+
+        Safe to call from a ``finally`` block: a second call is a no-op that
+        returns the already-closed timings.
+        """
         if self._run_started is not None:
             self.timings.wall_time = time.perf_counter() - self._run_started
             self._run_started = None
+        if self._executor_started:
+            self.executor.shutdown()
+            self._executor_started = False
         return self.timings
 
     def run_round(
         self,
-        worker_fn: Callable[[Fragment], object],
+        worker_fn: Callable[[WorkerContext, object], object],
+        payloads: Sequence[object] | None = None,
         coordinator_fn: Callable[[list[object]], object] | None = None,
     ) -> object:
         """Run one BSP round.
 
-        *worker_fn* is applied to every fragment (the "computation" phase);
-        *coordinator_fn* receives the list of worker results (the "barrier
-        synchronisation" phase) and its return value is the round's result.
+        *worker_fn* is applied to every fragment's context with the matching
+        entry of *payloads* (``None`` payloads when omitted) — the
+        "computation" phase; *coordinator_fn* receives the list of worker
+        results (the "barrier synchronisation" phase) and its return value is
+        the round's result.
         """
         if self._run_started is None:
             self.start_run()
+        if payloads is None:
+            payloads = [None] * len(self.fragments)
+        if len(payloads) != len(self.fragments):
+            raise ValueError(
+                f"expected {len(self.fragments)} payloads, got {len(payloads)}"
+            )
         tasks = [
-            (lambda fragment=fragment: worker_fn(fragment)) for fragment in self.fragments
+            WorkerTask(worker_fn, fragment.index, payload)
+            for fragment, payload in zip(self.fragments, payloads)
         ]
         worker_results, durations = self.executor.run(tasks)
         coordinator_started = time.perf_counter()

@@ -1,0 +1,91 @@
+"""Worker-side execution context and the process-pool task runner.
+
+The process backend keeps a **persistent** pool for a whole BSP run: each
+worker process receives the fragment list exactly once, at pool start, via
+the :func:`init_worker` initializer which stores them in a module-level
+registry.  Every subsequent round ships only a small picklable
+``(worker_fn, fragment_id, payload)`` descriptor — never the graph — and the
+worker resolves ``fragment_id`` against its local registry.
+
+Per-fragment scratch state (a ``LocalMiner``, a matcher with warm caches)
+lives in a :class:`WorkerContext` that survives across rounds for the
+lifetime of the pool.  Because a pool may route any fragment's task to any
+of its processes, worker functions must treat that state strictly as a
+cache: anything stored there has to be *deterministically reconstructible*
+from the fragment and the payload, so a cache miss in a different process
+yields identical results.  Cross-round algorithm state therefore lives at
+the coordinator and travels inside payloads.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.partition.fragment import Fragment
+
+# Registry populated once per worker process by ``init_worker``.
+_FRAGMENTS: dict[int, Fragment] = {}
+_CONTEXTS: dict[int, "WorkerContext"] = {}
+
+#: Status tags of the tuples :func:`run_task` sends back to the parent.
+TASK_OK = "ok"
+TASK_ERROR = "error"
+
+
+@dataclass
+class WorkerContext:
+    """One worker's view of its fragment plus pool-lifetime scratch state."""
+
+    fragment: Fragment
+    state: dict = field(default_factory=dict)
+
+    def cached(self, key, factory: Callable[[], object]) -> object:
+        """Return ``state[key]``, building it with *factory* on first use.
+
+        The value must be a pure function of the fragment and *key*; see the
+        module docstring for why.
+        """
+        try:
+            return self.state[key]
+        except KeyError:
+            value = self.state[key] = factory()
+            return value
+
+
+def init_worker(fragments: Sequence[Fragment]) -> None:
+    """Pool initializer: install *fragments* in this process's registry."""
+    _FRAGMENTS.clear()
+    _CONTEXTS.clear()
+    for fragment in fragments:
+        _FRAGMENTS[fragment.index] = fragment
+
+
+def context_for(fragment_id: int) -> WorkerContext:
+    """The persistent :class:`WorkerContext` for *fragment_id* (KeyError if unknown)."""
+    context = _CONTEXTS.get(fragment_id)
+    if context is None:
+        context = _CONTEXTS[fragment_id] = WorkerContext(_FRAGMENTS[fragment_id])
+    return context
+
+
+def run_task(worker_fn: Callable, fragment_id: int, payload: object) -> tuple:
+    """Execute one task inside a worker process.
+
+    Returns ``("ok", result, seconds)`` on success or ``("error", text, 0.0)``
+    on failure — errors travel back as plain strings because the original
+    exception (or its traceback) may not survive pickling; the parent wraps
+    them in :class:`repro.exceptions.WorkerError`.
+
+    The duration is measured *around the worker function only*, so the
+    simulated parallel-time accounting excludes pool dispatch and IPC.
+    """
+    try:
+        context = context_for(fragment_id)
+        started = time.perf_counter()
+        result = worker_fn(context, payload)
+        return (TASK_OK, result, time.perf_counter() - started)
+    except Exception:
+        return (TASK_ERROR, traceback.format_exc(), 0.0)

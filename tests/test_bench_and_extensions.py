@@ -1,9 +1,17 @@
 """Tests for the benchmark harness and the multi-predicate mining helpers."""
 
+import json
+
 import pytest
 
-from repro.bench import format_rows, print_series
-from repro.bench.harness import DMineRow, EIPRow, run_dmine_config, run_eip_config
+from repro.bench import format_rows, print_series, rows_as_json, wall_speedups
+from repro.bench.harness import (
+    DMineRow,
+    EIPRow,
+    run_dmine_backends,
+    run_dmine_config,
+    run_eip_config,
+)
 from repro.bench.workloads import eip_workload, mining_workload, synthetic_mining_workload
 from repro.datasets import most_frequent_predicates
 from repro.mining import DMineConfig, dmine_auto, dmine_for_predicates
@@ -36,6 +44,31 @@ class TestReporting:
         print_series("demo", [{"a": 1}])
         captured = capsys.readouterr()
         assert "demo" in captured.out
+
+    def test_wall_speedups(self):
+        rows = [
+            {"backend": "sequential", "wall_time": 2.0},
+            {"backend": "processes", "wall_time": 0.5},
+            {"backend": "threads", "wall_time": 0.0},
+        ]
+        speedups = wall_speedups(rows)
+        assert speedups["sequential"] == pytest.approx(1.0)
+        assert speedups["processes"] == pytest.approx(4.0)
+        assert "threads" not in speedups  # zero wall time is dropped
+
+    def test_wall_speedups_without_baseline(self):
+        assert wall_speedups([{"backend": "processes", "wall_time": 1.0}]) == {}
+
+    def test_rows_as_json_is_machine_readable(self):
+        row = EIPRow(
+            dataset="pokec", algorithm="match", parameter="backend", value="processes",
+            simulated_parallel_time=0.5, wall_time=1.0, identified=10,
+            candidates_examined=100, backend="processes", wall_speedup=1.7,
+        )
+        data = json.loads(rows_as_json("smoke_match", "a title", [row]))
+        assert data["name"] == "smoke_match"
+        assert data["rows"][0]["backend"] == "processes"
+        assert data["rows"][0]["wall_speedup"] == 1.7
 
 
 class TestWorkloads:
@@ -88,6 +121,22 @@ class TestHarnessRunners:
         assert isinstance(row, EIPRow)
         assert row.identified >= 0
         assert row.as_dict()["algorithm"] == "match"
+
+    def test_run_dmine_backends_annotates_speedup(self):
+        graph, predicate = mining_workload("pokec", scale=120)
+        rows = run_dmine_backends(
+            "pokec", graph, predicate, num_workers=2, sigma=6,
+            backends=["processes"],
+            max_edges=1, max_extensions_per_rule=5, max_rules_per_round=10,
+        )
+        assert [row.backend for row in rows] == ["sequential", "processes"]
+        # Same configuration on both backends must mine the same rules —
+        # the fingerprint hashes rule structure + support + confidence.
+        assert rows[0].fingerprint and rows[0].fingerprint == rows[1].fingerprint
+        assert rows[0].rules_discovered == rows[1].rules_discovered
+        assert rows[0].objective == pytest.approx(rows[1].objective)
+        assert rows[0].wall_speedup == pytest.approx(1.0)
+        assert rows[1].wall_speedup is None or rows[1].wall_speedup > 0
 
 
 class TestMultiPredicateMining:

@@ -66,3 +66,38 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "potential customers" in output
         assert "first identified entities" in output
+
+    def test_dmine_alias_with_process_backend(self, graph_file, capsys):
+        exit_code = main(
+            [
+                "dmine", str(graph_file),
+                "--predicate", "user:like_book:personal development",
+                "-k", "2", "-d", "1", "--sigma", "4", "--workers", "2", "--max-edges", "1",
+                "--backend", "processes", "--pool-size", "2",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "backend=processes" in output
+        assert "F(Lk)" in output
+
+    def test_match_alias_with_thread_backend(self, graph_file, capsys):
+        exit_code = main(
+            [
+                "match", str(graph_file),
+                "--predicate", "user:like_book:personal development",
+                "--rules", "3", "--workers", "2", "--backend", "threads",
+            ]
+        )
+        assert exit_code == 0
+        assert "potential customers" in capsys.readouterr().out
+
+    def test_backend_choice_is_validated(self, graph_file):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                [
+                    "mine", str(graph_file),
+                    "--predicate", "user:like_book:personal development",
+                    "--backend", "gpu",
+                ]
+            )

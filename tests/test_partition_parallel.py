@@ -2,10 +2,33 @@
 
 import pytest
 
-from repro.exceptions import PartitionError
+from repro.exceptions import ExecutorError, PartitionError, WorkerError
 from repro.graph import ball
-from repro.parallel import BSPRuntime, RuleMessage, SequentialExecutor, ThreadPoolExecutorBackend
-from repro.partition import Fragment, fragmentation_report, partition_graph
+from repro.parallel import (
+    BSPRuntime,
+    RuleMessage,
+    SequentialExecutor,
+    ThreadPoolExecutorBackend,
+    WorkerTask,
+)
+from repro.partition import fragmentation_report, partition_graph
+
+
+def _num_nodes(context, payload):
+    """Module-level worker: node count of the fragment (payload unused)."""
+    return context.fragment.graph.num_nodes
+
+
+def _num_edges(context, payload):
+    return context.fragment.graph.num_edges
+
+
+def _echo_payload(context, payload):
+    return (context.fragment.index, payload)
+
+
+def _boom(context, payload):
+    raise ValueError("boom")
 
 
 class TestPartitioner:
@@ -80,20 +103,40 @@ class TestPartitioner:
 
 
 class TestExecutors:
-    def test_sequential_executor(self):
-        results, durations = SequentialExecutor().run([lambda: 1, lambda: 2])
-        assert results == [1, 2]
+    def _started(self, executor, g1):
+        fragments = partition_graph(g1, 2, centers=g1.nodes_with_label("cust"), d=1, seed=0)
+        executor.start(fragments)
+        return executor, fragments
+
+    def test_sequential_executor(self, g1):
+        executor, fragments = self._started(SequentialExecutor(), g1)
+        tasks = [WorkerTask(_echo_payload, f.index, i) for i, f in enumerate(fragments)]
+        results, durations = executor.run(tasks)
+        assert results == [(0, 0), (1, 1)]
         assert len(durations) == 2
         assert all(duration >= 0 for duration in durations)
 
-    def test_thread_pool_executor(self):
-        backend = ThreadPoolExecutorBackend(max_workers=2)
-        results, durations = backend.run([lambda: "a", lambda: "b", lambda: "c"])
-        assert results == ["a", "b", "c"]
-        assert len(durations) == 3
+    def test_thread_pool_executor(self, g1):
+        executor, fragments = self._started(ThreadPoolExecutorBackend(max_workers=2), g1)
+        tasks = [WorkerTask(_echo_payload, f.index, "p") for f in fragments]
+        results, durations = executor.run(tasks)
+        assert results == [(0, "p"), (1, "p")]
+        assert len(durations) == 2
 
     def test_thread_pool_empty(self):
         assert ThreadPoolExecutorBackend().run([]) == ([], [])
+
+    def test_thread_pool_propagates_worker_errors(self, g1):
+        executor, fragments = self._started(ThreadPoolExecutorBackend(max_workers=2), g1)
+        with pytest.raises(WorkerError) as excinfo:
+            executor.run([WorkerTask(_boom, fragments[1].index, None)])
+        assert excinfo.value.fragment_id == fragments[1].index
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+    def test_unknown_fragment_id(self, g1):
+        executor, _fragments = self._started(SequentialExecutor(), g1)
+        with pytest.raises(ExecutorError):
+            executor.run([WorkerTask(_echo_payload, 99, None)])
 
 
 class TestBSPRuntime:
@@ -102,20 +145,30 @@ class TestBSPRuntime:
 
     def test_round_applies_worker_to_every_fragment(self, g1):
         runtime = BSPRuntime(self._fragments(g1))
-        sizes = runtime.run_round(lambda fragment: fragment.graph.num_nodes)
+        sizes = runtime.run_round(_num_nodes)
         assert len(sizes) == 3
         assert all(isinstance(size, int) for size in sizes)
 
+    def test_round_ships_per_fragment_payloads(self, g1):
+        runtime = BSPRuntime(self._fragments(g1))
+        results = runtime.run_round(_echo_payload, ["a", "b", "c"])
+        assert results == [(0, "a"), (1, "b"), (2, "c")]
+
+    def test_payload_count_mismatch(self, g1):
+        runtime = BSPRuntime(self._fragments(g1))
+        with pytest.raises(ValueError):
+            runtime.run_round(_echo_payload, ["only-one"])
+
     def test_coordinator_phase(self, g1):
         runtime = BSPRuntime(self._fragments(g1))
-        total = runtime.run_round(lambda fragment: fragment.graph.num_nodes, sum)
+        total = runtime.run_round(_num_nodes, None, sum)
         assert total == sum(f.graph.num_nodes for f in self._fragments(g1))
 
     def test_timings_accumulate(self, g1):
         runtime = BSPRuntime(self._fragments(g1))
         runtime.start_run()
-        runtime.run_round(lambda fragment: fragment.graph.num_nodes)
-        runtime.run_round(lambda fragment: fragment.graph.num_edges)
+        runtime.run_round(_num_nodes)
+        runtime.run_round(_num_edges)
         timings = runtime.finish_run()
         assert timings.num_rounds == 2
         assert timings.simulated_parallel_time <= timings.sequential_time + 1e-9
@@ -125,7 +178,7 @@ class TestBSPRuntime:
 
     def test_round_timing_properties(self, g1):
         runtime = BSPRuntime(self._fragments(g1))
-        runtime.run_round(lambda fragment: fragment.graph.num_nodes)
+        runtime.run_round(_num_nodes)
         round_timing = runtime.timings.rounds[0]
         assert round_timing.parallel_time == pytest.approx(
             max(round_timing.worker_times) + round_timing.coordinator_time

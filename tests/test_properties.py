@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.graph import Graph, ball, d_neighborhood

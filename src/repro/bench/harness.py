@@ -8,17 +8,27 @@ use) and the real wall-clock time; :func:`run_dmine_backends` /
 backends and annotate each row with its wall-clock speedup over the
 sequential baseline, turning the fig5 scalability figures from simulations
 into measurements.
+
+Every row also records whether the run consumed the resident
+:class:`repro.graph.index.FragmentIndex` (the ``index`` field of the JSON
+output); :func:`run_matching_index_comparison` and
+:func:`run_eip_index_comparison` run the same workload with the index on and
+off and annotate the indexed rows with the measured ``index_speedup``, so
+the index's effect is measured rather than asserted.
 """
 
 from __future__ import annotations
 
 import hashlib
+import time
 from dataclasses import dataclass, replace
 from typing import Iterable, Sequence
 
 from repro.bench.reporting import wall_speedups
 from repro.graph.graph import Graph
+from repro.graph.index import discard_index
 from repro.identification import identify_entities
+from repro.matching import GuidedMatcher, VF2Matcher
 from repro.mining import DMine, DMineConfig
 from repro.pattern.canonical import canonical_code
 from repro.pattern.gpar import GPAR
@@ -45,6 +55,10 @@ class DMineRow:
     objective: float
     backend: str = "sequential"
     wall_speedup: float | None = None
+    use_index: bool = True
+    # Indexed wall-clock gain over the matching unindexed run (only set by
+    # the index-comparison runners, on the indexed rows).
+    index_speedup: float | None = None
     # Content hash of the mined rule set (structure + support + confidence);
     # two rows with equal fingerprints mined *the same rules*, not merely
     # the same number of rules.
@@ -56,6 +70,7 @@ class DMineRow:
             "algorithm": self.algorithm,
             self.parameter: self.value,
             "backend": self.backend,
+            "index": "on" if self.use_index else "off",
             "sim_parallel_s": round(self.simulated_parallel_time, 3),
             "wall_s": round(self.wall_time, 3),
             "rules": self.rules_discovered,
@@ -65,6 +80,8 @@ class DMineRow:
         }
         if self.wall_speedup is not None:
             row["wall_speedup"] = round(self.wall_speedup, 2)
+        if self.index_speedup is not None:
+            row["index_speedup"] = round(self.index_speedup, 2)
         return row
 
 
@@ -82,6 +99,8 @@ class EIPRow:
     candidates_examined: int
     backend: str = "sequential"
     wall_speedup: float | None = None
+    use_index: bool = True
+    index_speedup: float | None = None
     # Content hash of the identified entities + per-rule confidences.
     fingerprint: str = ""
 
@@ -91,6 +110,7 @@ class EIPRow:
             "algorithm": self.algorithm,
             self.parameter: self.value,
             "backend": self.backend,
+            "index": "on" if self.use_index else "off",
             "sim_parallel_s": round(self.simulated_parallel_time, 3),
             "wall_s": round(self.wall_time, 3),
             "identified": self.identified,
@@ -99,6 +119,8 @@ class EIPRow:
         }
         if self.wall_speedup is not None:
             row["wall_speedup"] = round(self.wall_speedup, 2)
+        if self.index_speedup is not None:
+            row["index_speedup"] = round(self.index_speedup, 2)
         return row
 
 
@@ -125,6 +147,7 @@ def run_dmine_config(
     value: object = None,
     backend: str = "sequential",
     executor_workers: int | None = None,
+    use_index: bool = True,
     **overrides,
 ) -> DMineRow:
     """Run one DMine / DMineno configuration and return its measured row."""
@@ -134,6 +157,7 @@ def run_dmine_config(
         sigma=sigma,
         backend=backend,
         executor_workers=executor_workers,
+        use_index=use_index,
         **settings,
     )
     if not optimized:
@@ -150,6 +174,7 @@ def run_dmine_config(
         candidates_generated=result.candidates_generated,
         objective=result.objective_value,
         backend=config.backend,
+        use_index=use_index,
         fingerprint=_digest(
             f"{canonical_code(rule.pr_pattern())}|{info.support}|{round(info.confidence, 9)}"
             for rule, info in result.all_rules.items()
@@ -168,6 +193,7 @@ def run_eip_config(
     value: object = None,
     backend: str = "sequential",
     executor_workers: int | None = None,
+    use_index: bool = True,
 ) -> EIPRow:
     """Run one Match / Matchc / disVF2 configuration and return its row."""
     result = identify_entities(
@@ -178,6 +204,7 @@ def run_eip_config(
         algorithm=algorithm,
         backend=backend,
         executor_workers=executor_workers,
+        use_index=use_index,
     )
     return EIPRow(
         dataset=dataset,
@@ -189,6 +216,7 @@ def run_eip_config(
         identified=len(result.identified),
         candidates_examined=result.candidates_examined,
         backend=backend,
+        use_index=use_index,
         fingerprint=_digest(
             [f"id:{entity}" for entity in map(str, result.identified)]
             + [
@@ -272,3 +300,175 @@ def run_eip_backends(
         for name in names
     ]
     return _annotate_speedups(rows)
+
+
+# ----------------------------------------------------------------------
+# indexed-vs-unindexed comparison
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MatchingRow:
+    """One measured point of an indexed-vs-unindexed matching series.
+
+    Measures the paper's matching hot path in isolation: *reps* batches of
+    anchored ``match_set`` queries over one resident graph, each batch served
+    by a freshly constructed matcher (exactly what one EIP/DMine call does).
+    Unindexed batches re-derive label pools, adjacency profiles and k-hop
+    sketches from the raw graph; indexed batches probe the resident
+    :class:`~repro.graph.index.FragmentIndex`.
+    """
+
+    dataset: str
+    algorithm: str  # matcher kind: "vf2" | "guided"
+    parameter: str
+    value: object
+    wall_time: float
+    patterns_matched: int
+    total_matches: int
+    use_index: bool = True
+    index_speedup: float | None = None
+    backend: str = "in-process"
+    fingerprint: str = ""
+
+    def as_dict(self) -> dict:
+        row = {
+            "dataset": self.dataset,
+            "algorithm": self.algorithm,
+            self.parameter: self.value,
+            "backend": self.backend,
+            "index": "on" if self.use_index else "off",
+            "wall_s": round(self.wall_time, 3),
+            "patterns": self.patterns_matched,
+            "matches": self.total_matches,
+            "fingerprint": self.fingerprint,
+        }
+        if self.index_speedup is not None:
+            row["index_speedup"] = round(self.index_speedup, 2)
+        return row
+
+
+def _matcher_for(kind: str, use_index: bool):
+    if kind == "guided":
+        return GuidedMatcher(use_index=use_index)
+    if kind == "vf2":
+        return VF2Matcher(use_index=use_index)
+    raise ValueError(f"unknown matcher kind {kind!r}; expected 'vf2' or 'guided'")
+
+
+def run_matching_traffic(
+    dataset: str,
+    graph: Graph,
+    rules: Sequence[GPAR],
+    kind: str,
+    use_index: bool,
+    reps: int = 3,
+) -> MatchingRow:
+    """Run *reps* fresh-matcher batches of match-set queries; return one row.
+
+    Each batch computes ``Q(x, G)`` for every rule's antecedent and PR
+    pattern with a newly constructed matcher, modelling *reps* successive
+    algorithm calls against the same resident fragment.  The graph's
+    registered index is dropped first so the indexed run pays its own build.
+    """
+    patterns: list[Pattern] = []
+    for rule in rules:
+        patterns.append(rule.antecedent)
+        patterns.append(rule.pr_pattern())
+    discard_index(graph)
+    match_counts: list[str] = []
+    total_matches = 0
+    started = time.perf_counter()
+    for _ in range(reps):
+        matcher = _matcher_for(kind, use_index)
+        for position, pattern in enumerate(patterns):
+            matches = matcher.match_set(graph, pattern)
+            total_matches += len(matches)
+            match_counts.append(
+                f"{position}|{len(matches)}|{'/'.join(sorted(map(str, matches)))}"
+            )
+    elapsed = time.perf_counter() - started
+    return MatchingRow(
+        dataset=dataset,
+        algorithm=kind,
+        parameter="index",
+        value="on" if use_index else "off",
+        wall_time=elapsed,
+        patterns_matched=len(patterns) * reps,
+        total_matches=total_matches,
+        use_index=use_index,
+        fingerprint=_digest(match_counts),
+    )
+
+
+def run_matching_index_comparison(
+    dataset: str,
+    graph: Graph,
+    rules: Sequence[GPAR],
+    kinds: Sequence[str] = ("vf2", "guided"),
+    reps: int = 3,
+) -> list[MatchingRow]:
+    """Indexed-vs-unindexed matching comparison for each matcher kind.
+
+    Returns two rows per kind (index off, then on); the indexed row carries
+    ``index_speedup`` = unindexed wall time / indexed wall time.  Raises
+    ``AssertionError`` if any kind's match sets differ between the modes.
+    """
+    rows: list[MatchingRow] = []
+    for kind in kinds:
+        unindexed = run_matching_traffic(dataset, graph, rules, kind, use_index=False, reps=reps)
+        indexed = run_matching_traffic(dataset, graph, rules, kind, use_index=True, reps=reps)
+        if indexed.fingerprint != unindexed.fingerprint:
+            raise AssertionError(
+                f"indexed {kind} matching diverged from unindexed: "
+                f"{indexed.fingerprint} != {unindexed.fingerprint}"
+            )
+        speedup = unindexed.wall_time / indexed.wall_time if indexed.wall_time else float("inf")
+        rows.append(unindexed)
+        rows.append(replace(indexed, index_speedup=speedup))
+    return rows
+
+
+def run_eip_index_comparison(
+    dataset: str,
+    graph: Graph,
+    rules: tuple[GPAR, ...],
+    num_workers: int,
+    algorithm: str = "match",
+    eta: float = 1.0,
+    backends: Sequence[str] = ("sequential", "threads", "processes"),
+    executor_workers: int | None = None,
+) -> list[EIPRow]:
+    """Run one EIP configuration with the index off and on, per backend.
+
+    The cross-backend × cross-mode equivalence gate of the index smoke: all
+    2 × len(backends) rows must carry the same result fingerprint.  Indexed
+    rows are annotated with their backend's ``index_speedup``.
+    """
+    rows: list[EIPRow] = []
+    for backend in backends:
+        per_mode: dict[bool, EIPRow] = {}
+        for use_index in (False, True):
+            per_mode[use_index] = run_eip_config(
+                dataset,
+                graph,
+                rules,
+                num_workers,
+                algorithm,
+                eta=eta,
+                parameter="backend",
+                value=backend,
+                backend=backend,
+                executor_workers=executor_workers,
+                use_index=use_index,
+            )
+        unindexed, indexed = per_mode[False], per_mode[True]
+        speedup = (
+            unindexed.wall_time / indexed.wall_time if indexed.wall_time else float("inf")
+        )
+        rows.append(unindexed)
+        rows.append(replace(indexed, index_speedup=speedup))
+    fingerprints = {row.fingerprint for row in rows}
+    if len(fingerprints) > 1:
+        raise AssertionError(
+            f"EIP results diverged across backends/index modes: {sorted(fingerprints)}"
+        )
+    return rows

@@ -5,12 +5,20 @@ the execution backends without paying for a full fig5 sweep::
 
     python -m repro.bench.smoke --family dmine --backend processes --workers 2
     python -m repro.bench.smoke --family match --backend processes --workers 2
+    python -m repro.bench.smoke --family index --workers 2
 
 Each run executes the configuration on the sequential baseline and on the
 requested backend, asserts the two produce identical results, prints the
 paper-style table and writes a machine-readable ``BENCH_smoke_<family>.json``
 (same row shape as ``benchmarks/results``) so successive CI runs can track
 the perf trajectory.
+
+The ``index`` family is the indexed-vs-unindexed gate of the resident
+:class:`repro.graph.index.FragmentIndex`: it measures repeated matching
+traffic over one resident graph with the index off and on (the
+``index_speedup`` rows), and runs the same EIP configuration across the
+sequential/threads/processes backends in both modes, requiring one identical
+result fingerprint everywhere.
 """
 
 from __future__ import annotations
@@ -19,27 +27,49 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.bench.harness import run_dmine_backends, run_eip_backends
+from repro.bench.harness import (
+    run_dmine_backends,
+    run_eip_backends,
+    run_eip_index_comparison,
+    run_matching_index_comparison,
+)
 from repro.bench.reporting import format_rows, rows_as_json, wall_speedups
 from repro.bench.workloads import eip_workload, mining_workload
 from repro.parallel.executor import BACKENDS
 
-FAMILIES = ("dmine", "match")
+FAMILIES = ("dmine", "match", "index")
 
 # Tiny-but-nontrivial smoke scales: seconds per family, not minutes.
 SMOKE_SCALE = 400
 SMOKE_SIGMA = 2
 SMOKE_RULES = 6
 
+# The index comparison runs on the largest synthetic workload of the smoke
+# tier: big enough that matching (not partitioning) dominates, so the
+# measured index speedup reflects the hot path.
+INDEX_SCALE = 4000
+INDEX_RULES = 16
+INDEX_REPS = 3
+
 
 def run_smoke(
     family: str,
-    backend: str,
+    backend: str | None,
     workers: int,
     pool_size: int | None = None,
-    scale: int = SMOKE_SCALE,
+    scale: int | None = None,
 ) -> list:
-    """Run the family's smoke workload on sequential + *backend*; return rows."""
+    """Run the family's smoke workload on sequential + *backend*; return rows.
+
+    *backend* ``None`` picks the family default: ``processes`` for the
+    dmine/match families, *all* backends for the index family's
+    cross-backend equivalence gate.  An explicit backend restricts the index
+    family to sequential + that backend.
+    """
+    if scale is None:
+        scale = INDEX_SCALE if family == "index" else SMOKE_SCALE
+    if family != "index" and backend is None:
+        backend = "processes"
     if family == "dmine":
         graph, predicate = mining_workload("synthetic", scale)
         return run_dmine_backends(
@@ -63,6 +93,32 @@ def run_smoke(
             backends=[backend],
             executor_workers=pool_size,
         )
+    if family == "index":
+        backends = (
+            BACKENDS
+            if backend is None
+            else tuple(dict.fromkeys(("sequential", backend)))
+        )
+        graph, rules = eip_workload("synthetic", num_rules=INDEX_RULES, scale=scale)
+        # Part 1: matching traffic, index off vs on (the measured speedup).
+        rows: list = list(
+            run_matching_index_comparison("synthetic", graph, rules, reps=INDEX_REPS)
+        )
+        # Part 2: the same EIP configuration across the selected backends in
+        # both modes — 2 × |backends| runs, one fingerprint allowed.
+        rows.extend(
+            run_eip_index_comparison(
+                "synthetic",
+                graph,
+                rules,
+                num_workers=workers,
+                algorithm="match",
+                eta=0.5,
+                backends=backends,
+                executor_workers=pool_size,
+            )
+        )
+        return rows
     raise ValueError(f"unknown family {family!r}; expected one of {FAMILIES}")
 
 
@@ -83,16 +139,36 @@ def _check_equivalence(rows) -> None:
             )
 
 
+def _index_speedups(rows) -> dict[str, float]:
+    """``{algorithm@backend: index_speedup}`` of the indexed rows."""
+    return {
+        f"{row.algorithm}@{row.backend}": row.index_speedup
+        for row in rows
+        if getattr(row, "index_speedup", None) is not None
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-bench-smoke",
         description="Tiny per-family benchmark smoke run for CI.",
     )
     parser.add_argument("--family", choices=list(FAMILIES), required=True)
-    parser.add_argument("--backend", choices=list(BACKENDS), default="processes")
+    parser.add_argument(
+        "--backend",
+        choices=list(BACKENDS),
+        default=None,
+        help="backend to compare against sequential (default: processes; "
+        "the index family runs all backends unless one is given)",
+    )
     parser.add_argument("--workers", type=int, default=2, help="fragments / BSP workers")
     parser.add_argument("--pool-size", type=int, default=None, dest="pool_size")
-    parser.add_argument("--scale", type=int, default=SMOKE_SCALE, help="workload node count")
+    parser.add_argument(
+        "--scale",
+        type=int,
+        default=None,
+        help=f"workload node count (default {SMOKE_SCALE}, index family {INDEX_SCALE})",
+    )
     parser.add_argument(
         "--out",
         type=Path,
@@ -101,15 +177,32 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    rows = run_smoke(args.family, args.backend, args.workers, args.pool_size, args.scale)
-    _check_equivalence(rows)
-
-    title = f"smoke {args.family} (n={args.workers}, backend={args.backend})"
-    print(f"== {title} ==")
-    print(format_rows(rows))
-    speedups = wall_speedups(rows)
-    if args.backend in speedups:
-        print(f"wall speedup ({args.backend} vs sequential): {speedups[args.backend]:.2f}x")
+    backend = args.backend
+    if backend is None and args.family != "index":
+        backend = "processes"
+    rows = run_smoke(args.family, backend, args.workers, args.pool_size, args.scale)
+    if args.family == "index":
+        # The cross-backend × cross-mode fingerprint gates already ran inside
+        # the comparison runners; here we only report the measurements.
+        shown = "/".join(BACKENDS) if backend is None else f"sequential/{backend}"
+        title = f"smoke index (n={args.workers}, backends={shown})"
+        print(f"== {title} ==")
+        matching_rows = [row for row in rows if hasattr(row, "patterns_matched")]
+        eip_rows = [row for row in rows if not hasattr(row, "patterns_matched")]
+        print("-- matching traffic (fresh matcher per batch) --")
+        print(format_rows(matching_rows))
+        print("-- EIP match, every backend x index mode (one fingerprint) --")
+        print(format_rows(eip_rows))
+        for name, speedup in sorted(_index_speedups(rows).items()):
+            print(f"index speedup ({name}): {speedup:.2f}x")
+    else:
+        _check_equivalence(rows)
+        title = f"smoke {args.family} (n={args.workers}, backend={backend})"
+        print(f"== {title} ==")
+        print(format_rows(rows))
+        speedups = wall_speedups(rows)
+        if backend in speedups:
+            print(f"wall speedup ({backend} vs sequential): {speedups[backend]:.2f}x")
 
     out = args.out if args.out is not None else Path(f"BENCH_smoke_{args.family}.json")
     out.write_text(rows_as_json(f"smoke_{args.family}", title, rows) + "\n")

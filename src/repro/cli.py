@@ -74,6 +74,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         max_edges=args.max_edges,
         backend=args.backend,
         executor_workers=args.pool_size,
+        use_index=not args.no_index,
     )
     result = dmine(graph, args.predicate, config)
     print(
@@ -108,6 +109,7 @@ def _cmd_identify(args: argparse.Namespace) -> int:
         algorithm=args.algorithm,
         backend=args.backend,
         executor_workers=args.pool_size,
+        use_index=not args.no_index,
     )
     print(result.summary())
     preview = sorted(map(str, result.identified))[: args.show]
@@ -179,6 +181,13 @@ def _add_backend_arguments(subparser: argparse.ArgumentParser) -> None:
         default=None,
         dest="pool_size",
         help="thread/process pool size (default: min(workers, cpu count))",
+    )
+    subparser.add_argument(
+        "--no-index",
+        action="store_true",
+        dest="no_index",
+        help="disable the resident fragment index (unindexed baseline; "
+        "identical results, more per-probe work — see docs/indexing.md)",
     )
 
 

@@ -7,18 +7,34 @@ model with the indexes the mining and matching algorithms need:
 * a label index (``nodes_with_label``) used to seed candidate sets,
 * per-label adjacency (``out_neighbors(v, label)``) used by the matchers,
 * bounded BFS for ``Gd(vx)`` d-neighbourhood extraction (:mod:`neighborhood`),
-* k-hop label-frequency sketches used by guided search (:mod:`sketch`).
+* k-hop label-frequency sketches used by guided search (:mod:`sketch`),
+* the fragment-resident :class:`FragmentIndex` bundling label buckets,
+  adjacency profiles and a sketch cache for the matching hot path
+  (:mod:`index`).
 """
 
 from repro.graph.graph import Edge, Graph
 from repro.graph.builder import GraphBuilder
+from repro.graph.index import (
+    FragmentIndex,
+    IndexStatistics,
+    discard_index,
+    graph_index,
+    registered_index,
+)
 from repro.graph.neighborhood import (
     ball,
     bfs_distances,
     d_neighborhood,
     eccentricity,
 )
-from repro.graph.sketch import KHopSketch, build_sketch, sketch_dominates, sketch_score
+from repro.graph.sketch import (
+    KHopSketch,
+    build_sketch,
+    empty_sketch,
+    sketch_dominates,
+    sketch_score,
+)
 from repro.graph.views import induced_subgraph, subgraph_from_edges
 from repro.graph.io import (
     graph_from_dict,
@@ -40,8 +56,14 @@ __all__ = [
     "eccentricity",
     "KHopSketch",
     "build_sketch",
+    "empty_sketch",
     "sketch_dominates",
     "sketch_score",
+    "FragmentIndex",
+    "IndexStatistics",
+    "graph_index",
+    "discard_index",
+    "registered_index",
     "induced_subgraph",
     "subgraph_from_edges",
     "graph_from_dict",

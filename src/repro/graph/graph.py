@@ -70,6 +70,8 @@ class Graph:
         "_nodes_by_label",
         "_num_edges",
         "_edge_label_counts",
+        "_version",
+        "__weakref__",
     )
 
     def __init__(self, name: str = "graph") -> None:
@@ -87,6 +89,10 @@ class Graph:
         self._num_edges = 0
         # edge label -> count
         self._edge_label_counts: dict[Label, int] = {}
+        # Mutation counter: bumped by every structural change, so derived
+        # structures (e.g. repro.graph.index.FragmentIndex) can detect
+        # staleness with a single integer comparison.
+        self._version = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -114,6 +120,7 @@ class Graph:
         self._nodes_by_label.setdefault(label, set()).add(node_id)
         if attrs:
             self._attrs[node_id] = dict(attrs)
+        self._version += 1
 
     def add_edge(self, source: NodeId, target: NodeId, label: Label) -> bool:
         """Add edge ``source --label--> target``.
@@ -133,6 +140,7 @@ class Graph:
         self._in[target].setdefault(label, set()).add(source)
         self._num_edges += 1
         self._edge_label_counts[label] = self._edge_label_counts.get(label, 0) + 1
+        self._version += 1
         return True
 
     def remove_edge(self, source: NodeId, target: NodeId, label: Label) -> None:
@@ -153,6 +161,7 @@ class Graph:
             self._edge_label_counts[label] = remaining
         else:
             del self._edge_label_counts[label]
+        self._version += 1
 
     def remove_node(self, node_id: NodeId) -> None:
         """Remove a node and all incident edges."""
@@ -171,6 +180,22 @@ class Graph:
         del self._out[node_id]
         del self._in[node_id]
         self._attrs.pop(node_id, None)
+        self._version += 1
+
+    def relabel_node(self, node_id: NodeId, label: Label) -> None:
+        """Change the label of an existing node (no-op if unchanged)."""
+        existing = self._labels.get(node_id)
+        if existing is None:
+            raise NodeNotFoundError(node_id)
+        if existing == label:
+            return
+        self._labels[node_id] = label
+        old_bucket = self._nodes_by_label[existing]
+        old_bucket.discard(node_id)
+        if not old_bucket:
+            del self._nodes_by_label[existing]
+        self._nodes_by_label.setdefault(label, set()).add(node_id)
+        self._version += 1
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -189,6 +214,11 @@ class Graph:
     def size(self) -> int:
         """The paper's size measure ``|G| = |V| + |E|``."""
         return self.num_nodes + self._num_edges
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (see :mod:`repro.graph.index`)."""
+        return self._version
 
     def __len__(self) -> int:
         return len(self._labels)

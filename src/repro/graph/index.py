@@ -1,0 +1,335 @@
+"""Fragment-resident graph indexes for the matching hot path.
+
+Every DMine expansion round and every EIP ``Match`` call needs the same three
+derived structures over its (fragment) graph: label candidate sets, labelled
+adjacency profiles, and k-hop neighbourhood sketches.  Recomputing them from
+the raw :class:`~repro.graph.graph.Graph` makes each pattern probe pay
+O(degree) or O(|ball|) again; a :class:`FragmentIndex` computes them once per
+graph and answers every later probe with a dict lookup.
+
+Layers
+------
+* **label → node inverted index** — an immutable snapshot of the graph's
+  label buckets as frozensets.  ``Graph.nodes_with_label`` copies its bucket
+  on every call (the bucket is mutable); the index hands out the same frozen
+  snapshot every time.  Build O(|V|), probe O(1).
+* **labelled adjacency profiles** — ``(direction, edge label, neighbour
+  label) -> count`` per node, the necessary-condition filter of
+  :func:`repro.matching.candidates.degree_consistent`.  Precomputed for all
+  nodes in one O(|V| + |E|) pass; probe O(1) instead of O(degree).
+* **frozen adjacency views** — per ``(node, direction, edge label)``
+  neighbour sets as frozensets, memoised on first use.  The matchers
+  intersect these millions of times; the view avoids the per-probe copy that
+  ``Graph.out_neighbors`` must make.  Probe O(1) after the first.
+* **k-hop sketch cache** — lazily-filled, memoised
+  :class:`~repro.graph.sketch.KHopSketch` per ``(node, hops)``, with an
+  explicit empty-neighbourhood fast path: an isolated node's sketch is
+  materialised without a BFS round-trip.  First probe O(|ball|), later
+  probes O(1).
+
+Invalidation
+------------
+The index records ``graph.version`` (a monotonic mutation counter) at build
+time and compares it on **every** probe.  On a mismatch the index either
+rebuilds itself (``mode="refresh"``, the default) or raises
+:class:`~repro.exceptions.StaleIndexError` (``mode="raise"``); a stale read
+is impossible in both modes.
+
+Residency
+---------
+:func:`graph_index` memoises one index per graph object in a per-process
+weak registry, so the index lives exactly as long as its graph and never
+crosses a pickle boundary.  The process execution backend builds the indexes
+of its fragments inside the worker-pool initializer
+(:func:`repro.parallel.worker.init_worker`), so every worker process holds a
+warm index next to each fragment for the lifetime of the pool.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from collections import Counter
+from dataclasses import dataclass
+from typing import Hashable, Mapping
+
+from repro.exceptions import GraphError, NodeNotFoundError, StaleIndexError
+from repro.graph.graph import Graph
+from repro.graph.sketch import KHopSketch, build_sketch, empty_sketch
+
+NodeId = Hashable
+Label = str
+
+#: Invalidation behaviours accepted by :class:`FragmentIndex`.
+INDEX_MODES = ("refresh", "raise")
+
+#: Default number of hops summarised by cached sketches (the paper uses 2).
+DEFAULT_SKETCH_HOPS = 2
+
+_EMPTY_FROZEN: frozenset = frozenset()
+
+
+@dataclass
+class IndexStatistics:
+    """Build/probe counters of one :class:`FragmentIndex` (used by tests)."""
+
+    builds: int = 0
+    refreshes: int = 0
+    sketches_built: int = 0
+    sketch_fast_paths: int = 0
+    stale_probes: int = 0
+
+
+class FragmentIndex:
+    """Resident per-graph index bundle (see the module docstring).
+
+    Parameters
+    ----------
+    graph:
+        The graph (typically one fragment's local graph) to index.
+    mode:
+        ``"refresh"`` rebuilds the index transparently when the graph has
+        mutated since the last build; ``"raise"`` raises
+        :class:`~repro.exceptions.StaleIndexError` instead.
+    default_hops:
+        Sketch depth used when :meth:`sketch` is called without *hops*.
+    """
+
+    __slots__ = (
+        "_graph_ref",
+        "mode",
+        "default_hops",
+        "statistics",
+        "_built_version",
+        "_labels",
+        "_nodes_by_label",
+        "_profiles",
+        "_out_frozen",
+        "_in_frozen",
+        "_sketches",
+        "__weakref__",
+    )
+
+    def __init__(
+        self,
+        graph: Graph,
+        mode: str = "refresh",
+        default_hops: int = DEFAULT_SKETCH_HOPS,
+    ) -> None:
+        if mode not in INDEX_MODES:
+            raise ValueError(f"mode must be one of {INDEX_MODES}, got {mode!r}")
+        if default_hops < 1:
+            raise ValueError(f"default_hops must be >= 1, got {default_hops}")
+        # Weak reference only: the process-wide registry maps graph -> index
+        # with weak keys, so a strong graph reference here would keep every
+        # indexed graph (e.g. per-run fragment graphs) alive forever.  The
+        # index lives exactly as long as its graph, never the other way
+        # around; callers always hold the graph while probing.
+        self._graph_ref = weakref.ref(graph)
+        self.mode = mode
+        self.default_hops = default_hops
+        self.statistics = IndexStatistics()
+        self._build()
+
+    @property
+    def graph(self) -> Graph:
+        """The indexed graph; raises if it has been garbage collected."""
+        graph = self._graph_ref()
+        if graph is None:
+            raise GraphError("the graph of this FragmentIndex no longer exists")
+        return graph
+
+    # ------------------------------------------------------------------
+    # build / invalidation
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        graph = self.graph
+        # Layer (a): frozen label buckets.
+        self._labels: dict[NodeId, Label] = dict(graph._labels)
+        self._nodes_by_label: dict[Label, frozenset] = {
+            label: frozenset(nodes) for label, nodes in graph._nodes_by_label.items()
+        }
+        # Layer (b): labelled adjacency profiles, one pass over the edges.
+        profiles: dict[NodeId, Counter] = {node: Counter() for node in self._labels}
+        labels = self._labels
+        for source, by_label in graph._out.items():
+            source_profile = profiles[source]
+            for edge_label, targets in by_label.items():
+                for target in targets:
+                    source_profile[("out", edge_label, labels[target])] += 1
+                    profiles[target][("in", edge_label, labels[source])] += 1
+        self._profiles: dict[NodeId, dict] = {
+            node: dict(counter) for node, counter in profiles.items()
+        }
+        # Layer (c): memoised frozen adjacency views, filled on demand.
+        self._out_frozen: dict[tuple[NodeId, Label], frozenset] = {}
+        self._in_frozen: dict[tuple[NodeId, Label], frozenset] = {}
+        # Layer (d): memoised k-hop sketches, filled on demand.
+        self._sketches: dict[tuple[NodeId, int], KHopSketch] = {}
+        self._built_version = graph.version
+        self.statistics.builds += 1
+
+    @property
+    def built_version(self) -> int:
+        """Graph version the current contents were built from."""
+        return self._built_version
+
+    @property
+    def is_stale(self) -> bool:
+        """Whether the graph has mutated since the index was (re)built."""
+        return self.graph.version != self._built_version
+
+    def refresh(self) -> None:
+        """Rebuild all layers from the graph's current state."""
+        self._build()
+        self.statistics.refreshes += 1
+
+    def _check(self) -> None:
+        """Probe guard: refresh or raise if the graph has mutated."""
+        graph = self._graph_ref()  # inlined self.graph: this runs per probe
+        if graph is None:
+            raise GraphError("the graph of this FragmentIndex no longer exists")
+        if graph._version == self._built_version:
+            return
+        self.statistics.stale_probes += 1
+        if self.mode == "raise":
+            raise StaleIndexError(graph.name, self._built_version, graph.version)
+        self.refresh()
+
+    # ------------------------------------------------------------------
+    # layer (a): label index
+    # ------------------------------------------------------------------
+    def nodes_with_label(self, label: Label) -> frozenset:
+        """Frozen set of nodes carrying *label* (no per-call copy)."""
+        self._check()
+        return self._nodes_by_label.get(label, _EMPTY_FROZEN)
+
+    def count_nodes_with_label(self, label: Label) -> int:
+        """Number of nodes carrying *label*."""
+        self._check()
+        return len(self._nodes_by_label.get(label, _EMPTY_FROZEN))
+
+    def node_label(self, node: NodeId) -> Label:
+        """Label of *node* (same contract as ``Graph.node_label``)."""
+        self._check()
+        try:
+            return self._labels[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    # ------------------------------------------------------------------
+    # layer (b): adjacency profiles
+    # ------------------------------------------------------------------
+    def profile(self, node: NodeId) -> Mapping:
+        """Labelled adjacency profile of *node* (precomputed, do not mutate)."""
+        self._check()
+        try:
+            return self._profiles[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    # ------------------------------------------------------------------
+    # layer (c): frozen adjacency views
+    # ------------------------------------------------------------------
+    def out_neighbors(self, node: NodeId, label: Label) -> frozenset:
+        """Frozen ``{target : node --label--> target}`` view, memoised."""
+        self._check()
+        key = (node, label)
+        view = self._out_frozen.get(key)
+        if view is None:
+            if node not in self._labels:
+                raise NodeNotFoundError(node)
+            view = frozenset(self.graph._out[node].get(label, ()))
+            self._out_frozen[key] = view
+        return view
+
+    def in_neighbors(self, node: NodeId, label: Label) -> frozenset:
+        """Frozen ``{source : source --label--> node}`` view, memoised."""
+        self._check()
+        key = (node, label)
+        view = self._in_frozen.get(key)
+        if view is None:
+            if node not in self._labels:
+                raise NodeNotFoundError(node)
+            view = frozenset(self.graph._in[node].get(label, ()))
+            self._in_frozen[key] = view
+        return view
+
+    # ------------------------------------------------------------------
+    # layer (d): k-hop sketch cache
+    # ------------------------------------------------------------------
+    def sketch(self, node: NodeId, hops: int | None = None) -> KHopSketch:
+        """Memoised k-hop sketch of *node*.
+
+        Isolated nodes take the explicit empty-neighbourhood fast path: their
+        sketch is materialised directly (all-empty hop histograms) without a
+        BFS round-trip.
+        """
+        self._check()
+        k = hops if hops is not None else self.default_hops
+        key = (node, k)
+        sketch = self._sketches.get(key)
+        if sketch is None:
+            if node not in self._labels:
+                raise NodeNotFoundError(node)
+            if not self._profiles[node]:
+                # Empty profile == no incident edges: skip the BFS entirely.
+                sketch = empty_sketch(node, k)
+                self.statistics.sketch_fast_paths += 1
+            else:
+                sketch = build_sketch(self.graph, node, k)
+                self.statistics.sketches_built += 1
+            self._sketches[key] = sketch
+        return sketch
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        graph = self._graph_ref()
+        name = graph.name if graph is not None else "<collected>"
+        return (
+            f"FragmentIndex(graph={name!r}, mode={self.mode!r}, "
+            f"version={self._built_version}, labels={len(self._nodes_by_label)}, "
+            f"sketches={len(self._sketches)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# per-process registry
+# ----------------------------------------------------------------------
+# One index per graph object; weak keys keep transient graphs (extracted
+# d-balls, test fixtures) collectable.  The lock only guards get-or-create:
+# probes on a built index are plain dict reads under the GIL.
+_REGISTRY: "weakref.WeakKeyDictionary[Graph, FragmentIndex]" = weakref.WeakKeyDictionary()
+_REGISTRY_LOCK = threading.Lock()
+
+
+def graph_index(
+    graph: Graph,
+    mode: str = "refresh",
+    default_hops: int = DEFAULT_SKETCH_HOPS,
+) -> FragmentIndex:
+    """The process-wide resident :class:`FragmentIndex` for *graph*.
+
+    Builds the index on first use and memoises it against the graph object;
+    every layer of the matching stack that probes the same graph shares one
+    index.  *mode*/*default_hops* only apply to the first (building) call.
+    """
+    index = _REGISTRY.get(graph)
+    if index is None:
+        with _REGISTRY_LOCK:
+            index = _REGISTRY.get(graph)
+            if index is None:
+                index = FragmentIndex(graph, mode=mode, default_hops=default_hops)
+                _REGISTRY[graph] = index
+    return index
+
+
+def discard_index(graph: Graph) -> bool:
+    """Drop the registered index of *graph*, if any; returns whether one existed."""
+    with _REGISTRY_LOCK:
+        return _REGISTRY.pop(graph, None) is not None
+
+
+def registered_index(graph: Graph) -> FragmentIndex | None:
+    """The registered index of *graph* without building one (None if absent)."""
+    return _REGISTRY.get(graph)

@@ -45,6 +45,17 @@ class KHopSketch:
         return sum(sum(dist.values()) for dist in self.distributions)
 
 
+def empty_sketch(node: NodeId, hops: int) -> KHopSketch:
+    """The sketch of a node with no neighbours: all-empty hop histograms.
+
+    Used by the :class:`repro.graph.index.FragmentIndex` sketch cache as a
+    fast path for isolated nodes, skipping the BFS round-trip entirely.
+    """
+    if hops < 1:
+        raise ValueError(f"hops must be >= 1, got {hops}")
+    return KHopSketch(node=node, hops=hops, distributions=tuple({} for _ in range(hops)))
+
+
 def build_sketch(graph: Graph, node: NodeId, hops: int) -> KHopSketch:
     """Compute the k-hop sketch of *node* in *graph*."""
     if hops < 1:

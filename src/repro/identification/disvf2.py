@@ -22,10 +22,14 @@ from repro.pattern.gpar import GPAR
 class DisVF2(MatchC):
     """Distributed full-enumeration VF2 baseline."""
 
+    # Full enumeration runs directly on the fragment graphs, so the resident
+    # index (label buckets, frozen adjacency views) is consumed.
+    _consumes_resident_index = True
+
     def _make_matcher(self, max_radius: int) -> Matcher:
         # No locality wrapper and no degree filtering: the whole fragment is
         # searched for every candidate, as a naive port of VF2 would.
-        return VF2Matcher(use_degree_filter=False)
+        return VF2Matcher(use_degree_filter=False, use_index=self.config.use_index)
 
     def _verify_fragment(
         self,

@@ -35,6 +35,12 @@ class EIPConfig:
     executor_workers:
         Pool size for the thread/process backends; ``None`` sizes the pool
         to ``min(num_workers, cpu_count)``.
+    use_index:
+        Serve matcher probes from each fragment's resident
+        :class:`repro.graph.index.FragmentIndex` (built in the worker-pool
+        initializer on the process backend).  ``False`` re-derives label
+        sets, profiles and sketches per probe; both settings identify
+        identical entities (see docs/indexing.md).
     """
 
     eta: float = 1.0
@@ -42,6 +48,7 @@ class EIPConfig:
     seed: int = 0
     backend: str = "sequential"
     executor_workers: int | None = None
+    use_index: bool = True
 
     def __post_init__(self) -> None:
         if self.eta <= 0:
@@ -113,6 +120,7 @@ def identify_entities(
     seed: int = 0,
     backend: str = "sequential",
     executor_workers: int | None = None,
+    use_index: bool = True,
 ) -> EIPResult:
     """Solve EIP with the named algorithm (``match``, ``matchc`` or ``disvf2``)."""
     from repro.identification.disvf2 import DisVF2
@@ -125,6 +133,7 @@ def identify_entities(
         seed=seed,
         backend=backend,
         executor_workers=executor_workers,
+        use_index=use_index,
     )
     algorithms = {"match": Match, "matchc": MatchC, "disvf2": DisVF2}
     try:

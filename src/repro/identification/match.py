@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Hashable, Sequence
 
+from repro.graph.index import graph_index
 from repro.matching.base import Matcher
 from repro.matching.candidates import adjacency_profile, profile_satisfies, required_profile
 from repro.matching.guided import GuidedMatcher
@@ -32,6 +33,11 @@ NodeId = Hashable
 class Match(MatchC):
     """Optimised parallel EIP solver (the paper's ``Match``)."""
 
+    # The guided matcher runs directly on each fragment graph, so the
+    # worker-initializer index build pays off here (unlike MatchC's
+    # ball-restricted search).
+    _consumes_resident_index = True
+
     def __init__(self, config: EIPConfig, sketch_hops: int = 2) -> None:
         super().__init__(config)
         self.sketch_hops = sketch_hops
@@ -41,7 +47,7 @@ class Match(MatchC):
         # owned candidates' d-balls); running the guided matcher directly on
         # it lets the k-hop sketch cache be shared across all candidates and
         # all rules of Σ instead of being rebuilt per extracted ball.
-        return GuidedMatcher(sketch_hops=self.sketch_hops)
+        return GuidedMatcher(sketch_hops=self.sketch_hops, use_index=self.config.use_index)
 
     def _verify_fragment(
         self,
@@ -51,6 +57,7 @@ class Match(MatchC):
         predicate,
     ) -> _FragmentReport:
         graph = fragment.graph
+        index = graph_index(graph) if self.config.use_index else None
         stats = predicate_stats_over(graph, predicate, fragment.owned_centers)
         owned = set(stats.positives) | set(stats.negatives) | set(stats.unknown)
         report = _FragmentReport(fragment_index=fragment.index)
@@ -73,7 +80,7 @@ class Match(MatchC):
 
         for candidate in owned:
             # One adjacency profile per candidate, shared by all rules of Σ.
-            profile = adjacency_profile(graph, candidate)
+            profile = adjacency_profile(graph, candidate, index)
             for rule in rules:
                 report.candidates_examined += 1
                 if not profile_satisfies(profile, antecedent_profiles[rule]):

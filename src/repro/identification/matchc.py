@@ -78,13 +78,22 @@ class _FragmentReport:
 class MatchC:
     """Parallel EIP solver without the Section 5.2 optimisations."""
 
+    #: Whether this solver's matcher probes the fragments' *resident* index.
+    #: MatchC searches exclusively inside extracted d-balls, where
+    #: :class:`LocalityMatcher` suspends index use, so building the
+    #: per-fragment indexes would be pure overhead; Match and DisVF2 run
+    #: directly on the fragment graphs and override this to ``True``.
+    _consumes_resident_index = False
+
     def __init__(self, config: EIPConfig) -> None:
         self.config = config
 
     # -- hooks overridden by Match / DisVF2 --------------------------------
     def _make_matcher(self, max_radius: int) -> Matcher:
         """Anchored matcher used per fragment (plain VF2 inside the d-ball)."""
-        return LocalityMatcher(VF2Matcher(), radius=max_radius)
+        return LocalityMatcher(
+            VF2Matcher(use_index=self.config.use_index), radius=max_radius
+        )
 
     def _verify_fragment(
         self,
@@ -141,7 +150,11 @@ class MatchC:
             d=max_radius,
             seed=self.config.seed,
         )
-        executor = make_executor(self.config.backend, self.config.executor_workers)
+        executor = make_executor(
+            self.config.backend,
+            self.config.executor_workers,
+            build_indexes=self.config.use_index and self._consumes_resident_index,
+        )
         runtime = BSPRuntime(fragments, executor)
         runtime.start_run()
 

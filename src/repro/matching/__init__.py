@@ -6,6 +6,13 @@ the role of the designated node x* (``Q(x, G)``).  The matchers therefore
 expose anchored, early-terminating queries in addition to full enumeration
 (which is retained for the ``disVF2`` baseline and as a test oracle).
 
+All matchers accept ``use_index`` (default on): probes for label candidate
+sets, adjacency profiles, labelled neighbour sets and k-hop sketches are
+then served by the data graph's resident
+:class:`repro.graph.index.FragmentIndex` instead of being re-derived from
+the raw graph per call — identical results, measured ≥2× faster on repeated
+matching traffic (docs/indexing.md).
+
 Matchers
 --------
 :class:`VF2Matcher`

@@ -8,6 +8,7 @@ from typing import Hashable, Iterable, Iterator
 
 from repro.exceptions import MatchingError
 from repro.graph.graph import Graph
+from repro.graph.index import FragmentIndex, graph_index
 from repro.pattern.pattern import Pattern, PatternEdge
 
 NodeId = Hashable
@@ -94,14 +95,32 @@ def build_search_plan(pattern: Pattern, anchor) -> _SearchPlan:
 
 
 class Matcher(ABC):
-    """Common interface of all subgraph-isomorphism matchers."""
+    """Common interface of all subgraph-isomorphism matchers.
 
-    def __init__(self) -> None:
+    Parameters
+    ----------
+    use_index:
+        When ``True`` (default) anchored searches consult the resident
+        :class:`repro.graph.index.FragmentIndex` of the data graph (label
+        buckets, adjacency profiles, frozen adjacency views, sketch cache);
+        ``False`` re-derives everything from the raw graph per probe — the
+        measured-but-slower baseline of the index benchmarks.  The two modes
+        return identical matches.
+    """
+
+    def __init__(self, use_index: bool = True) -> None:
         self.statistics = MatchStatistics()
+        self.use_index = use_index
 
     def reset_statistics(self) -> None:
         """Zero the work counters."""
         self.statistics = MatchStatistics()
+
+    def _index(self, graph: Graph) -> FragmentIndex | None:
+        """The data graph's resident index, or ``None`` when disabled."""
+        if not self.use_index:
+            return None
+        return graph_index(graph)
 
     # -- anchored queries -------------------------------------------------
     @abstractmethod
@@ -126,7 +145,11 @@ class Matcher(ABC):
         """
         expanded = pattern.expanded()
         if candidates is None:
-            pool: Iterable[NodeId] = graph.nodes_with_label(expanded.label(expanded.x))
+            index = self._index(graph)
+            if index is not None:
+                pool: Iterable[NodeId] = index.nodes_with_label(expanded.label(expanded.x))
+            else:
+                pool = graph.nodes_with_label(expanded.label(expanded.x))
         else:
             pool = candidates
         matched: set[NodeId] = set()
@@ -149,8 +172,15 @@ class Matcher(ABC):
         anchored early-terminating queries instead.
         """
         expanded = pattern.expanded()
+        index = self._index(graph)
+        anchor_label = expanded.label(expanded.x)
+        anchors = (
+            index.nodes_with_label(anchor_label)
+            if index is not None
+            else graph.nodes_with_label(anchor_label)
+        )
         results: list[dict] = []
-        for candidate in sorted(graph.nodes_with_label(expanded.label(expanded.x)), key=str):
+        for candidate in sorted(anchors, key=str):
             for mapping in self.iter_matches_at(graph, expanded, candidate):
                 results.append(mapping)
                 if limit is not None and len(results) >= limit:

@@ -1,4 +1,11 @@
-"""Candidate generation and cheap necessary-condition filters."""
+"""Candidate generation and cheap necessary-condition filters.
+
+Every helper accepts an optional :class:`repro.graph.index.FragmentIndex`;
+when one is supplied the probe is answered from the resident index (a dict
+lookup) instead of being re-derived from the raw graph (an O(degree) walk).
+The results are identical by construction — the index is a memoisation of
+exactly these quantities.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +13,7 @@ from collections import Counter
 from typing import Hashable
 
 from repro.graph.graph import Graph
+from repro.graph.index import FragmentIndex
 from repro.pattern.pattern import Pattern
 
 NodeId = Hashable
@@ -15,9 +23,14 @@ NodeId = Hashable
 Profile = dict[tuple[str, str, str], int]
 
 
-def label_candidates(graph: Graph, pattern: Pattern, pattern_node) -> set[NodeId]:
+def label_candidates(
+    graph: Graph, pattern: Pattern, pattern_node, index: FragmentIndex | None = None
+) -> set[NodeId]:
     """Data nodes whose label satisfies the search condition of *pattern_node*."""
-    return graph.nodes_with_label(pattern.label(pattern_node))
+    label = pattern.label(pattern_node)
+    if index is not None:
+        return set(index.nodes_with_label(label))
+    return graph.nodes_with_label(label)
 
 
 def required_profile(pattern: Pattern, pattern_node) -> Profile:
@@ -34,12 +47,15 @@ def required_profile(pattern: Pattern, pattern_node) -> Profile:
     return dict(profile)
 
 
-def adjacency_profile(graph: Graph, node: NodeId) -> Profile:
+def adjacency_profile(graph: Graph, node: NodeId, index: FragmentIndex | None = None) -> Profile:
     """Labelled adjacency profile of a data node.
 
     This is the quantity :class:`repro.matching.MultiPatternMatcher` caches
-    per candidate so that every rule in Σ reuses it.
+    per candidate so that every rule in Σ reuses it.  With an *index* the
+    precomputed profile is returned directly (treat it as read-only).
     """
+    if index is not None:
+        return index.profile(node)
     profile: Counter = Counter()
     for edge in graph.out_edges(node):
         profile[("out", edge.label, graph.node_label(edge.target))] += 1
@@ -56,12 +72,18 @@ def profile_satisfies(candidate_profile: Profile, needed: Profile) -> bool:
     return True
 
 
-def degree_consistent(graph: Graph, data_node: NodeId, pattern: Pattern, pattern_node) -> bool:
+def degree_consistent(
+    graph: Graph,
+    data_node: NodeId,
+    pattern: Pattern,
+    pattern_node,
+    index: FragmentIndex | None = None,
+) -> bool:
     """Cheap degree-based necessary condition for ``data_node`` to match.
 
     For every (direction, edge label, neighbour label) the pattern requires,
     the data node must have at least as many such neighbours.
     """
     return profile_satisfies(
-        adjacency_profile(graph, data_node), required_profile(pattern, pattern_node)
+        adjacency_profile(graph, data_node, index), required_profile(pattern, pattern_node)
     )

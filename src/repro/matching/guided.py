@@ -34,16 +34,24 @@ class GuidedMatcher(Matcher):
     use_sketch_pruning:
         If ``True`` candidates whose sketch cannot dominate the pattern
         node's sketch are discarded before the recursive search.
+    use_index:
+        Serve data-node sketches, adjacency profiles and frozen adjacency
+        views from the graph's resident :class:`FragmentIndex` — the sketch
+        cache is then shared by every matcher probing the same graph in the
+        process, instead of being private to this instance.
     """
 
-    def __init__(self, sketch_hops: int = 2, use_sketch_pruning: bool = True) -> None:
-        super().__init__()
+    def __init__(
+        self, sketch_hops: int = 2, use_sketch_pruning: bool = True, use_index: bool = True
+    ) -> None:
+        super().__init__(use_index=use_index)
         if sketch_hops < 1:
             raise ValueError(f"sketch_hops must be >= 1, got {sketch_hops}")
         self.sketch_hops = sketch_hops
         self.use_sketch_pruning = use_sketch_pruning
         # Per data-graph sketch cache keyed by the graph object itself (not
         # id(): holding the object avoids id reuse after garbage collection).
+        # Only used when the resident index is disabled.
         self._data_sketches: dict[Graph, dict[NodeId, KHopSketch]] = {}
         # Pattern sketches keyed by (pattern, node); Pattern hashes by
         # structure, so transient expanded copies reuse the right entry.
@@ -54,7 +62,9 @@ class GuidedMatcher(Matcher):
     # ------------------------------------------------------------------
     # sketch caches
     # ------------------------------------------------------------------
-    def _data_sketch(self, graph: Graph, node: NodeId) -> KHopSketch:
+    def _data_sketch(self, graph: Graph, index, node: NodeId) -> KHopSketch:
+        if index is not None:
+            return index.sketch(node, self.sketch_hops)
         cache = self._data_sketches.setdefault(graph, {})
         sketch = cache.get(node)
         if sketch is None:
@@ -106,11 +116,12 @@ class GuidedMatcher(Matcher):
             return
         if graph.node_label(anchor_value) != pattern.label(pattern.x):
             return
-        if not degree_consistent(graph, anchor_value, pattern, pattern.x):
+        index = self._index(graph)
+        if not degree_consistent(graph, anchor_value, pattern, pattern.x, index):
             return
         pattern_graph = self._pattern_graph(pattern)
         if self.use_sketch_pruning:
-            anchor_sketch = self._data_sketch(graph, anchor_value)
+            anchor_sketch = self._data_sketch(graph, index, anchor_value)
             needed = self._pattern_sketch(pattern, pattern_graph, pattern.x)
             if not sketch_dominates(anchor_sketch, needed):
                 self.statistics.sketch_prunes += 1
@@ -119,31 +130,43 @@ class GuidedMatcher(Matcher):
         mapping: dict = {pattern.x: anchor_value}
         used: set[NodeId] = {anchor_value}
         yield from self._extend(
-            graph, pattern, pattern_graph, plan, 1, mapping, used, first_only
+            graph, index, pattern, pattern_graph, plan, 1, mapping, used, first_only
         )
 
-    def _ranked_candidates(self, graph, pattern, pattern_graph, plan, position, mapping):
+    def _ranked_candidates(self, graph, index, pattern, pattern_graph, plan, position, mapping):
         node = plan.order[position]
         node_label = pattern.label(node)
         candidate_set = None
         for edge, placed_is_source in plan.connections[position]:
             if placed_is_source:
-                neighbors = graph.out_neighbors(mapping[edge.source], edge.label)
+                neighbors = (
+                    index.out_neighbors(mapping[edge.source], edge.label)
+                    if index is not None
+                    else graph.out_neighbors(mapping[edge.source], edge.label)
+                )
             else:
-                neighbors = graph.in_neighbors(mapping[edge.target], edge.label)
+                neighbors = (
+                    index.in_neighbors(mapping[edge.target], edge.label)
+                    if index is not None
+                    else graph.in_neighbors(mapping[edge.target], edge.label)
+                )
             candidate_set = neighbors if candidate_set is None else candidate_set & neighbors
             if not candidate_set:
                 return []
         if candidate_set is None:
             # Free node of a disconnected pattern: fall back to the label index.
-            candidate_set = graph.nodes_with_label(node_label)
+            candidate_set = (
+                index.nodes_with_label(node_label)
+                if index is not None
+                else graph.nodes_with_label(node_label)
+            )
         filtered = [c for c in candidate_set if graph.node_label(c) == node_label]
         if not filtered:
             return []
         needed = self._pattern_sketch(pattern, pattern_graph, node)
         ranked: list[tuple[int, NodeId]] = []
         for candidate in filtered:
-            sketch = self._data_sketch(graph, candidate)
+            sketch = self._data_sketch(graph, index, candidate)
             if self.use_sketch_pruning and not sketch_dominates(sketch, needed):
                 self.statistics.sketch_prunes += 1
                 continue
@@ -164,6 +187,7 @@ class GuidedMatcher(Matcher):
     def _extend(
         self,
         graph: Graph,
+        index,
         pattern: Pattern,
         pattern_graph: Graph,
         plan,
@@ -177,7 +201,9 @@ class GuidedMatcher(Matcher):
             yield dict(mapping)
             return
         node = plan.order[position]
-        for data_node in self._ranked_candidates(graph, pattern, pattern_graph, plan, position, mapping):
+        for data_node in self._ranked_candidates(
+            graph, index, pattern, pattern_graph, plan, position, mapping
+        ):
             if data_node in used:
                 continue
             self.statistics.states_expanded += 1
@@ -188,7 +214,7 @@ class GuidedMatcher(Matcher):
             used.add(data_node)
             produced = False
             for result in self._extend(
-                graph, pattern, pattern_graph, plan, position + 1, mapping, used, first_only
+                graph, index, pattern, pattern_graph, plan, position + 1, mapping, used, first_only
             ):
                 produced = True
                 yield result

@@ -32,6 +32,15 @@ class LocalityMatcher(Matcher):
     cache_balls:
         Cache extracted neighbourhoods per (graph, node, radius); useful when
         the same candidate is probed by many rules (EIP with a set Σ).
+
+    Notes
+    -----
+    The resident :class:`repro.graph.index.FragmentIndex` machinery is
+    *fragment*-resident: extracted d-balls are transient per-candidate
+    subgraphs, and eagerly indexing each one costs more than the handful of
+    probes it would serve.  The inner matcher's index use is therefore
+    suspended while it searches inside a ball (the label pool of anchored
+    ``match_set`` queries still comes from the data graph's resident index).
     """
 
     def __init__(self, inner: Matcher, radius: int | None = None, cache_balls: bool = True) -> None:
@@ -63,7 +72,12 @@ class LocalityMatcher(Matcher):
         expanded = pattern.expanded()
         radius = self.radius if self.radius is not None else pattern_radius(expanded, expanded.x)
         ball = self._ball(graph, anchor_value, radius)
-        mapping = self.inner.find_match_at(ball, expanded, anchor_value)
+        inner_use_index = self.inner.use_index
+        self.inner.use_index = False  # balls are transient; see the class docstring
+        try:
+            mapping = self.inner.find_match_at(ball, expanded, anchor_value)
+        finally:
+            self.inner.use_index = inner_use_index
         self.statistics.merge(self.inner.statistics)
         self.inner.reset_statistics()
         return mapping

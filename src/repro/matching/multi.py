@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Hashable, Iterable, Sequence
 
 from repro.graph.graph import Graph
+from repro.graph.index import graph_index
 from repro.matching.base import Matcher, MatchStatistics
 from repro.matching.candidates import adjacency_profile, profile_satisfies, required_profile
 from repro.pattern.gpar import GPAR
@@ -31,11 +32,17 @@ class MultiPatternMatcher:
         :class:`repro.matching.LocalityMatcher`).
     use_profile_filter:
         Enable the shared adjacency-profile necessary condition.
+    use_index:
+        Serve candidate pools and adjacency profiles from the data graph's
+        resident :class:`repro.graph.index.FragmentIndex`.
     """
 
-    def __init__(self, matcher: Matcher, use_profile_filter: bool = True) -> None:
+    def __init__(
+        self, matcher: Matcher, use_profile_filter: bool = True, use_index: bool = True
+    ) -> None:
         self.matcher = matcher
         self.use_profile_filter = use_profile_filter
+        self.use_index = use_index
         self.statistics = MatchStatistics()
 
     def match_sets(
@@ -64,10 +71,14 @@ class MultiPatternMatcher:
             rule: required_profile(rule.pr_pattern().expanded(), rule.x) for rule in rules
         }
 
+        index = graph_index(graph) if self.use_index else None
         candidate_list = None if candidates is None else list(candidates)
         for x_label, label_rules in by_x_label.items():
             if candidate_list is None:
-                pool: Iterable[NodeId] = graph.nodes_with_label(x_label)
+                if index is not None:
+                    pool: Iterable[NodeId] = index.nodes_with_label(x_label)
+                else:
+                    pool = graph.nodes_with_label(x_label)
             else:
                 pool = [
                     node
@@ -75,7 +86,11 @@ class MultiPatternMatcher:
                     if graph.has_node(node) and graph.node_label(node) == x_label
                 ]
             for candidate in pool:
-                profile = adjacency_profile(graph, candidate) if self.use_profile_filter else None
+                profile = (
+                    adjacency_profile(graph, candidate, index)
+                    if self.use_profile_filter
+                    else None
+                )
                 for rule in label_rules:
                     self.statistics.candidates_considered += 1
                     if profile is not None and not profile_satisfies(

@@ -23,23 +23,33 @@ from __future__ import annotations
 from typing import Hashable
 
 from repro.graph.graph import Graph
+from repro.graph.index import FragmentIndex, graph_index
 from repro.pattern.pattern import Pattern
 
 NodeId = Hashable
 
 
-def maximum_dual_simulation(pattern: Pattern, graph: Graph) -> dict[Hashable, set[NodeId]]:
+def maximum_dual_simulation(
+    pattern: Pattern, graph: Graph, index: FragmentIndex | None = None
+) -> dict[Hashable, set[NodeId]]:
     """Compute the maximum dual simulation of *pattern* into *graph*.
 
     Returns a mapping ``pattern node -> set of data nodes`` that simulate it;
     all sets are empty when no total simulation exists (some pattern node has
-    no simulating data node).
+    no simulating data node).  With an *index* the label seeding and the
+    per-candidate neighbour probes of the refinement loop are answered from
+    the resident :class:`FragmentIndex` instead of copying adjacency sets.
     """
     expanded = pattern.expanded()
     # Initial candidates: label agreement.
-    simulation: dict[Hashable, set[NodeId]] = {
-        node: set(graph.nodes_with_label(expanded.label(node))) for node in expanded.nodes()
-    }
+    if index is not None:
+        simulation: dict[Hashable, set[NodeId]] = {
+            node: set(index.nodes_with_label(expanded.label(node))) for node in expanded.nodes()
+        }
+    else:
+        simulation = {
+            node: set(graph.nodes_with_label(expanded.label(node))) for node in expanded.nodes()
+        }
     if any(not candidates for candidates in simulation.values()):
         return {node: set() for node in expanded.nodes()}
 
@@ -51,13 +61,21 @@ def maximum_dual_simulation(pattern: Pattern, graph: Graph) -> dict[Hashable, se
             for candidate in simulation[node]:
                 consistent = True
                 for edge in expanded.out_edges(node):
-                    successors = graph.out_neighbors(candidate, edge.label)
+                    successors = (
+                        index.out_neighbors(candidate, edge.label)
+                        if index is not None
+                        else graph.out_neighbors(candidate, edge.label)
+                    )
                     if not (successors & simulation[edge.target]):
                         consistent = False
                         break
                 if consistent:
                     for edge in expanded.in_edges(node):
-                        predecessors = graph.in_neighbors(candidate, edge.label)
+                        predecessors = (
+                            index.in_neighbors(candidate, edge.label)
+                            if index is not None
+                            else graph.in_neighbors(candidate, edge.label)
+                        )
                         if not (predecessors & simulation[edge.source]):
                             consistent = False
                             break
@@ -80,7 +98,8 @@ class SimulationMatcher:
     maximum simulation rather than by per-candidate search.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, use_index: bool = True) -> None:
+        self.use_index = use_index
         # Cache of maximum simulations keyed by (pattern, graph identity).
         self._cache: dict[tuple[Pattern, int], dict] = {}
         self._graphs: dict[int, Graph] = {}
@@ -88,7 +107,8 @@ class SimulationMatcher:
     def _simulation(self, graph: Graph, pattern: Pattern) -> dict:
         key = (pattern, id(graph))
         if key not in self._cache:
-            self._cache[key] = maximum_dual_simulation(pattern, graph)
+            index = graph_index(graph) if self.use_index else None
+            self._cache[key] = maximum_dual_simulation(pattern, graph, index)
             self._graphs[id(graph)] = graph  # keep the graph alive for id stability
         return self._cache[key]
 

@@ -28,10 +28,14 @@ class VF2Matcher(Matcher):
         When ``True`` (default) candidates failing the labelled-degree
         necessary condition are rejected before the recursive search; the
         ``disVF2`` baseline of the paper disables every extra filter.
+    use_index:
+        Consult the data graph's resident :class:`FragmentIndex` for label
+        buckets, adjacency profiles and frozen adjacency views (see
+        :class:`repro.matching.base.Matcher`).
     """
 
-    def __init__(self, use_degree_filter: bool = True) -> None:
-        super().__init__()
+    def __init__(self, use_degree_filter: bool = True, use_index: bool = True) -> None:
+        super().__init__(use_index=use_index)
         self.use_degree_filter = use_degree_filter
 
     # ------------------------------------------------------------------
@@ -57,35 +61,46 @@ class VF2Matcher(Matcher):
             return
         if graph.node_label(anchor_value) != pattern.label(pattern.x):
             return
+        index = self._index(graph)
         if self.use_degree_filter and not degree_consistent(
-            graph, anchor_value, pattern, pattern.x
+            graph, anchor_value, pattern, pattern.x, index
         ):
             return
         plan = build_search_plan(pattern, pattern.x)
         mapping: dict = {pattern.x: anchor_value}
         used: set[NodeId] = {anchor_value}
-        yield from self._extend(graph, pattern, plan, 1, mapping, used, first_only)
+        yield from self._extend(graph, index, pattern, plan, 1, mapping, used, first_only)
 
-    def _candidates_for(self, graph: Graph, pattern: Pattern, plan, position, mapping):
+    def _candidates_for(self, graph: Graph, index, pattern: Pattern, plan, position, mapping):
         """Candidate data nodes for the pattern node at *position* in the plan."""
         node = plan.order[position]
         node_label = pattern.label(node)
-        candidate_set: set[NodeId] | None = None
+        candidate_set: set[NodeId] | frozenset | None = None
         for edge, placed_is_source in plan.connections[position]:
             if placed_is_source:
                 placed_data = mapping[edge.source]
-                neighbors = graph.out_neighbors(placed_data, edge.label)
+                neighbors = (
+                    index.out_neighbors(placed_data, edge.label)
+                    if index is not None
+                    else graph.out_neighbors(placed_data, edge.label)
+                )
             else:
                 placed_data = mapping[edge.target]
-                neighbors = graph.in_neighbors(placed_data, edge.label)
+                neighbors = (
+                    index.in_neighbors(placed_data, edge.label)
+                    if index is not None
+                    else graph.in_neighbors(placed_data, edge.label)
+                )
             if candidate_set is None:
                 candidate_set = neighbors
             else:
-                candidate_set &= neighbors
+                candidate_set = candidate_set & neighbors
             if not candidate_set:
                 return set()
         if candidate_set is None:
             # Free node of a disconnected pattern: fall back to the label index.
+            if index is not None:
+                return index.nodes_with_label(node_label)
             return graph.nodes_with_label(node_label)
         return {node_id for node_id in candidate_set if graph.node_label(node_id) == node_label}
 
@@ -102,6 +117,7 @@ class VF2Matcher(Matcher):
     def _extend(
         self,
         graph: Graph,
+        index,
         pattern: Pattern,
         plan,
         position: int,
@@ -114,12 +130,14 @@ class VF2Matcher(Matcher):
             yield dict(mapping)
             return
         node = plan.order[position]
-        candidates = self._candidates_for(graph, pattern, plan, position, mapping)
+        candidates = self._candidates_for(graph, index, pattern, plan, position, mapping)
         for data_node in sorted(candidates, key=str):
             if data_node in used:
                 continue
             self.statistics.states_expanded += 1
-            if self.use_degree_filter and not degree_consistent(graph, data_node, pattern, node):
+            if self.use_degree_filter and not degree_consistent(
+                graph, data_node, pattern, node, index
+            ):
                 continue
             if not self._consistent(graph, pattern, node, data_node, mapping):
                 self.statistics.backtracks += 1
@@ -127,7 +145,9 @@ class VF2Matcher(Matcher):
             mapping[node] = data_node
             used.add(data_node)
             produced = False
-            for result in self._extend(graph, pattern, plan, position + 1, mapping, used, first_only):
+            for result in self._extend(
+                graph, index, pattern, plan, position + 1, mapping, used, first_only
+            ):
                 produced = True
                 yield result
                 if first_only:

@@ -43,6 +43,12 @@ class DMineConfig:
         ``"vf2"`` (plain backtracking, the default — DMine's optimisations
         are orthogonal to the matcher) or ``"guided"`` (sketch-guided
         search, mainly useful on graphs with very skewed label frequencies).
+    use_index:
+        Serve matcher probes from each fragment's resident
+        :class:`repro.graph.index.FragmentIndex` (built in the worker-pool
+        initializer on the process backend).  ``False`` re-derives label
+        sets, profiles and sketches from the raw graph per probe; both
+        settings mine identical rules (see docs/indexing.md).
     use_incremental_diversification:
         incDiv on/off — off means "discover then diversify" at the end.
     use_reduction_rules:
@@ -70,6 +76,7 @@ class DMineConfig:
     max_extensions_per_rule: int = 30
     max_rules_per_round: int = 60
     matcher: str = "vf2"
+    use_index: bool = True
     use_incremental_diversification: bool = True
     use_reduction_rules: bool = True
     use_bisimulation_filter: bool = True
@@ -123,6 +130,7 @@ class DMineConfig:
             max_extensions_per_rule=self.max_extensions_per_rule,
             max_rules_per_round=self.max_rules_per_round,
             matcher="vf2",
+            use_index=self.use_index,
             use_incremental_diversification=False,
             use_reduction_rules=False,
             use_bisimulation_filter=False,

@@ -117,7 +117,9 @@ class DMine:
             d=config.d,
             seed=config.seed,
         )
-        executor = make_executor(config.backend, config.executor_workers)
+        executor = make_executor(
+            config.backend, config.executor_workers, build_indexes=config.use_index
+        )
         runtime = BSPRuntime(fragments, executor)
         runtime.start_run()
 

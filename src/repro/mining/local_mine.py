@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Hashable, Sequence
 
+from repro.graph.index import graph_index
 from repro.matching.base import Matcher
 from repro.matching.guided import GuidedMatcher
 from repro.matching.vf2 import VF2Matcher
@@ -43,11 +44,11 @@ from repro.pattern.pattern import Pattern
 NodeId = Hashable
 
 
-def make_matcher(kind: str) -> Matcher:
+def make_matcher(kind: str, use_index: bool = True) -> Matcher:
     """Instantiate the anchored matcher named by a config string."""
     if kind == "guided":
-        return GuidedMatcher()
-    return VF2Matcher()
+        return GuidedMatcher(use_index=use_index)
+    return VF2Matcher(use_index=use_index)
 
 
 def seed_rule(predicate: Pattern, name: str = "seed") -> GPAR:
@@ -79,7 +80,11 @@ class LocalMiner:
         self.fragment = fragment
         self.predicate = predicate
         self.config = config
-        self.matcher = make_matcher(config.matcher)
+        self.matcher = make_matcher(config.matcher, use_index=config.use_index)
+        # Pin the fragment's resident index so every probe this miner makes
+        # (and every other consumer in the process) shares one build; on the
+        # process backend the build already happened in the pool initializer.
+        self.index = graph_index(fragment.graph) if config.use_index else None
 
         stats = predicate_stats_over(fragment.graph, predicate, fragment.owned_centers)
         # Candidate centres C_i: owned nodes satisfying the search condition on x.

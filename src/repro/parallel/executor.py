@@ -54,15 +54,31 @@ class WorkerTask:
 
 
 class Executor(ABC):
-    """Runs batches of :class:`WorkerTask` and reports per-task durations."""
+    """Runs batches of :class:`WorkerTask` and reports per-task durations.
+
+    ``build_indexes`` (default ``True``) makes :meth:`start` build each
+    fragment's resident :class:`repro.graph.index.FragmentIndex` up front —
+    in the worker-pool initializer for the process backend, in-process for
+    the sequential/thread backends — so every backend begins its first round
+    with warm fragment indexes.
+    """
 
     name = "abstract"
+    build_indexes = True
+    # The process backend builds indexes inside its pool initializer instead
+    # of in the coordinator process (where the fragments are never matched).
+    _warm_indexes_in_parent = True
 
     def start(self, fragments: Sequence[Fragment]) -> None:
         """Receive the run's fragments; called once before the first round."""
         self._contexts = {
             fragment.index: WorkerContext(fragment) for fragment in fragments
         }
+        if self.build_indexes and self._warm_indexes_in_parent:
+            from repro.graph.index import graph_index
+
+            for fragment in fragments:
+                graph_index(fragment.graph)
 
     def shutdown(self) -> None:
         """Release pooled resources; called once after the last round."""
@@ -181,6 +197,7 @@ class ProcessPoolExecutorBackend(Executor):
     """
 
     name = "processes"
+    _warm_indexes_in_parent = False
 
     def __init__(self, max_workers: int | None = None, start_method: str | None = None) -> None:
         self.max_workers = max_workers
@@ -203,7 +220,7 @@ class ProcessPoolExecutorBackend(Executor):
             max_workers=processes,
             mp_context=context,
             initializer=init_worker,
-            initargs=(fragment_list,),
+            initargs=(fragment_list, self.build_indexes),
         )
 
     def shutdown(self) -> None:
@@ -238,12 +255,23 @@ class ProcessPoolExecutorBackend(Executor):
         return results, durations
 
 
-def make_executor(backend: str, max_workers: int | None = None) -> Executor:
-    """Instantiate the execution backend named by a config/CLI string."""
+def make_executor(
+    backend: str, max_workers: int | None = None, build_indexes: bool = True
+) -> Executor:
+    """Instantiate the execution backend named by a config/CLI string.
+
+    *build_indexes* controls whether the backend builds the fragments'
+    resident :class:`repro.graph.index.FragmentIndex` at start (see
+    :class:`Executor`); algorithm configs pass their ``use_index`` flag here
+    so unindexed baseline runs skip the build entirely.
+    """
     if backend == "sequential":
-        return SequentialExecutor()
-    if backend == "threads":
-        return ThreadPoolExecutorBackend(max_workers=max_workers)
-    if backend == "processes":
-        return ProcessPoolExecutorBackend(max_workers=max_workers)
-    raise ExecutorError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+        executor: Executor = SequentialExecutor()
+    elif backend == "threads":
+        executor = ThreadPoolExecutorBackend(max_workers=max_workers)
+    elif backend == "processes":
+        executor = ProcessPoolExecutorBackend(max_workers=max_workers)
+    else:
+        raise ExecutorError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    executor.build_indexes = build_indexes
+    return executor

@@ -7,6 +7,12 @@ registry.  Every subsequent round ships only a small picklable
 ``(worker_fn, fragment_id, payload)`` descriptor — never the graph — and the
 worker resolves ``fragment_id`` against its local registry.
 
+The initializer also builds each fragment's resident
+:class:`repro.graph.index.FragmentIndex` (label buckets, adjacency profiles,
+sketch cache) unless index building was disabled, so the matching hot path
+probes a warm index that lives with the fragment for the pool's lifetime and
+never crosses the pickle boundary.
+
 Per-fragment scratch state (a ``LocalMiner``, a matcher with warm caches)
 lives in a :class:`WorkerContext` that survives across rounds for the
 lifetime of the pool.  Because a pool may route any fragment's task to any
@@ -55,12 +61,21 @@ class WorkerContext:
             return value
 
 
-def init_worker(fragments: Sequence[Fragment]) -> None:
-    """Pool initializer: install *fragments* in this process's registry."""
+def init_worker(fragments: Sequence[Fragment], build_indexes: bool = True) -> None:
+    """Pool initializer: install *fragments* in this process's registry.
+
+    With *build_indexes* (the default) each fragment's resident
+    :class:`~repro.graph.index.FragmentIndex` is built here, once per worker
+    process, so every round's matching work starts from a warm index.
+    """
+    from repro.graph.index import graph_index
+
     _FRAGMENTS.clear()
     _CONTEXTS.clear()
     for fragment in fragments:
         _FRAGMENTS[fragment.index] = fragment
+        if build_indexes:
+            graph_index(fragment.graph)
 
 
 def context_for(fragment_id: int) -> WorkerContext:

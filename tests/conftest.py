@@ -1,4 +1,9 @@
-"""Shared fixtures: the paper's example graphs/rules and small social graphs."""
+"""Shared fixtures: the paper's example graphs/rules and small social graphs.
+
+Also wires the ``--update-golden`` flag used by the golden-file regression
+suite (tests/test_golden.py): running ``pytest --update-golden`` regenerates
+the snapshots under ``tests/golden/`` instead of comparing against them.
+"""
 
 from __future__ import annotations
 
@@ -20,6 +25,21 @@ from repro.datasets import (
     rule_r8,
     visit_french_predicate,
 )
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden regression snapshots under tests/golden/",
+    )
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    """Whether this run should regenerate golden files instead of asserting."""
+    return request.config.getoption("--update-golden")
 
 
 @pytest.fixture(scope="session")

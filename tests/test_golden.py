@@ -1,0 +1,144 @@
+"""Golden-file regression suite over the paper's example graphs.
+
+Snapshots of DMine rule sets and EIP match results live under
+``tests/golden/``; any change to the mining/matching/identification stack
+that alters these outputs fails here with a diff-sized signal.  To
+intentionally re-baseline after a semantic change::
+
+    python -m pytest tests/test_golden.py --update-golden
+
+which rewrites the snapshots (and skips the assertions for that run).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.identification import identify_entities
+from repro.mining import DMineConfig, dmine
+from repro.pattern.canonical import canonical_code
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def _number(value: float):
+    """JSON-safe confidence: 9-decimal float, or the string "inf"."""
+    return "inf" if math.isinf(value) else round(value, 9)
+
+
+def check_golden(name: str, payload: dict, update: bool, directory: Path | None = None) -> None:
+    """Compare *payload* against ``tests/golden/<name>.json`` (or rewrite it)."""
+    golden_dir = directory if directory is not None else GOLDEN_DIR
+    golden_dir.mkdir(exist_ok=True)
+    path = golden_dir / f"{name}.json"
+    rendered = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    if update:
+        path.write_text(rendered)
+        pytest.skip(f"golden file {path.name} regenerated")
+    if not path.exists():
+        pytest.fail(
+            f"golden file {path} is missing; generate it with "
+            f"'pytest {__file__} --update-golden'"
+        )
+    expected = json.loads(path.read_text())
+    actual = json.loads(rendered)  # normalise tuples/keys the same way
+    assert actual == expected, (
+        f"{name} diverged from its golden snapshot; if the change is "
+        f"intentional rerun with --update-golden"
+    )
+
+
+def _dmine_payload(result) -> dict:
+    return {
+        "rules": sorted(
+            (
+                {
+                    "pattern": canonical_code(rule.pr_pattern()),
+                    "support": info.support,
+                    "confidence": _number(info.confidence),
+                    "matches": sorted(map(str, info.matches)),
+                }
+                for rule, info in result.all_rules.items()
+            ),
+            key=lambda entry: entry["pattern"],
+        ),
+        "top_k": sorted(
+            canonical_code(mined.rule.pr_pattern()) for mined in result.top_k
+        ),
+        "objective": _number(round(result.objective_value, 9)),
+        "rounds": result.rounds_executed,
+    }
+
+
+def _eip_payload(result) -> dict:
+    return {
+        "identified": sorted(map(str, result.identified)),
+        "rules": sorted(
+            (
+                {
+                    "name": rule.name,
+                    "confidence": _number(confidence),
+                    "matches": sorted(map(str, result.rule_matches[rule])),
+                }
+                for rule, confidence in result.rule_confidences.items()
+            ),
+            key=lambda entry: entry["name"],
+        ),
+        "accepted": sorted(rule.name for rule in result.accepted_rules),
+        "candidates_examined": result.candidates_examined,
+    }
+
+
+class TestDMineGolden:
+    def test_dmine_g1_visit_rules(self, g1, visit_predicate, update_golden):
+        """The diversified rule set mined from Fig. 2's G1 is frozen."""
+        config = DMineConfig(
+            k=3, d=2, sigma=1, num_workers=2, max_edges=2,
+            max_extensions_per_rule=10, max_rules_per_round=20,
+        )
+        result = dmine(g1, visit_predicate, config)
+        check_golden("dmine_g1_visit", _dmine_payload(result), update_golden)
+
+    def test_dmine_g1_visit_unoptimized_same_rules(self, g1, visit_predicate, update_golden):
+        """DMineno (all paper optimisations off) freezes to its own snapshot."""
+        config = DMineConfig(
+            k=3, d=2, sigma=1, num_workers=2, max_edges=2,
+            max_extensions_per_rule=10, max_rules_per_round=20,
+        ).without_optimizations()
+        result = dmine(g1, visit_predicate, config)
+        check_golden("dmine_g1_visit_unoptimized", _dmine_payload(result), update_golden)
+
+
+class TestEIPGolden:
+    @pytest.mark.parametrize("algorithm", ["match", "matchc", "disvf2"])
+    def test_eip_g1_visit_rules(self, g1, g1_rules, update_golden, algorithm):
+        """EIP over G1 with the paper's five visit rules is frozen per algorithm."""
+        result = identify_entities(
+            g1, g1_rules, eta=0.5, num_workers=2, algorithm=algorithm
+        )
+        check_golden(f"eip_g1_{algorithm}", _eip_payload(result), update_golden)
+
+    def test_eip_ecuador_r2(self, g_ecuador, r2, update_golden):
+        """The Example 7 identification (Shakira-album rule R2) is frozen."""
+        result = identify_entities(
+            g_ecuador, [r2], eta=0.5, num_workers=2, algorithm="match"
+        )
+        check_golden("eip_ecuador_r2", _eip_payload(result), update_golden)
+
+
+class TestGoldenHarness:
+    def test_missing_golden_fails_with_guidance(self, tmp_path):
+        with pytest.raises(pytest.fail.Exception, match="--update-golden"):
+            check_golden("never_written", {"a": 1}, update=False, directory=tmp_path)
+
+    def test_update_writes_and_next_run_passes(self, tmp_path):
+        payload = {"value": 42, "inf": _number(math.inf)}
+        with pytest.raises(pytest.skip.Exception):
+            check_golden("roundtrip", payload, update=True, directory=tmp_path)
+        check_golden("roundtrip", payload, update=False, directory=tmp_path)
+        with pytest.raises(AssertionError):
+            check_golden("roundtrip", {"value": 43}, update=False, directory=tmp_path)

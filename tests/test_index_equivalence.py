@@ -1,0 +1,161 @@
+"""Randomized equivalence: indexed matching == unindexed matching, always.
+
+The resident :class:`repro.graph.index.FragmentIndex` is a pure memoisation,
+so every matcher must return byte-identical matches and match counts with
+the index on and off.  This suite drives ~50 seeded random graph/pattern
+pairs through VF2, dual simulation and guided search in both modes, and
+additionally runs full DMine / EIP pipelines across all three execution
+backends × both index modes, requiring identical results everywhere.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import generate_gpars, most_frequent_predicates, synthetic_graph
+from repro.identification import identify_entities
+from repro.matching import GuidedMatcher, SimulationMatcher, VF2Matcher
+from repro.mining import DMineConfig, dmine
+from repro.parallel.executor import BACKENDS
+
+SEEDS = range(50)
+
+
+def _workload(seed: int):
+    """One seeded random (graph, patterns) pair, small enough to enumerate."""
+    graph = synthetic_graph(
+        num_nodes=40 + (seed % 5) * 10,
+        num_edges=120 + (seed % 7) * 30,
+        num_node_labels=4 + (seed % 3),
+        num_edge_labels=3,
+        seed=seed,
+    )
+    predicate = most_frequent_predicates(graph, top=1)[0]
+    rules = generate_gpars(
+        graph, predicate, count=2, max_pattern_edges=3, d=2, seed=seed
+    )
+    patterns = [rule.antecedent for rule in rules] + [rule.pr_pattern() for rule in rules]
+    return graph, patterns
+
+
+def _canonical_mappings(mappings: list[dict]) -> list[tuple]:
+    """A total, byte-stable representation of an enumeration of matches."""
+    return sorted(
+        tuple(sorted((str(k), str(v)) for k, v in mapping.items()))
+        for mapping in mappings
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_vf2_indexed_equals_unindexed(seed):
+    graph, patterns = _workload(seed)
+    plain = VF2Matcher(use_index=False)
+    indexed = VF2Matcher(use_index=True)
+    for pattern in patterns:
+        assert indexed.match_set(graph, pattern) == plain.match_set(graph, pattern)
+        expected = plain.find_all(graph, pattern)
+        actual = indexed.find_all(graph, pattern)
+        assert len(actual) == len(expected)
+        assert _canonical_mappings(actual) == _canonical_mappings(expected)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_simulation_indexed_equals_unindexed(seed):
+    graph, patterns = _workload(seed)
+    plain = SimulationMatcher(use_index=False)
+    indexed = SimulationMatcher(use_index=True)
+    for pattern in patterns:
+        assert indexed.match_set(graph, pattern) == plain.match_set(graph, pattern)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_guided_indexed_equals_unindexed(seed):
+    graph, patterns = _workload(seed)
+    plain = GuidedMatcher(use_index=False)
+    indexed = GuidedMatcher(use_index=True)
+    for pattern in patterns:
+        assert indexed.match_set(graph, pattern) == plain.match_set(graph, pattern)
+        # Anchored enumeration must agree mapping-for-mapping as well.
+        anchors = sorted(
+            graph.nodes_with_label(pattern.expanded().label(pattern.expanded().x)),
+            key=str,
+        )[:5]
+        for anchor in anchors:
+            assert _canonical_mappings(
+                list(indexed.iter_matches_at(graph, pattern.expanded(), anchor))
+            ) == _canonical_mappings(
+                list(plain.iter_matches_at(graph, pattern.expanded(), anchor))
+            )
+
+
+def _eip_fingerprint(result):
+    return (
+        sorted(map(str, result.identified)),
+        sorted(
+            (rule.name, round(confidence, 9))
+            for rule, confidence in result.rule_confidences.items()
+        ),
+        sorted(
+            (rule.name, tuple(sorted(map(str, matches))))
+            for rule, matches in result.rule_matches.items()
+        ),
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_eip_equivalent_across_backends_and_index_modes(seed):
+    """Match results are identical on every backend with the index on or off."""
+    graph = synthetic_graph(150, 450, num_node_labels=6, num_edge_labels=4, seed=seed)
+    predicate = most_frequent_predicates(graph, top=1)[0]
+    rules = generate_gpars(graph, predicate, count=3, max_pattern_edges=3, d=2, seed=seed)
+
+    fingerprints = set()
+    for backend in BACKENDS:
+        for use_index in (False, True):
+            result = identify_entities(
+                graph,
+                rules,
+                eta=0.5,
+                num_workers=2,
+                algorithm="match",
+                backend=backend,
+                executor_workers=2,
+                use_index=use_index,
+            )
+            fingerprints.add(repr(_eip_fingerprint(result)))
+    assert len(fingerprints) == 1
+
+
+def _dmine_fingerprint(result):
+    return sorted(
+        (
+            rule.name,
+            info.support,
+            round(info.confidence, 9),
+            tuple(sorted(map(str, info.matches))),
+        )
+        for rule, info in result.all_rules.items()
+    )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_dmine_equivalent_across_index_modes(backend):
+    """DMine mines the same rules on each backend with the index on or off."""
+    graph = synthetic_graph(150, 450, num_node_labels=6, num_edge_labels=4, seed=2)
+    predicate = most_frequent_predicates(graph, top=1)[0]
+    results = []
+    for use_index in (False, True):
+        config = DMineConfig(
+            k=3,
+            d=2,
+            sigma=1,
+            num_workers=2,
+            max_edges=2,
+            max_extensions_per_rule=6,
+            max_rules_per_round=10,
+            backend=backend,
+            executor_workers=2,
+            use_index=use_index,
+        )
+        results.append(_dmine_fingerprint(dmine(graph, predicate, config)))
+    assert results[0] == results[1]

@@ -59,6 +59,10 @@ class DMineRow:
     # Indexed wall-clock gain over the matching unindexed run (only set by
     # the index-comparison runners, on the indexed rows).
     index_speedup: float | None = None
+    use_incremental: bool = True
+    # Incremental wall-clock gain over the matching from-scratch run (only
+    # set by the incremental-comparison runners, on the incremental rows).
+    incremental_speedup: float | None = None
     # Content hash of the mined rule set (structure + support + confidence);
     # two rows with equal fingerprints mined *the same rules*, not merely
     # the same number of rules.
@@ -71,6 +75,7 @@ class DMineRow:
             self.parameter: self.value,
             "backend": self.backend,
             "index": "on" if self.use_index else "off",
+            "incremental": "on" if self.use_incremental else "off",
             "sim_parallel_s": round(self.simulated_parallel_time, 3),
             "wall_s": round(self.wall_time, 3),
             "rules": self.rules_discovered,
@@ -82,6 +87,8 @@ class DMineRow:
             row["wall_speedup"] = round(self.wall_speedup, 2)
         if self.index_speedup is not None:
             row["index_speedup"] = round(self.index_speedup, 2)
+        if self.incremental_speedup is not None:
+            row["incremental_speedup"] = round(self.incremental_speedup, 2)
         return row
 
 
@@ -101,6 +108,8 @@ class EIPRow:
     wall_speedup: float | None = None
     use_index: bool = True
     index_speedup: float | None = None
+    use_incremental: bool = True
+    incremental_speedup: float | None = None
     # Content hash of the identified entities + per-rule confidences.
     fingerprint: str = ""
 
@@ -111,6 +120,7 @@ class EIPRow:
             self.parameter: self.value,
             "backend": self.backend,
             "index": "on" if self.use_index else "off",
+            "incremental": "on" if self.use_incremental else "off",
             "sim_parallel_s": round(self.simulated_parallel_time, 3),
             "wall_s": round(self.wall_time, 3),
             "identified": self.identified,
@@ -121,6 +131,8 @@ class EIPRow:
             row["wall_speedup"] = round(self.wall_speedup, 2)
         if self.index_speedup is not None:
             row["index_speedup"] = round(self.index_speedup, 2)
+        if self.incremental_speedup is not None:
+            row["incremental_speedup"] = round(self.incremental_speedup, 2)
         return row
 
 
@@ -148,6 +160,7 @@ def run_dmine_config(
     backend: str = "sequential",
     executor_workers: int | None = None,
     use_index: bool = True,
+    use_incremental: bool = True,
     **overrides,
 ) -> DMineRow:
     """Run one DMine / DMineno configuration and return its measured row."""
@@ -158,6 +171,7 @@ def run_dmine_config(
         backend=backend,
         executor_workers=executor_workers,
         use_index=use_index,
+        use_incremental=use_incremental,
         **settings,
     )
     if not optimized:
@@ -175,6 +189,7 @@ def run_dmine_config(
         objective=result.objective_value,
         backend=config.backend,
         use_index=use_index,
+        use_incremental=use_incremental,
         fingerprint=_digest(
             f"{canonical_code(rule.pr_pattern())}|{info.support}|{round(info.confidence, 9)}"
             for rule, info in result.all_rules.items()
@@ -194,6 +209,7 @@ def run_eip_config(
     backend: str = "sequential",
     executor_workers: int | None = None,
     use_index: bool = True,
+    use_incremental: bool = True,
 ) -> EIPRow:
     """Run one Match / Matchc / disVF2 configuration and return its row."""
     result = identify_entities(
@@ -205,6 +221,7 @@ def run_eip_config(
         backend=backend,
         executor_workers=executor_workers,
         use_index=use_index,
+        use_incremental=use_incremental,
     )
     return EIPRow(
         dataset=dataset,
@@ -217,6 +234,7 @@ def run_eip_config(
         candidates_examined=result.candidates_examined,
         backend=backend,
         use_index=use_index,
+        use_incremental=use_incremental,
         fingerprint=_digest(
             [f"id:{entity}" for entity in map(str, result.identified)]
             + [
@@ -427,6 +445,34 @@ def run_matching_index_comparison(
     return rows
 
 
+def _run_onoff_comparison(
+    run_one, backends: Sequence[str], speedup_field: str, diverged_label: str
+) -> list:
+    """Shared off/on-per-backend comparison shape of the smoke gates.
+
+    ``run_one(backend, enabled)`` produces one measured row; for every
+    backend the off row is emitted first and the on row is annotated with
+    *speedup_field* = off wall time / on wall time.  All ``2 × |backends|``
+    rows must carry one identical result fingerprint.
+    """
+    rows: list = []
+    for backend in backends:
+        off_row = run_one(backend, False)
+        on_row = run_one(backend, True)
+        speedup = (
+            off_row.wall_time / on_row.wall_time if on_row.wall_time else float("inf")
+        )
+        rows.append(off_row)
+        rows.append(replace(on_row, **{speedup_field: speedup}))
+    fingerprints = {row.fingerprint for row in rows}
+    if len(fingerprints) > 1:
+        raise AssertionError(
+            f"{diverged_label} results diverged across backends/modes: "
+            f"{sorted(fingerprints)}"
+        )
+    return rows
+
+
 def run_eip_index_comparison(
     dataset: str,
     graph: Graph,
@@ -443,32 +489,97 @@ def run_eip_index_comparison(
     2 × len(backends) rows must carry the same result fingerprint.  Indexed
     rows are annotated with their backend's ``index_speedup``.
     """
-    rows: list[EIPRow] = []
-    for backend in backends:
-        per_mode: dict[bool, EIPRow] = {}
-        for use_index in (False, True):
-            per_mode[use_index] = run_eip_config(
-                dataset,
-                graph,
-                rules,
-                num_workers,
-                algorithm,
-                eta=eta,
-                parameter="backend",
-                value=backend,
-                backend=backend,
-                executor_workers=executor_workers,
-                use_index=use_index,
-            )
-        unindexed, indexed = per_mode[False], per_mode[True]
-        speedup = (
-            unindexed.wall_time / indexed.wall_time if indexed.wall_time else float("inf")
+
+    def run_one(backend: str, enabled: bool) -> EIPRow:
+        return run_eip_config(
+            dataset,
+            graph,
+            rules,
+            num_workers,
+            algorithm,
+            eta=eta,
+            parameter="backend",
+            value=backend,
+            backend=backend,
+            executor_workers=executor_workers,
+            use_index=enabled,
         )
-        rows.append(unindexed)
-        rows.append(replace(indexed, index_speedup=speedup))
-    fingerprints = {row.fingerprint for row in rows}
-    if len(fingerprints) > 1:
-        raise AssertionError(
-            f"EIP results diverged across backends/index modes: {sorted(fingerprints)}"
+
+    return _run_onoff_comparison(run_one, backends, "index_speedup", "EIP (index)")
+
+
+# ----------------------------------------------------------------------
+# incremental-vs-from-scratch comparison
+# ----------------------------------------------------------------------
+def run_dmine_incremental_comparison(
+    dataset: str,
+    graph: Graph,
+    predicate: Pattern,
+    num_workers: int,
+    sigma: int,
+    backends: Sequence[str] = ("sequential", "threads", "processes"),
+    executor_workers: int | None = None,
+    **overrides,
+) -> list[DMineRow]:
+    """Run one DMine configuration incremental-off and -on, per backend.
+
+    The cross-backend × cross-mode equivalence gate of the incremental
+    smoke: all ``2 × len(backends)`` rows must mine the same rule
+    fingerprint.  Incremental rows carry ``incremental_speedup`` =
+    from-scratch wall time / incremental wall time on their backend.
+    """
+
+    def run_one(backend: str, enabled: bool) -> DMineRow:
+        return run_dmine_config(
+            dataset,
+            graph,
+            predicate,
+            num_workers,
+            sigma,
+            parameter="backend",
+            value=backend,
+            backend=backend,
+            executor_workers=executor_workers,
+            use_incremental=enabled,
+            **overrides,
         )
-    return rows
+
+    return _run_onoff_comparison(
+        run_one, backends, "incremental_speedup", "DMine (incremental)"
+    )
+
+
+def run_eip_incremental_comparison(
+    dataset: str,
+    graph: Graph,
+    rules: tuple[GPAR, ...],
+    num_workers: int,
+    algorithm: str = "match",
+    eta: float = 1.0,
+    backends: Sequence[str] = ("sequential", "threads", "processes"),
+    executor_workers: int | None = None,
+) -> list[EIPRow]:
+    """Run one EIP configuration incremental-off and -on, per backend.
+
+    Gates on one identical result fingerprint across every backend × mode;
+    incremental (prefix-trie) rows carry their ``incremental_speedup``.
+    """
+
+    def run_one(backend: str, enabled: bool) -> EIPRow:
+        return run_eip_config(
+            dataset,
+            graph,
+            rules,
+            num_workers,
+            algorithm,
+            eta=eta,
+            parameter="backend",
+            value=backend,
+            backend=backend,
+            executor_workers=executor_workers,
+            use_incremental=enabled,
+        )
+
+    return _run_onoff_comparison(
+        run_one, backends, "incremental_speedup", "EIP (incremental)"
+    )

@@ -6,12 +6,14 @@ the execution backends without paying for a full fig5 sweep::
     python -m repro.bench.smoke --family dmine --backend processes --workers 2
     python -m repro.bench.smoke --family match --backend processes --workers 2
     python -m repro.bench.smoke --family index --workers 2
+    python -m repro.bench.smoke --family incremental --workers 2
 
 Each run executes the configuration on the sequential baseline and on the
 requested backend, asserts the two produce identical results, prints the
-paper-style table and writes a machine-readable ``BENCH_smoke_<family>.json``
-(same row shape as ``benchmarks/results``) so successive CI runs can track
-the perf trajectory.
+paper-style table and always writes a machine-readable ``BENCH_<family>.json``
+to the working directory — the repo root in CI — (same row shape as
+``benchmarks/results``) so successive CI runs can track the perf
+trajectory; CI uploads them as workflow artifacts.
 
 The ``index`` family is the indexed-vs-unindexed gate of the resident
 :class:`repro.graph.index.FragmentIndex`: it measures repeated matching
@@ -19,37 +21,65 @@ traffic over one resident graph with the index off and on (the
 ``index_speedup`` rows), and runs the same EIP configuration across the
 sequential/threads/processes backends in both modes, requiring one identical
 result fingerprint everywhere.
+
+The ``incremental`` family is the incremental-vs-from-scratch gate of
+:mod:`repro.matching.incremental`: one DMine and one EIP configuration on a
+dense synthetic workload, across all backends with incremental matching off
+and on — one result fingerprint everywhere, and a regression gate that fails
+the run if the sequential DMine ``incremental_speedup`` drops below 1.0.
+
+``--profile`` wraps the whole family in :mod:`cProfile` and prints the top
+25 functions by cumulative time — the first stop when a trajectory row
+regresses.
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
+import io
+import pstats
 import sys
 from pathlib import Path
 
 from repro.bench.harness import (
     run_dmine_backends,
+    run_dmine_incremental_comparison,
     run_eip_backends,
+    run_eip_incremental_comparison,
     run_eip_index_comparison,
     run_matching_index_comparison,
 )
 from repro.bench.reporting import format_rows, rows_as_json, wall_speedups
-from repro.bench.workloads import eip_workload, mining_workload
+from repro.bench.workloads import (
+    dense_eip_workload,
+    dense_mining_workload,
+    eip_workload,
+    mining_workload,
+)
 from repro.parallel.executor import BACKENDS
 
-FAMILIES = ("dmine", "match", "index")
+FAMILIES = ("dmine", "match", "index", "incremental")
 
 # Tiny-but-nontrivial smoke scales: seconds per family, not minutes.
 SMOKE_SCALE = 400
 SMOKE_SIGMA = 2
 SMOKE_RULES = 6
 
-# The index comparison runs on the largest synthetic workload of the smoke
-# tier: big enough that matching (not partitioning) dominates, so the
-# measured index speedup reflects the hot path.
+# The index and incremental comparisons run on the largest synthetic
+# workloads of the smoke tier: big enough that matching (not partitioning)
+# dominates, so the measured speedups reflect the hot path.
 INDEX_SCALE = 4000
 INDEX_RULES = 16
 INDEX_REPS = 3
+
+INCREMENTAL_SCALE = 4000
+INCREMENTAL_RULES = 16
+# Deeper levelwise search than MINING_DEFAULTS: the incremental matcher's
+# gains compound with every level that can delta-extend its parent.
+INCREMENTAL_MINING = dict(
+    max_edges=3, max_extensions_per_rule=8, max_rules_per_round=30
+)
 
 
 def run_smoke(
@@ -62,13 +92,18 @@ def run_smoke(
     """Run the family's smoke workload on sequential + *backend*; return rows.
 
     *backend* ``None`` picks the family default: ``processes`` for the
-    dmine/match families, *all* backends for the index family's
-    cross-backend equivalence gate.  An explicit backend restricts the index
-    family to sequential + that backend.
+    dmine/match families, *all* backends for the index and incremental
+    families' cross-backend equivalence gates.  An explicit backend
+    restricts the comparison families to sequential + that backend.
     """
     if scale is None:
-        scale = INDEX_SCALE if family == "index" else SMOKE_SCALE
-    if family != "index" and backend is None:
+        if family == "index":
+            scale = INDEX_SCALE
+        elif family == "incremental":
+            scale = INCREMENTAL_SCALE
+        else:
+            scale = SMOKE_SCALE
+    if family not in ("index", "incremental") and backend is None:
         backend = "processes"
     if family == "dmine":
         graph, predicate = mining_workload("synthetic", scale)
@@ -119,6 +154,42 @@ def run_smoke(
             )
         )
         return rows
+    if family == "incremental":
+        backends = (
+            BACKENDS
+            if backend is None
+            else tuple(dict.fromkeys(("sequential", backend)))
+        )
+        graph, predicate = dense_mining_workload(scale)
+        # Part 1: DMine with incremental matching off vs on, per backend —
+        # 2 × |backends| runs, one rule fingerprint allowed.
+        rows = list(
+            run_dmine_incremental_comparison(
+                "synthetic-dense",
+                graph,
+                predicate,
+                num_workers=workers,
+                sigma=SMOKE_SIGMA,
+                backends=backends,
+                executor_workers=pool_size,
+                **INCREMENTAL_MINING,
+            )
+        )
+        # Part 2: EIP (prefix-trie sharing) off vs on on the same graph.
+        _, rules = dense_eip_workload(scale, INCREMENTAL_RULES)
+        rows.extend(
+            run_eip_incremental_comparison(
+                "synthetic-dense",
+                graph,
+                rules,
+                num_workers=workers,
+                algorithm="match",
+                eta=0.5,
+                backends=backends,
+                executor_workers=pool_size,
+            )
+        )
+        return rows
     raise ValueError(f"unknown family {family!r}; expected one of {FAMILIES}")
 
 
@@ -148,6 +219,73 @@ def _index_speedups(rows) -> dict[str, float]:
     }
 
 
+def _incremental_speedups(rows) -> dict[str, float]:
+    """``{algorithm@backend: incremental_speedup}`` of the incremental rows."""
+    return {
+        f"{row.algorithm}@{row.backend}": row.incremental_speedup
+        for row in rows
+        if getattr(row, "incremental_speedup", None) is not None
+    }
+
+
+def _check_incremental_gate(rows) -> None:
+    """Regression gate: sequential DMine must not lose from incremental on.
+
+    The cross-backend/cross-mode *result* equivalence already failed inside
+    the comparison runners if anything diverged; this gate watches the perf
+    trajectory itself.  It pins the sequential backend because pool routing
+    on the process backend legitimately varies store hit rates run to run.
+    """
+    for row in rows:
+        speedup = getattr(row, "incremental_speedup", None)
+        if speedup is None or row.backend != "sequential":
+            continue
+        if row.algorithm.startswith("DMine") and speedup < 1.0:
+            raise SystemExit(
+                f"incremental regression: sequential {row.algorithm} "
+                f"incremental_speedup {speedup:.2f} < 1.0"
+            )
+
+
+def _report_family(family: str, backend: str | None, workers: int, rows) -> None:
+    """Print the family's tables, speedups and gates; exits on a gate failure."""
+    if family == "index":
+        # The cross-backend × cross-mode fingerprint gates already ran inside
+        # the comparison runners; here we only report the measurements.
+        shown = "/".join(BACKENDS) if backend is None else f"sequential/{backend}"
+        title = f"smoke index (n={workers}, backends={shown})"
+        print(f"== {title} ==")
+        matching_rows = [row for row in rows if hasattr(row, "patterns_matched")]
+        eip_rows = [row for row in rows if not hasattr(row, "patterns_matched")]
+        print("-- matching traffic (fresh matcher per batch) --")
+        print(format_rows(matching_rows))
+        print("-- EIP match, every backend x index mode (one fingerprint) --")
+        print(format_rows(eip_rows))
+        for name, speedup in sorted(_index_speedups(rows).items()):
+            print(f"index speedup ({name}): {speedup:.2f}x")
+    elif family == "incremental":
+        shown = "/".join(BACKENDS) if backend is None else f"sequential/{backend}"
+        title = f"smoke incremental (n={workers}, backends={shown})"
+        print(f"== {title} ==")
+        dmine_rows = [row for row in rows if hasattr(row, "rules_discovered")]
+        eip_rows = [row for row in rows if not hasattr(row, "rules_discovered")]
+        print("-- DMine, every backend x incremental mode (one fingerprint) --")
+        print(format_rows(dmine_rows))
+        print("-- EIP match, every backend x incremental mode (one fingerprint) --")
+        print(format_rows(eip_rows))
+        for name, speedup in sorted(_incremental_speedups(rows).items()):
+            print(f"incremental speedup ({name}): {speedup:.2f}x")
+        _check_incremental_gate(rows)
+    else:
+        _check_equivalence(rows)
+        title = f"smoke {family} (n={workers}, backend={backend})"
+        print(f"== {title} ==")
+        print(format_rows(rows))
+        speedups = wall_speedups(rows)
+        if backend in speedups:
+            print(f"wall speedup ({backend} vs sequential): {speedups[backend]:.2f}x")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-bench-smoke",
@@ -159,7 +297,8 @@ def main(argv: list[str] | None = None) -> int:
         choices=list(BACKENDS),
         default=None,
         help="backend to compare against sequential (default: processes; "
-        "the index family runs all backends unless one is given)",
+        "the index and incremental families run all backends unless one is "
+        "given)",
     )
     parser.add_argument("--workers", type=int, default=2, help="fragments / BSP workers")
     parser.add_argument("--pool-size", type=int, default=None, dest="pool_size")
@@ -167,45 +306,46 @@ def main(argv: list[str] | None = None) -> int:
         "--scale",
         type=int,
         default=None,
-        help=f"workload node count (default {SMOKE_SCALE}, index family {INDEX_SCALE})",
+        help=f"workload node count (default {SMOKE_SCALE}, index/incremental "
+        f"families {INDEX_SCALE})",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the family under cProfile and print the top 25 functions "
+        "by cumulative time",
     )
     parser.add_argument(
         "--out",
         type=Path,
         default=None,
-        help="JSON output path (default BENCH_smoke_<family>.json in cwd)",
+        help="JSON output path (default BENCH_<family>.json in the working "
+        "directory — the repo root in CI)",
     )
     args = parser.parse_args(argv)
 
     backend = args.backend
-    if backend is None and args.family != "index":
+    if backend is None and args.family not in ("index", "incremental"):
         backend = "processes"
-    rows = run_smoke(args.family, backend, args.workers, args.pool_size, args.scale)
-    if args.family == "index":
-        # The cross-backend × cross-mode fingerprint gates already ran inside
-        # the comparison runners; here we only report the measurements.
-        shown = "/".join(BACKENDS) if backend is None else f"sequential/{backend}"
-        title = f"smoke index (n={args.workers}, backends={shown})"
-        print(f"== {title} ==")
-        matching_rows = [row for row in rows if hasattr(row, "patterns_matched")]
-        eip_rows = [row for row in rows if not hasattr(row, "patterns_matched")]
-        print("-- matching traffic (fresh matcher per batch) --")
-        print(format_rows(matching_rows))
-        print("-- EIP match, every backend x index mode (one fingerprint) --")
-        print(format_rows(eip_rows))
-        for name, speedup in sorted(_index_speedups(rows).items()):
-            print(f"index speedup ({name}): {speedup:.2f}x")
+    if args.profile:
+        profiler = cProfile.Profile()
+        profiler.enable()
+        rows = run_smoke(args.family, backend, args.workers, args.pool_size, args.scale)
+        profiler.disable()
+        buffer = io.StringIO()
+        pstats.Stats(profiler, stream=buffer).sort_stats("cumulative").print_stats(25)
+        print(f"== cProfile top 25 (family={args.family}) ==")
+        print(buffer.getvalue())
     else:
-        _check_equivalence(rows)
-        title = f"smoke {args.family} (n={args.workers}, backend={backend})"
-        print(f"== {title} ==")
-        print(format_rows(rows))
-        speedups = wall_speedups(rows)
-        if backend in speedups:
-            print(f"wall speedup ({backend} vs sequential): {speedups[backend]:.2f}x")
+        rows = run_smoke(args.family, backend, args.workers, args.pool_size, args.scale)
 
-    out = args.out if args.out is not None else Path(f"BENCH_smoke_{args.family}.json")
+    # Persist the trajectory rows *before* the gates run: a failing gate
+    # must still leave the JSON of the run that regressed for diagnosis.
+    title = f"smoke {args.family} (n={args.workers})"
+    out = args.out if args.out is not None else Path(f"BENCH_{args.family}.json")
     out.write_text(rows_as_json(f"smoke_{args.family}", title, rows) + "\n")
+
+    _report_family(args.family, backend, args.workers, rows)
     print(f"wrote {out}")
     return 0
 

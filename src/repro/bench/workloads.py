@@ -58,6 +58,53 @@ def mining_workload(dataset: str, scale: int | None = None) -> tuple[Graph, Patt
 
 
 @lru_cache(maxsize=None)
+def dense_mining_workload(scale: int = 4000) -> tuple[Graph, Pattern]:
+    """Label-skewed synthetic workload where matching dominates the run.
+
+    Fewer node labels than :func:`mining_workload` means bigger label
+    buckets, more embeddings per centre and deeper levelwise search — the
+    regime the incremental matcher (docs/incremental.md) is built for, and
+    the one its bench-smoke family measures.
+    """
+    graph = synthetic_graph(
+        scale, scale * 3, num_node_labels=8, num_edge_labels=4, seed=7
+    )
+    predicate = most_frequent_predicates(graph, top=1)[0]
+    return graph, predicate
+
+
+@lru_cache(maxsize=None)
+def dense_eip_workload(
+    scale: int = 4000, num_rules: int = 16
+) -> tuple[Graph, tuple[GPAR, ...]]:
+    """Rule set Σ over the dense workload (EIP half of the incremental smoke).
+
+    Σ is *mined* by DMine rather than sampled: a mined rule set shares
+    antecedent prefixes by construction (levelwise growth from one seed) and
+    actually identifies entities on its own graph, so the smoke's
+    cross-mode fingerprint gate exercises the identification outcome too —
+    randomly sampled rules match nothing at this label density.
+    """
+    from repro.mining import DMineConfig, dmine
+
+    graph, predicate = dense_mining_workload(scale)
+    config = DMineConfig(
+        k=num_rules,
+        d=2,
+        sigma=2,
+        num_workers=2,
+        max_edges=3,
+        max_extensions_per_rule=8,
+        max_rules_per_round=30,
+    )
+    result = dmine(graph, predicate, config)
+    ranked = sorted(
+        result.all_rules.items(), key=lambda item: (-item[1].support, item[0].name)
+    )
+    return graph, tuple(rule for rule, _info in ranked[:num_rules])
+
+
+@lru_cache(maxsize=None)
 def synthetic_mining_workload(num_nodes: int, num_edges: int) -> tuple[Graph, Pattern]:
     """Synthetic-size-sweep variant of :func:`mining_workload` (Fig. 5(f))."""
     graph = synthetic_graph(

@@ -75,6 +75,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         backend=args.backend,
         executor_workers=args.pool_size,
         use_index=not args.no_index,
+        use_incremental=not args.no_incremental,
     )
     result = dmine(graph, args.predicate, config)
     print(
@@ -110,6 +111,7 @@ def _cmd_identify(args: argparse.Namespace) -> int:
         backend=args.backend,
         executor_workers=args.pool_size,
         use_index=not args.no_index,
+        use_incremental=not args.no_incremental,
     )
     print(result.summary())
     preview = sorted(map(str, result.identified))[: args.show]
@@ -188,6 +190,14 @@ def _add_backend_arguments(subparser: argparse.ArgumentParser) -> None:
         dest="no_index",
         help="disable the resident fragment index (unindexed baseline; "
         "identical results, more per-probe work — see docs/indexing.md)",
+    )
+    subparser.add_argument(
+        "--no-incremental",
+        action="store_true",
+        dest="no_incremental",
+        help="disable incremental match materialization (re-match every "
+        "levelwise candidate from scratch / evaluate EIP rule-at-a-time; "
+        "identical results, more matching work — see docs/incremental.md)",
     )
 
 

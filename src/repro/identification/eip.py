@@ -41,6 +41,13 @@ class EIPConfig:
         initializer on the process backend).  ``False`` re-derives label
         sets, profiles and sketches per probe; both settings identify
         identical entities (see docs/indexing.md).
+    use_incremental:
+        Evaluate Σ through the prefix-trie mode of
+        :class:`repro.matching.MultiPatternMatcher`: rules with a shared
+        consequent share their antecedent-prefix match sets instead of being
+        matched rule-at-a-time.  Consumed by the ``Match`` solver (the
+        baselines keep their paper cost profiles); both settings identify
+        identical entities (see docs/incremental.md).
     """
 
     eta: float = 1.0
@@ -49,6 +56,7 @@ class EIPConfig:
     backend: str = "sequential"
     executor_workers: int | None = None
     use_index: bool = True
+    use_incremental: bool = True
 
     def __post_init__(self) -> None:
         if self.eta <= 0:
@@ -121,6 +129,7 @@ def identify_entities(
     backend: str = "sequential",
     executor_workers: int | None = None,
     use_index: bool = True,
+    use_incremental: bool = True,
 ) -> EIPResult:
     """Solve EIP with the named algorithm (``match``, ``matchc`` or ``disvf2``)."""
     from repro.identification.disvf2 import DisVF2
@@ -134,6 +143,7 @@ def identify_entities(
         backend=backend,
         executor_workers=executor_workers,
         use_index=use_index,
+        use_incremental=use_incremental,
     )
     algorithms = {"match": Match, "matchc": MatchC, "disvf2": DisVF2}
     try:

@@ -21,6 +21,7 @@ from repro.graph.index import graph_index
 from repro.matching.base import Matcher
 from repro.matching.candidates import adjacency_profile, profile_satisfies, required_profile
 from repro.matching.guided import GuidedMatcher
+from repro.matching.multi import MultiPatternMatcher
 from repro.metrics.lcwa import predicate_stats_over
 from repro.identification.eip import EIPConfig
 from repro.identification.matchc import MatchC, _FragmentReport
@@ -56,6 +57,8 @@ class Match(MatchC):
         matcher: Matcher,
         predicate,
     ) -> _FragmentReport:
+        if self.config.use_incremental and rules:
+            return self._verify_fragment_shared(fragment, rules, matcher, predicate)
         graph = fragment.graph
         index = graph_index(graph) if self.config.use_index else None
         stats = predicate_stats_over(graph, predicate, fragment.owned_centers)
@@ -100,4 +103,51 @@ class Match(MatchC):
         report.rule_matches = rule_matches
         report.antecedent_counts = antecedent_counts
         report.qbar_counts = qbar_counts
+        return report
+
+    def _verify_fragment_shared(
+        self,
+        fragment: Fragment,
+        rules: Sequence[GPAR],
+        matcher: Matcher,
+        predicate,
+    ) -> _FragmentReport:
+        """Prefix-trie evaluation of Σ: shared antecedent-prefix match sets.
+
+        Produces the same counts and witness sets as the per-candidate loop
+        of :meth:`_verify_fragment` — pool restriction by prefix match sets
+        is lossless — while rules grown from common prefixes (the normal
+        shape of a mined Σ with one consequent) scan the candidate pool once
+        per shared prefix instead of once per rule.
+        """
+        graph = fragment.graph
+        stats = predicate_stats_over(graph, predicate, fragment.owned_centers)
+        owned = set(stats.positives) | set(stats.negatives) | set(stats.unknown)
+        report = _FragmentReport(fragment_index=fragment.index)
+        local_positives = set(stats.positives)
+        local_negatives = set(stats.negatives)
+        report.supp_q = len(local_positives)
+        report.supp_q_bar = len(local_negatives)
+        # Parity with the rule-at-a-time loop, which examines every
+        # (candidate, rule) pair exactly once.
+        report.candidates_examined = len(owned) * len(rules)
+
+        multi = MultiPatternMatcher(
+            matcher, use_index=self.config.use_index, use_prefix_trie=True
+        )
+        antecedent_sets = multi.shared_match_sets(
+            graph, {rule: rule.antecedent for rule in rules}, candidates=owned
+        )
+        # PR matches only count at positive owned centres; one shared base
+        # pool keeps the trie's prefix cache valid across all of Σ.
+        pr_sets = multi.shared_match_sets(
+            graph,
+            {rule: rule.pr_pattern() for rule in rules},
+            candidates=owned & local_positives,
+        )
+        for rule in rules:
+            antecedent_matches = antecedent_sets[rule]
+            report.rule_matches[rule] = pr_sets[rule]
+            report.antecedent_counts[rule] = len(antecedent_matches)
+            report.qbar_counts[rule] = len(antecedent_matches & local_negatives)
         return report

@@ -26,7 +26,12 @@ Matchers
     locality both DMine and Match rely on.
 :class:`MultiPatternMatcher`
     Shares work across a set Σ of GPARs (adjacency profiles of candidates are
-    computed once per candidate and reused by every rule).
+    computed once per candidate and reused by every rule; the prefix-trie
+    mode additionally shares antecedent-prefix match sets).
+:class:`MatchStore` / :class:`DeltaMatcher`
+    Incremental match materialization for levelwise mining: parent match
+    sets and embeddings are kept per fragment and a one-edge child is
+    matched by probing only the new edge (docs/incremental.md).
 """
 
 from repro.matching.base import Matcher, MatchStatistics
@@ -35,6 +40,13 @@ from repro.matching.candidates import (
     label_candidates,
     profile_satisfies,
     required_profile,
+)
+from repro.matching.incremental import (
+    DeltaEdge,
+    DeltaMatcher,
+    MatchEntry,
+    MatchStore,
+    single_edge_delta,
 )
 from repro.matching.vf2 import VF2Matcher
 from repro.matching.guided import GuidedMatcher
@@ -54,6 +66,11 @@ __all__ = [
     "LocalityMatcher",
     "MultiPatternMatcher",
     "SimulationMatcher",
+    "DeltaEdge",
+    "DeltaMatcher",
+    "MatchEntry",
+    "MatchStore",
+    "single_edge_delta",
     "maximum_dual_simulation",
     "simulation_match_set",
     "label_candidates",

@@ -9,6 +9,7 @@ from typing import Hashable, Iterable, Iterator
 from repro.exceptions import MatchingError
 from repro.graph.graph import Graph
 from repro.graph.index import FragmentIndex, graph_index
+from repro.matching.candidates import label_candidates
 from repro.pattern.pattern import Pattern, PatternEdge
 
 NodeId = Hashable
@@ -145,11 +146,11 @@ class Matcher(ABC):
         """
         expanded = pattern.expanded()
         if candidates is None:
-            index = self._index(graph)
-            if index is not None:
-                pool: Iterable[NodeId] = index.nodes_with_label(expanded.label(expanded.x))
-            else:
-                pool = graph.nodes_with_label(expanded.label(expanded.x))
+            # With a resident index this is the index's frozen bucket —
+            # no per-probe copy; it is only iterated here, never mutated.
+            pool: Iterable[NodeId] = label_candidates(
+                graph, expanded, expanded.x, self._index(graph)
+            )
         else:
             pool = candidates
         matched: set[NodeId] = set()
@@ -172,13 +173,7 @@ class Matcher(ABC):
         anchored early-terminating queries instead.
         """
         expanded = pattern.expanded()
-        index = self._index(graph)
-        anchor_label = expanded.label(expanded.x)
-        anchors = (
-            index.nodes_with_label(anchor_label)
-            if index is not None
-            else graph.nodes_with_label(anchor_label)
-        )
+        anchors = label_candidates(graph, expanded, expanded.x, self._index(graph))
         results: list[dict] = []
         for candidate in sorted(anchors, key=str):
             for mapping in self.iter_matches_at(graph, expanded, candidate):

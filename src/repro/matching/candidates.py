@@ -25,11 +25,17 @@ Profile = dict[tuple[str, str, str], int]
 
 def label_candidates(
     graph: Graph, pattern: Pattern, pattern_node, index: FragmentIndex | None = None
-) -> set[NodeId]:
-    """Data nodes whose label satisfies the search condition of *pattern_node*."""
+) -> frozenset | set[NodeId]:
+    """Data nodes whose label satisfies the search condition of *pattern_node*.
+
+    With an *index* this returns the index's frozen label bucket **directly**
+    — no per-probe copy; callers that need to mutate the result must copy it
+    themselves (``set(...)``).  Without an index the graph already hands out
+    a fresh mutable set.
+    """
     label = pattern.label(pattern_node)
     if index is not None:
-        return set(index.nodes_with_label(label))
+        return index.nodes_with_label(label)
     return graph.nodes_with_label(label)
 
 

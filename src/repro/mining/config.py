@@ -49,6 +49,15 @@ class DMineConfig:
         initializer on the process backend).  ``False`` re-derives label
         sets, profiles and sketches from the raw graph per probe; both
         settings mine identical rules (see docs/indexing.md).
+    use_incremental:
+        Delta-extend matches across DMine levels: each fragment materializes
+        the match sets and witness embeddings of the rules it evaluates in a
+        resident :class:`repro.matching.incremental.MatchStore`, and the
+        next level's candidates (parent + one edge) are matched by probing
+        only the new edge's endpoints, with exact fallback to full matching
+        on any store miss.  ``False`` re-matches every candidate from
+        scratch; both settings mine identical rules (see
+        docs/incremental.md).
     use_incremental_diversification:
         incDiv on/off — off means "discover then diversify" at the end.
     use_reduction_rules:
@@ -77,6 +86,7 @@ class DMineConfig:
     max_rules_per_round: int = 60
     matcher: str = "vf2"
     use_index: bool = True
+    use_incremental: bool = True
     use_incremental_diversification: bool = True
     use_reduction_rules: bool = True
     use_bisimulation_filter: bool = True
@@ -131,6 +141,10 @@ class DMineConfig:
             max_rules_per_round=self.max_rules_per_round,
             matcher="vf2",
             use_index=self.use_index,
+            # Incremental materialization is an implementation-level
+            # memoisation like the index, not one of the paper's mining
+            # optimisations — DMineno keeps whatever the caller chose.
+            use_incremental=self.use_incremental,
             use_incremental_diversification=False,
             use_reduction_rules=False,
             use_bisimulation_filter=False,

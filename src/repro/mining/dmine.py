@@ -177,21 +177,37 @@ class DMine:
                 # Half-round 2: evaluate the representatives at every worker;
                 # the coordinator assembles confidences, updates the top-k
                 # set and prunes Σ / ΔE — all accounted as coordinator time.
-                evaluate_payloads = [
-                    EvaluatePayload(
-                        rules=tuple(representatives),
-                        pools=self._inherited_pools(
-                            representatives,
-                            proposals_per_worker[position],
-                            rules,
-                            fragment.index,
-                            witness,
-                        ),
-                        predicate=predicate,
-                        config=config,
+                # Global parentage: the beam rule each representative was
+                # proposed from, at whichever fragment proposed it.  Beam
+                # rules were evaluated (and their matches materialized) at
+                # *every* fragment last round, so the incremental matcher can
+                # delta-extend even at fragments that proposed an automorphic
+                # sibling — or nothing — for this representative.
+                global_parents: dict[GPAR, GPAR] = {}
+                for worker_proposals in proposals_per_worker:
+                    for proposal in worker_proposals:
+                        global_parents.setdefault(
+                            proposal.rule, rules[proposal.parent_index]
+                        )
+                evaluate_payloads = []
+                for position, fragment in enumerate(fragments):
+                    pools, parents = self._evaluation_inheritance(
+                        representatives,
+                        proposals_per_worker[position],
+                        rules,
+                        fragment.index,
+                        witness,
+                        global_parents,
                     )
-                    for position, fragment in enumerate(fragments)
-                ]
+                    evaluate_payloads.append(
+                        EvaluatePayload(
+                            rules=tuple(representatives),
+                            pools=pools,
+                            predicate=predicate,
+                            config=config,
+                            parents=parents if config.use_incremental else (),
+                        )
+                    )
 
                 def _coordinate(messages_per_worker):
                     nonlocal sigma, candidates_pruned
@@ -294,30 +310,39 @@ class DMine:
         return RuleFocus(centers=frozenset(message.rule_matches))
 
     @staticmethod
-    def _inherited_pools(
+    def _evaluation_inheritance(
         representatives: Sequence[GPAR],
         proposals: Sequence[Proposal],
         parent_rules: Sequence[GPAR],
         fragment_index: int,
         witness: dict[tuple[int, GPAR], RuleMessage],
-    ) -> tuple[frozenset | None, ...]:
-        """Per-representative candidate pools for one fragment's evaluation.
+        global_parents: dict[GPAR, GPAR] | None = None,
+    ) -> tuple[tuple[frozenset | None, ...], tuple[GPAR | None, ...]]:
+        """Per-representative (pool, parent) pairs for one fragment's evaluation.
 
         A representative inherits the antecedent match set of the parent it
         was proposed from *at this fragment* (anti-monotonicity makes the
-        restriction lossless).  Fragments that proposed a structurally
-        different member of the representative's automorphism group — or
-        none at all — get ``None`` and fall back to their full candidate
-        set, exactly as the per-worker caches used to behave.
+        restriction lossless), and — for the incremental matcher — a parent
+        rule, so the worker can delta-extend the parent's materialized
+        embeddings.  Fragments that proposed a structurally different member
+        of the representative's automorphism group — or none at all — get
+        ``None`` pools (full candidate set, exactly as the per-worker caches
+        used to behave) but still receive the *global* parent: every beam
+        rule was evaluated at every fragment, so its materialized matches
+        exist there regardless of which fragment proposed this child.
         """
         pool_by_rule: dict[GPAR, frozenset | None] = {}
+        parent_by_rule: dict[GPAR, GPAR] = dict(global_parents or {})
         for proposal in proposals:
             parent = parent_rules[proposal.parent_index]
             message = witness.get((fragment_index, parent))
             pool_by_rule[proposal.rule] = (
                 frozenset(message.antecedent_matches) if message is not None else None
             )
-        return tuple(pool_by_rule.get(rule) for rule in representatives)
+            parent_by_rule[proposal.rule] = parent
+        pools = tuple(pool_by_rule.get(rule) for rule in representatives)
+        parents = tuple(parent_by_rule.get(rule) for rule in representatives)
+        return pools, parents
 
     def _deduplicate(self, proposals: Sequence[GPAR], seen_codes: set[str]) -> list[GPAR]:
         """Group automorphic proposals and drop rules evaluated before.

@@ -168,6 +168,7 @@ def candidate_extensions(
     max_radius: int,
     max_extensions: int = 30,
     consequent_label: str | None = None,
+    witnesses=None,
 ) -> list[GPAR]:
     """Single-edge extensions of *rule* suggested by *graph* around *centers*.
 
@@ -180,6 +181,13 @@ def candidate_extensions(
         Extensions whose rule pattern exceeds this radius at x are dropped.
     max_extensions:
         At most this many extensions are returned, most-supported first.
+    witnesses:
+        Optional materialized witness source (an object with
+        ``witness_for(center) -> mapping | None``, e.g. a canonical
+        :class:`repro.matching.incremental.MatchEntry` of the antecedent).
+        A stored witness replaces the fresh ``find_match_at`` probe; it must
+        be the *same* mapping the probe would return (canonical entries
+        guarantee this), so the proposed extensions are unchanged.
 
     Returns
     -------
@@ -190,7 +198,9 @@ def candidate_extensions(
     antecedent = rule.antecedent.expanded()
     votes: Counter = Counter()
     for center in centers:
-        mapping = matcher.find_match_at(graph, antecedent, center)
+        mapping = witnesses.witness_for(center) if witnesses is not None else None
+        if mapping is None:
+            mapping = matcher.find_match_at(graph, antecedent, center)
         if mapping is None:
             continue
         for key in _extension_keys_for_match(graph, antecedent, mapping, q_label):

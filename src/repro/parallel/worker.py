@@ -13,9 +13,12 @@ sketch cache) unless index building was disabled, so the matching hot path
 probes a warm index that lives with the fragment for the pool's lifetime and
 never crosses the pickle boundary.
 
-Per-fragment scratch state (a ``LocalMiner``, a matcher with warm caches)
-lives in a :class:`WorkerContext` that survives across rounds for the
-lifetime of the pool.  Because a pool may route any fragment's task to any
+Per-fragment scratch state (a ``LocalMiner``, a matcher with warm caches,
+the incremental :class:`repro.matching.incremental.MatchStore` holding the
+previous level's materialized matches) lives in a :class:`WorkerContext`
+that survives across rounds for the lifetime of the pool; like the index,
+a match store is fragment-resident and never pickled — it fills during
+evaluation and a cold worker simply falls back to full matching.  Because a pool may route any fragment's task to any
 of its processes, worker functions must treat that state strictly as a
 cache: anything stored there has to be *deterministically reconstructible*
 from the fragment and the payload, so a cache miss in a different process

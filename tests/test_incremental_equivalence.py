@@ -1,0 +1,353 @@
+"""Randomized equivalence: delta-extended matching == full re-matching.
+
+The incremental matcher (:mod:`repro.matching.incremental`) materializes a
+parent pattern's matches and produces every one-edge child's match set by
+probing only the new edge — with exact fallback whenever it can't.  This
+suite drives ~50 seeded random graph/pattern pairs through VF2, guided
+search and dual simulation, asserting the delta-extended match sets are
+byte-identical to a full re-match, and additionally runs DMine / EIP
+pipelines across all three execution backends × incremental on/off,
+requiring identical results everywhere.  A dedicated class exercises the
+:class:`MatchStore` lifecycle: ``Graph.version`` invalidation, canonical
+witness reuse, truncation fallback and round-based retention.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import generate_gpars, most_frequent_predicates, synthetic_graph
+from repro.identification import identify_entities
+from repro.matching import (
+    DeltaMatcher,
+    GuidedMatcher,
+    MatchStore,
+    SimulationMatcher,
+    VF2Matcher,
+    single_edge_delta,
+)
+from repro.mining import DMineConfig, dmine
+from repro.mining.expansion import candidate_extensions
+from repro.parallel.executor import BACKENDS
+
+SEEDS = range(50)
+
+
+def _matcher(kind: str):
+    if kind == "guided":
+        return GuidedMatcher()
+    return VF2Matcher()
+
+
+def _workload(seed: int):
+    """One seeded random (graph, parent/child rule pairs) workload.
+
+    Children are produced by the miner's own expansion step, so every pair
+    differs by exactly the kind of single edge DMine generates.
+    """
+    graph = synthetic_graph(
+        num_nodes=40 + (seed % 5) * 10,
+        num_edges=120 + (seed % 7) * 30,
+        num_node_labels=4 + (seed % 3),
+        num_edge_labels=3,
+        seed=seed,
+    )
+    predicate = most_frequent_predicates(graph, top=1)[0]
+    rules = generate_gpars(
+        graph, predicate, count=2, max_pattern_edges=2, d=2, seed=seed
+    )
+    matcher = VF2Matcher()
+    pairs = []
+    for rule in rules:
+        centers = sorted(matcher.match_set(graph, rule.antecedent), key=str)[:10]
+        for child in candidate_extensions(
+            graph, rule, centers, matcher, max_radius=3, max_extensions=3
+        ):
+            pairs.append((rule, child))
+    return graph, pairs
+
+
+@pytest.mark.parametrize("kind", ["vf2", "guided"])
+@pytest.mark.parametrize("seed", SEEDS)
+def test_delta_extension_equals_full_rematch(seed, kind):
+    """Exact matchers: extend(parent entry, +1 edge) == match from scratch."""
+    graph, pairs = _workload(seed)
+    matcher = _matcher(kind)
+    oracle = _matcher(kind)
+    store = MatchStore(graph)
+    delta_matcher = DeltaMatcher(graph, matcher, store)
+    checked = 0
+    for parent, child in pairs:
+        for parent_pattern, child_pattern in (
+            (parent.antecedent, child.antecedent),
+            (parent.pr_pattern(), child.pr_pattern()),
+        ):
+            delta = single_edge_delta(parent_pattern, child_pattern)
+            if delta is None:
+                continue
+            candidates = sorted(
+                graph.nodes_with_label(parent_pattern.label(parent_pattern.x)), key=str
+            )
+            parent_set, entry = delta_matcher.materialize(parent_pattern, candidates)
+            assert parent_set == oracle.match_set(
+                graph, parent_pattern, candidates=candidates
+            )
+            assert entry is not None
+            child_set, _ = delta_matcher.extend(entry, child_pattern, delta, candidates)
+            assert child_set == oracle.match_set(
+                graph, child_pattern, candidates=candidates
+            )
+            checked += 1
+    if pairs:
+        assert checked > 0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_simulation_falls_back_exactly(seed):
+    """Dual simulation has no embeddings: the incremental wrapper must defer.
+
+    ``materialize`` returns no entry (nothing to delta-extend later) and the
+    match set must be the plain simulation match set.
+    """
+    graph, pairs = _workload(seed)
+    matcher = SimulationMatcher()
+    oracle = SimulationMatcher()
+    store = MatchStore(graph)
+    delta_matcher = DeltaMatcher(graph, matcher, store)
+    for parent, _child in pairs[:2]:
+        pattern = parent.antecedent
+        assert not delta_matcher.supports(pattern)
+        candidates = sorted(
+            graph.nodes_with_label(pattern.label(pattern.x)), key=str
+        )
+        matches, entry = delta_matcher.materialize(pattern, candidates)
+        assert entry is None
+        assert matches == oracle.match_set(graph, pattern, candidates=candidates)
+        assert len(store) == 0
+
+
+def test_non_enumerating_matchers_are_not_materialized():
+    """Matchers inheriting the base one-match ``iter_matches_at`` must defer.
+
+    The base default yields at most one mapping, which would make a stream
+    look provably complete after its first embedding; only genuine
+    enumerators (VF2, guided) may feed the store.
+    """
+    from repro.matching import LocalityMatcher
+
+    graph = synthetic_graph(40, 120, num_node_labels=4, num_edge_labels=3, seed=0)
+    predicate = most_frequent_predicates(graph, top=1)[0]
+    rule = generate_gpars(graph, predicate, count=1, max_pattern_edges=2, seed=0)[0]
+    store = MatchStore(graph)
+    wrapped = LocalityMatcher(VF2Matcher(), radius=2)
+    delta_matcher = DeltaMatcher(graph, wrapped, store)
+    assert not delta_matcher.supports(rule.antecedent)
+    candidates = sorted(
+        graph.nodes_with_label(rule.antecedent.label(rule.x)), key=str
+    )
+    matches, entry = delta_matcher.materialize(rule.antecedent, candidates)
+    assert entry is None
+    assert matches == wrapped.match_set(graph, rule.antecedent, candidates=candidates)
+
+
+def test_single_edge_delta_rejects_dropped_parent_node():
+    """A child missing a (isolated) parent node yields None, not an error."""
+    from repro.pattern.pattern import Pattern
+
+    parent = Pattern(
+        nodes={"x": "a", "y": "b", "z": "c"},
+        edges=[("x", "y", "e")],
+        x="x",
+        y="y",
+    )
+    child = Pattern(
+        nodes={"x": "a", "y": "b", "v1": "c"},
+        edges=[("x", "y", "e"), ("x", "v1", "f")],
+        x="x",
+        y="y",
+    )
+    assert single_edge_delta(parent, child) is None
+
+
+@pytest.mark.parametrize("seed", [0, 3, 11])
+def test_truncated_streams_still_exact(seed):
+    """A cap of 1 forces constant truncation; fallback keeps results exact."""
+    graph, pairs = _workload(seed)
+    matcher = VF2Matcher()
+    oracle = VF2Matcher()
+    store = MatchStore(graph, cap=1)
+    delta_matcher = DeltaMatcher(graph, matcher, store)
+    for parent, child in pairs:
+        delta = single_edge_delta(parent.antecedent, child.antecedent)
+        if delta is None:
+            continue
+        candidates = sorted(
+            graph.nodes_with_label(parent.antecedent.label(parent.x)), key=str
+        )
+        _, entry = delta_matcher.materialize(parent.antecedent, candidates)
+        child_set, _ = delta_matcher.extend(entry, child.antecedent, delta, candidates)
+        assert child_set == oracle.match_set(
+            graph, child.antecedent, candidates=candidates
+        )
+
+
+class TestMatchStoreLifecycle:
+    def _simple(self):
+        graph = synthetic_graph(60, 180, num_node_labels=4, num_edge_labels=3, seed=1)
+        predicate = most_frequent_predicates(graph, top=1)[0]
+        rule = generate_gpars(graph, predicate, count=1, max_pattern_edges=2, seed=1)[0]
+        return graph, rule
+
+    def test_version_invalidation(self):
+        """A graph mutation invalidates entries on the next probe."""
+        graph, rule = self._simple()
+        store = MatchStore(graph)
+        delta_matcher = DeltaMatcher(graph, VF2Matcher(), store)
+        pattern = rule.antecedent
+        candidates = graph.nodes_with_label(pattern.label(pattern.x))
+        _, entry = delta_matcher.materialize(pattern, sorted(candidates, key=str))
+        assert store.get(pattern) is entry
+        before = graph.version
+        graph.add_node("fresh-node", "somewhere-new")
+        assert graph.version > before
+        assert store.get(pattern) is None  # evicted, not served stale
+        assert store.statistics.stale_entries == 1
+        assert len(store) == 0
+
+    def test_canonical_witness_matches_find_match_at(self):
+        """The stored first embedding is exactly the matcher's witness."""
+        graph, rule = self._simple()
+        matcher = VF2Matcher()
+        store = MatchStore(graph)
+        delta_matcher = DeltaMatcher(graph, matcher, store)
+        pattern = rule.antecedent
+        candidates = sorted(
+            graph.nodes_with_label(pattern.label(pattern.x)), key=str
+        )
+        matches, entry = delta_matcher.materialize(pattern, candidates)
+        assert entry.canonical_witness
+        for center in matches:
+            assert entry.witness_for(center) == VF2Matcher().find_match_at(
+                graph, pattern, center
+            )
+
+    def test_retain_evicts_previous_level(self):
+        graph, rule = self._simple()
+        store = MatchStore(graph)
+        delta_matcher = DeltaMatcher(graph, VF2Matcher(), store)
+        candidates = sorted(
+            graph.nodes_with_label(rule.antecedent.label(rule.x)), key=str
+        )
+        _, entry = delta_matcher.materialize(rule.antecedent, candidates)
+        code = store.code_for(entry.pattern)
+        _, pr_entry = delta_matcher.materialize(rule.pr_pattern(), candidates)
+        assert len(store) == 2
+        dropped = store.retain([code])
+        assert dropped == 1
+        assert store.get(rule.antecedent) is entry
+        assert store.get(rule.pr_pattern()) is None
+        assert pr_entry is not None
+
+    def test_automorphic_sibling_misses(self):
+        """An equal-code pattern with different node names must not be served."""
+        from repro.pattern.pattern import Pattern
+
+        graph, _rule = self._simple()
+        labels = sorted({graph.node_label(node) for node in graph.nodes()})
+        a, b = labels[0], labels[1 % len(labels)]
+        pattern = Pattern(
+            nodes={"x": a, "y": b, "v1": b},
+            edges=[("x", "v1", "e0")],
+            x="x",
+            y="y",
+        )
+        renamed = Pattern(
+            nodes={"x": a, "y": b, "w9": b},
+            edges=[("x", "w9", "e0")],
+            x="x",
+            y="y",
+        )
+        assert pattern != renamed
+        store = MatchStore(graph)
+        delta_matcher = DeltaMatcher(graph, VF2Matcher(), store)
+        candidates = sorted(graph.nodes_with_label(a), key=str)
+        delta_matcher.materialize(pattern, candidates)
+        # Same canonical structure, different node names: the embeddings
+        # would not align with a caller's delta edge, so this must miss.
+        assert store.code_for(pattern) == store.code_for(renamed)
+        assert store.get(renamed) is None
+        assert store.get(pattern) is not None
+
+
+def _dmine_fingerprint(result):
+    return sorted(
+        (
+            rule.name,
+            info.support,
+            round(info.confidence, 9),
+            tuple(sorted(map(str, info.matches))),
+        )
+        for rule, info in result.all_rules.items()
+    )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_dmine_equivalent_across_incremental_modes(backend):
+    """DMine mines identical rules on each backend, incremental on or off."""
+    graph = synthetic_graph(150, 450, num_node_labels=6, num_edge_labels=4, seed=2)
+    predicate = most_frequent_predicates(graph, top=1)[0]
+    results = []
+    for use_incremental in (False, True):
+        config = DMineConfig(
+            k=3,
+            d=2,
+            sigma=1,
+            num_workers=2,
+            max_edges=3,
+            max_extensions_per_rule=6,
+            max_rules_per_round=10,
+            backend=backend,
+            executor_workers=2,
+            use_incremental=use_incremental,
+        )
+        results.append(_dmine_fingerprint(dmine(graph, predicate, config)))
+    assert results[0] == results[1]
+
+
+def _eip_fingerprint(result):
+    return (
+        sorted(map(str, result.identified)),
+        sorted(
+            (rule.name, round(confidence, 9))
+            for rule, confidence in result.rule_confidences.items()
+        ),
+        sorted(
+            (rule.name, tuple(sorted(map(str, matches))))
+            for rule, matches in result.rule_matches.items()
+        ),
+        result.candidates_examined,
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_eip_equivalent_across_backends_and_incremental_modes(seed):
+    """Match results (counts included) are identical in prefix-trie mode."""
+    graph = synthetic_graph(150, 450, num_node_labels=6, num_edge_labels=4, seed=seed)
+    predicate = most_frequent_predicates(graph, top=1)[0]
+    rules = generate_gpars(graph, predicate, count=4, max_pattern_edges=3, d=2, seed=seed)
+
+    fingerprints = set()
+    for backend in BACKENDS:
+        for use_incremental in (False, True):
+            result = identify_entities(
+                graph,
+                rules,
+                eta=0.5,
+                num_workers=2,
+                algorithm="match",
+                backend=backend,
+                executor_workers=2,
+                use_incremental=use_incremental,
+            )
+            fingerprints.add(repr(_eip_fingerprint(result)))
+    assert len(fingerprints) == 1

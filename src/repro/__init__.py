@@ -12,6 +12,9 @@ The package implements graph-pattern association rules (GPARs) end to end:
 * :mod:`repro.mining` — the DMine diversified top-k miner (DMP);
 * :mod:`repro.identification` — the Match/Matchc/disVF2 entity identifiers
   (EIP);
+* :mod:`repro.stream` — streaming updates: batched graph mutations with
+  delta-repaired indexes/match stores and a continuously-correct EIP
+  answer (:class:`repro.stream.StreamingIdentifier`);
 * :mod:`repro.datasets` — the paper's running examples plus synthetic and
   social-graph generators.
 

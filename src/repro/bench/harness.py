@@ -40,6 +40,21 @@ def _digest(parts: Iterable[str]) -> str:
     return hashlib.sha1("\n".join(sorted(parts)).encode()).hexdigest()[:12]
 
 
+def _eip_result_fingerprint(result) -> str:
+    """One fingerprint for every EIP row family (identified + confidences).
+
+    Shared by :func:`run_eip_config` and the streaming comparison so
+    ``BENCH_*.json`` fingerprints stay comparable across families.
+    """
+    return _digest(
+        [f"id:{entity}" for entity in map(str, result.identified)]
+        + [
+            f"{rule.name}|{round(confidence, 9)}"
+            for rule, confidence in result.rule_confidences.items()
+        ]
+    )
+
+
 @dataclass(frozen=True)
 class DMineRow:
     """One measured point of a DMine series."""
@@ -235,13 +250,7 @@ def run_eip_config(
         backend=backend,
         use_index=use_index,
         use_incremental=use_incremental,
-        fingerprint=_digest(
-            [f"id:{entity}" for entity in map(str, result.identified)]
-            + [
-                f"{rule.name}|{round(confidence, 9)}"
-                for rule, confidence in result.rule_confidences.items()
-            ]
-        ),
+        fingerprint=_eip_result_fingerprint(result),
     )
 
 
@@ -583,3 +592,270 @@ def run_eip_incremental_comparison(
     return _run_onoff_comparison(
         run_one, backends, "incremental_speedup", "EIP (incremental)"
     )
+
+
+# ----------------------------------------------------------------------
+# streaming repair-vs-recompute comparison
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StreamRow:
+    """One measured point of a streaming repair-vs-recompute series.
+
+    ``mode`` is ``"recompute"`` (from-scratch run after every batch — what a
+    static pipeline pays) or ``"repair"`` (a
+    :class:`repro.stream.StreamingIdentifier` /
+    :class:`repro.stream.MaintainedMatchView` maintained across the same
+    batches).  ``wall_time`` sums over all batches; the repair rows carry
+    ``repair_speedup`` = recompute wall / repair wall on their backend.
+    ``fingerprint`` hashes the *final* result, so a repair row diverging
+    from its recompute twin fails the smoke gate loudly.
+    """
+
+    dataset: str
+    algorithm: str
+    parameter: str
+    value: object
+    mode: str
+    wall_time: float
+    batches: int
+    rechecked: int
+    identified: int
+    backend: str = "sequential"
+    repair_speedup: float | None = None
+    fingerprint: str = ""
+
+    def as_dict(self) -> dict:
+        row = {
+            "dataset": self.dataset,
+            "algorithm": self.algorithm,
+            self.parameter: self.value,
+            "backend": self.backend,
+            "mode": self.mode,
+            "wall_s": round(self.wall_time, 3),
+            "batches": self.batches,
+            "rechecked": self.rechecked,
+            "identified": self.identified,
+            "fingerprint": self.fingerprint,
+        }
+        if self.repair_speedup is not None:
+            row["repair_speedup"] = round(self.repair_speedup, 2)
+        return row
+
+
+def sample_update_batches(graph: Graph, count: int, size: int, seed: int = 0) -> list:
+    """*count* batches, each valid against the state the previous ones left.
+
+    Sampled once against a scratch copy so every backend/mode of a
+    comparison replays the **same** update sequence.
+    """
+    from repro.stream import random_update_batch
+
+    scratch = graph.copy()
+    batches = []
+    for position in range(count):
+        batch = random_update_batch(scratch, size=size, seed=seed * 1000 + position)
+        batch.apply(scratch)
+        batches.append(batch)
+    return batches
+
+
+def run_eip_stream_comparison(
+    dataset: str,
+    graph: Graph,
+    rules: tuple[GPAR, ...],
+    num_workers: int,
+    algorithm: str = "match",
+    eta: float = 1.0,
+    backends: Sequence[str] = ("sequential", "threads", "processes"),
+    executor_workers: int | None = None,
+    num_batches: int = 4,
+    batch_size: int = 8,
+    seed: int = 0,
+) -> list[StreamRow]:
+    """Streaming EIP maintenance vs from-scratch recompute, per backend.
+
+    Replays one sampled update sequence in both modes on every backend.
+    After **each** batch the maintained result must carry the same
+    fingerprint as a fresh ``identify_entities`` run on the mutated graph
+    (raising ``AssertionError`` otherwise); the repair rows report the
+    wall-clock of `StreamingIdentifier.apply` summed over the sequence
+    against the recompute rows' per-batch full runs.
+    """
+    from repro.stream import StreamingIdentifier
+
+    batches = sample_update_batches(graph, num_batches, batch_size, seed=seed)
+    rows: list[StreamRow] = []
+    for backend in backends:
+        # Mode 1: recompute after every batch (the static pipeline's cost).
+        recompute_graph = graph.copy()
+        recompute_wall = 0.0
+        recompute_result = None
+        for batch in batches:
+            batch.apply(recompute_graph)
+            started = time.perf_counter()
+            recompute_result = identify_entities(
+                recompute_graph,
+                list(rules),
+                eta=eta,
+                num_workers=num_workers,
+                algorithm=algorithm,
+                backend=backend,
+                executor_workers=executor_workers,
+            )
+            recompute_wall += time.perf_counter() - started
+        recompute_row = StreamRow(
+            dataset=dataset,
+            algorithm=algorithm,
+            parameter="backend",
+            value=backend,
+            mode="recompute",
+            wall_time=recompute_wall,
+            batches=len(batches),
+            rechecked=0,
+            identified=len(recompute_result.identified),
+            backend=backend,
+            fingerprint=_eip_result_fingerprint(recompute_result),
+        )
+
+        # Mode 2: one StreamingIdentifier maintained across the sequence.
+        stream_graph = graph.copy()
+        repair_wall = 0.0
+        rechecked = 0
+        with StreamingIdentifier(
+            stream_graph,
+            rules,
+            eta=eta,
+            num_workers=num_workers,
+            algorithm=algorithm,
+            backend=backend,
+            executor_workers=executor_workers,
+        ) as identifier:
+            for batch in batches:
+                update_report = identifier.apply(batch)
+                repair_wall += update_report.wall_time
+                rechecked += update_report.rechecked_centers
+                maintained = _eip_result_fingerprint(identifier.result)
+                fresh = _eip_result_fingerprint(identifier.recompute())
+                if maintained != fresh:
+                    raise AssertionError(
+                        f"streaming repair diverged from recompute on "
+                        f"{backend}: {maintained} != {fresh}"
+                    )
+            stream_result = identifier.result
+        repair_row = StreamRow(
+            dataset=dataset,
+            algorithm=algorithm,
+            parameter="backend",
+            value=backend,
+            mode="repair",
+            wall_time=repair_wall,
+            batches=len(batches),
+            rechecked=rechecked,
+            identified=len(stream_result.identified),
+            backend=backend,
+            repair_speedup=(
+                recompute_wall / repair_wall if repair_wall else float("inf")
+            ),
+            fingerprint=_eip_result_fingerprint(stream_result),
+        )
+        if repair_row.fingerprint != recompute_row.fingerprint:
+            raise AssertionError(
+                f"streaming repair diverged from recompute on {backend}: "
+                f"{repair_row.fingerprint} != {recompute_row.fingerprint}"
+            )
+        rows.append(recompute_row)
+        rows.append(repair_row)
+    return rows
+
+
+def run_matchview_stream_comparison(
+    dataset: str,
+    graph: Graph,
+    rules: Sequence[GPAR],
+    kinds: Sequence[str] = ("vf2", "guided"),
+    num_batches: int = 4,
+    batch_size: int = 8,
+    seed: int = 0,
+) -> list[StreamRow]:
+    """Maintained match sets vs from-scratch re-matching, per matcher kind.
+
+    The matcher-level half of the ``stream`` smoke (mirroring how the
+    ``index`` family isolates the resident index): every rule's PR pattern
+    is kept current by :meth:`MatchStore.repair` across the update
+    sequence, against a baseline that re-runs ``match_set`` for the whole
+    pattern family after each batch.  Gates on identical match sets.
+    """
+    from repro.stream import MaintainedMatchView
+
+    patterns = [rule.pr_pattern() for rule in rules]
+    batches = sample_update_batches(graph, num_batches, batch_size, seed=seed)
+    rows: list[StreamRow] = []
+    for kind in kinds:
+        baseline_graph = graph.copy()
+        baseline_wall = 0.0
+        baseline_sets: list[str] = []
+        total_baseline = 0
+        for batch in batches:
+            batch.apply(baseline_graph)
+            matcher = _matcher_for(kind, use_index=True)
+            started = time.perf_counter()
+            for position, pattern in enumerate(patterns):
+                matches = matcher.match_set(baseline_graph, pattern)
+                total_baseline += len(matches)
+                baseline_sets.append(
+                    f"{position}|{'/'.join(sorted(map(str, matches)))}"
+                )
+            baseline_wall += time.perf_counter() - started
+        rows.append(
+            StreamRow(
+                dataset=dataset,
+                algorithm=kind,
+                parameter="mode",
+                value="recompute",
+                mode="recompute",
+                wall_time=baseline_wall,
+                batches=len(batches),
+                rechecked=0,
+                identified=total_baseline,
+                backend="in-process",
+                fingerprint=_digest(baseline_sets),
+            )
+        )
+
+        view_graph = graph.copy()
+        view = MaintainedMatchView(view_graph, patterns, _matcher_for(kind, use_index=True))
+        view_wall = 0.0
+        view_sets: list[str] = []
+        total_view = 0
+        for batch in batches:
+            batch.apply(view_graph)
+            started = time.perf_counter()
+            view.refresh()
+            for position, pattern in enumerate(patterns):
+                matches = view.match_set(pattern)
+                total_view += len(matches)
+                view_sets.append(
+                    f"{position}|{'/'.join(sorted(map(str, matches)))}"
+                )
+            view_wall += time.perf_counter() - started
+        repair_row = StreamRow(
+            dataset=dataset,
+            algorithm=kind,
+            parameter="mode",
+            value="repair",
+            mode="repair",
+            wall_time=view_wall,
+            batches=len(batches),
+            rechecked=view.store.statistics.repair_rechecks,
+            identified=total_view,
+            backend="in-process",
+            repair_speedup=baseline_wall / view_wall if view_wall else float("inf"),
+            fingerprint=_digest(view_sets),
+        )
+        if repair_row.fingerprint != rows[-1].fingerprint:
+            raise AssertionError(
+                f"maintained {kind} match sets diverged from re-matching: "
+                f"{repair_row.fingerprint} != {rows[-1].fingerprint}"
+            )
+        rows.append(repair_row)
+    return rows

@@ -7,6 +7,7 @@ the execution backends without paying for a full fig5 sweep::
     python -m repro.bench.smoke --family match --backend processes --workers 2
     python -m repro.bench.smoke --family index --workers 2
     python -m repro.bench.smoke --family incremental --workers 2
+    python -m repro.bench.smoke --family stream --workers 2
 
 Each run executes the configuration on the sequential baseline and on the
 requested backend, asserts the two produce identical results, prints the
@@ -28,6 +29,14 @@ dense synthetic workload, across all backends with incremental matching off
 and on — one result fingerprint everywhere, and a regression gate that fails
 the run if the sequential DMine ``incremental_speedup`` drops below 1.0.
 
+The ``stream`` family is the repair-vs-recompute gate of :mod:`repro.stream`:
+one sampled update sequence on the dense workload replayed in *repair* mode
+(a maintained :class:`~repro.stream.StreamingIdentifier` /
+:class:`~repro.stream.MaintainedMatchView`) and in *recompute* mode (a full
+run after every batch), per backend.  Every batch's maintained result is
+checked byte-identical to a from-scratch recompute, and the run fails if the
+sequential ``repair_speedup`` drops below 1.0.
+
 ``--profile`` wraps the whole family in :mod:`cProfile` and prints the top
 25 functions by cumulative time — the first stop when a trajectory row
 regresses.
@@ -48,7 +57,9 @@ from repro.bench.harness import (
     run_eip_backends,
     run_eip_incremental_comparison,
     run_eip_index_comparison,
+    run_eip_stream_comparison,
     run_matching_index_comparison,
+    run_matchview_stream_comparison,
 )
 from repro.bench.reporting import format_rows, rows_as_json, wall_speedups
 from repro.bench.workloads import (
@@ -56,10 +67,11 @@ from repro.bench.workloads import (
     dense_mining_workload,
     eip_workload,
     mining_workload,
+    stream_workload,
 )
 from repro.parallel.executor import BACKENDS
 
-FAMILIES = ("dmine", "match", "index", "incremental")
+FAMILIES = ("dmine", "match", "index", "incremental", "stream")
 
 # Tiny-but-nontrivial smoke scales: seconds per family, not minutes.
 SMOKE_SCALE = 400
@@ -81,6 +93,15 @@ INCREMENTAL_MINING = dict(
     max_edges=3, max_extensions_per_rule=8, max_rules_per_round=30
 )
 
+# The streaming family replays one sampled update sequence in repair and
+# recompute mode on the dense 4000-node workload; a few medium batches keep
+# the smoke honest (every batch is gate-checked against a full recompute)
+# without the recompute half dominating the CI budget.
+STREAM_SCALE = 4000
+STREAM_RULES = 12
+STREAM_BATCHES = 3
+STREAM_BATCH_SIZE = 8
+
 
 def run_smoke(
     family: str,
@@ -101,9 +122,11 @@ def run_smoke(
             scale = INDEX_SCALE
         elif family == "incremental":
             scale = INCREMENTAL_SCALE
+        elif family == "stream":
+            scale = STREAM_SCALE
         else:
             scale = SMOKE_SCALE
-    if family not in ("index", "incremental") and backend is None:
+    if family not in ("index", "incremental", "stream") and backend is None:
         backend = "processes"
     if family == "dmine":
         graph, predicate = mining_workload("synthetic", scale)
@@ -190,6 +213,41 @@ def run_smoke(
             )
         )
         return rows
+    if family == "stream":
+        backends = (
+            BACKENDS
+            if backend is None
+            else tuple(dict.fromkeys(("sequential", backend)))
+        )
+        graph, rules = stream_workload(scale, STREAM_RULES)
+        # Part 1: maintained match sets (MatchStore.repair) vs re-matching.
+        rows = list(
+            run_matchview_stream_comparison(
+                "synthetic-dense",
+                graph,
+                rules,
+                num_batches=STREAM_BATCHES,
+                batch_size=STREAM_BATCH_SIZE,
+            )
+        )
+        # Part 2: the StreamingIdentifier vs a full recompute per batch, on
+        # every selected backend; each batch is gate-checked for identical
+        # results inside the runner.
+        rows.extend(
+            run_eip_stream_comparison(
+                "synthetic-dense",
+                graph,
+                rules,
+                num_workers=workers,
+                algorithm="match",
+                eta=0.5,
+                backends=backends,
+                executor_workers=pool_size,
+                num_batches=STREAM_BATCHES,
+                batch_size=STREAM_BATCH_SIZE,
+            )
+        )
+        return rows
     raise ValueError(f"unknown family {family!r}; expected one of {FAMILIES}")
 
 
@@ -226,6 +284,36 @@ def _incremental_speedups(rows) -> dict[str, float]:
         for row in rows
         if getattr(row, "incremental_speedup", None) is not None
     }
+
+
+def _stream_speedups(rows) -> dict[str, float]:
+    """``{algorithm@backend: repair_speedup}`` of the repair rows."""
+    return {
+        f"{row.algorithm}@{row.backend}": row.repair_speedup
+        for row in rows
+        if getattr(row, "repair_speedup", None) is not None
+    }
+
+
+def _check_stream_gate(rows) -> None:
+    """Regression gate: single-threaded streaming repair must beat recompute.
+
+    Per-batch result equivalence already failed inside the comparison
+    runners if repair diverged anywhere; this gate watches the perf
+    trajectory.  It covers the sequential EIP rows *and* the pool-free
+    ``in-process`` maintained-match-set rows, and deliberately skips the
+    thread/process rows, whose pool- and routing-dependent costs
+    legitimately vary run to run.
+    """
+    for row in rows:
+        speedup = getattr(row, "repair_speedup", None)
+        if speedup is None or row.backend not in ("sequential", "in-process"):
+            continue
+        if speedup < 1.0:
+            raise SystemExit(
+                f"streaming regression: {row.backend} {row.algorithm} "
+                f"repair_speedup {speedup:.2f} < 1.0"
+            )
 
 
 def _check_incremental_gate(rows) -> None:
@@ -276,6 +364,19 @@ def _report_family(family: str, backend: str | None, workers: int, rows) -> None
         for name, speedup in sorted(_incremental_speedups(rows).items()):
             print(f"incremental speedup ({name}): {speedup:.2f}x")
         _check_incremental_gate(rows)
+    elif family == "stream":
+        shown = "/".join(BACKENDS) if backend is None else f"sequential/{backend}"
+        title = f"smoke stream (n={workers}, backends={shown})"
+        print(f"== {title} ==")
+        view_rows = [row for row in rows if row.backend == "in-process"]
+        eip_rows = [row for row in rows if row.backend != "in-process"]
+        print("-- maintained match sets: MatchStore.repair vs re-matching --")
+        print(format_rows(view_rows))
+        print("-- streaming EIP: repair vs full recompute per batch (gated) --")
+        print(format_rows(eip_rows))
+        for name, speedup in sorted(_stream_speedups(rows).items()):
+            print(f"repair speedup ({name}): {speedup:.2f}x")
+        _check_stream_gate(rows)
     else:
         _check_equivalence(rows)
         title = f"smoke {family} (n={workers}, backend={backend})"
@@ -325,7 +426,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     backend = args.backend
-    if backend is None and args.family not in ("index", "incremental"):
+    if backend is None and args.family not in ("index", "incremental", "stream"):
         backend = "processes"
     if args.profile:
         profiler = cProfile.Profile()

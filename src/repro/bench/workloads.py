@@ -105,6 +105,29 @@ def dense_eip_workload(
 
 
 @lru_cache(maxsize=None)
+def stream_workload(
+    scale: int = 4000, num_rules: int = 16
+) -> tuple[Graph, tuple[GPAR, ...]]:
+    """Graph + ball-local Σ for the streaming repair-vs-recompute smoke.
+
+    Runs on the dense graph of :func:`dense_mining_workload`, but Σ is
+    *sampled from the graph's structure* (:func:`generate_gpars`) rather
+    than mined: DMine grows antecedents from the x side, so most mined
+    antecedents carry an isolated (free) ``y`` node that is matched against
+    the whole fragment's label index — exactly the non-ball-local shape a
+    :class:`repro.stream.StreamingIdentifier` rejects, because no bounded
+    ball around a centre can repair it.  Sampled rules are connected by
+    construction.  Callers must ``copy()`` the graph before mutating it:
+    workloads are cached per process and shared across benchmark families.
+    """
+    graph, predicate = dense_mining_workload(scale)
+    rules = generate_gpars(
+        graph, predicate, count=num_rules, max_pattern_edges=3, d=2, seed=11
+    )
+    return graph, tuple(rules)
+
+
+@lru_cache(maxsize=None)
 def synthetic_mining_workload(num_nodes: int, num_edges: int) -> tuple[Graph, Pattern]:
     """Synthetic-size-sweep variant of :func:`mining_workload` (Fig. 5(f))."""
     graph = synthetic_graph(

@@ -11,6 +11,10 @@ Three subcommands cover the common workflows end to end:
 ``identify``
     Sample a GPAR workload for a predicate and report the potential
     customers identified with confidence ≥ η (EIP).
+``stream``
+    Maintain the EIP answer across random update batches with the
+    streaming subsystem (:mod:`repro.stream`), measuring repaired
+    maintenance against a from-scratch recompute per batch.
 
 Example
 -------
@@ -19,6 +23,7 @@ Example
     python -m repro.cli generate --kind pokec --users 200 --out graph.json
     python -m repro.cli mine graph.json --predicate "user:like_book:personal development" -k 3
     python -m repro.cli identify graph.json --predicate "user:like_book:personal development" --rules 6
+    python -m repro.cli stream graph.json --predicate "user:like_book:personal development" --updates 5
 """
 
 from __future__ import annotations
@@ -119,6 +124,72 @@ def _cmd_identify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.stream import StreamingIdentifier, random_update_batch
+
+    graph = load_graph_json(args.graph)
+    rules = generate_gpars(
+        graph,
+        args.predicate,
+        count=args.rules,
+        max_pattern_edges=args.max_edges,
+        d=args.d,
+        seed=args.seed,
+    )
+    repair_wall = 0.0
+    recompute_wall = 0.0
+    with StreamingIdentifier(
+        graph,
+        rules,
+        eta=args.eta,
+        num_workers=args.workers,
+        algorithm=args.algorithm,
+        seed=args.seed,
+        backend=args.backend,
+        executor_workers=args.pool_size,
+        use_index=not args.no_index,
+        use_incremental=not args.no_incremental,
+    ) as identifier:
+        print(
+            f"streaming {args.algorithm} over {graph.num_nodes} nodes / "
+            f"{graph.num_edges} edges, |Σ|={len(rules)}, d={identifier.max_radius} "
+            f"[backend={args.backend}]"
+        )
+        print(f"initial: {identifier.result.summary().splitlines()[0]}")
+        for position in range(args.updates):
+            batch = random_update_batch(
+                graph, size=args.batch_size, seed=args.seed * 1000 + position
+            )
+            update_report = identifier.apply(batch)
+            repair_wall += update_report.wall_time
+            line = f"batch {position + 1}: {batch.describe()} -> {update_report.as_row()}"
+            if args.verify:
+                started = time.perf_counter()
+                fresh = identifier.recompute()
+                recompute_wall += time.perf_counter() - started
+                agree = (
+                    fresh.identified == identifier.result.identified
+                    and fresh.rule_confidences == identifier.result.rule_confidences
+                )
+                if not agree:
+                    print(line)
+                    print("DIVERGED from recompute — this is a bug")
+                    return 1
+                line += f" [recompute {recompute_wall:.3f}s cumulative, identical]"
+            print(line)
+        result = identifier.result
+    print(result.summary())
+    print(f"repair wall over {args.updates} batches: {repair_wall:.3f}s")
+    if args.verify and repair_wall:
+        print(
+            f"recompute wall: {recompute_wall:.3f}s "
+            f"(repair speedup {recompute_wall / repair_wall:.2f}x)"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -166,6 +237,33 @@ def build_parser() -> argparse.ArgumentParser:
     identify.add_argument("--show", type=int, default=10, help="how many identified entities to list")
     _add_backend_arguments(identify)
     identify.set_defaults(handler=_cmd_identify)
+
+    stream = subparsers.add_parser(
+        "stream",
+        help="maintain the EIP answer across random update batches (repro.stream)",
+    )
+    stream.add_argument("graph", type=Path)
+    stream.add_argument("--predicate", type=_parse_predicate, required=True)
+    stream.add_argument("--rules", type=int, default=6, help="size of the sampled rule set Σ")
+    stream.add_argument("--eta", type=float, default=1.0, help="confidence bound")
+    stream.add_argument("--algorithm", choices=["match", "matchc"], default="match")
+    stream.add_argument("--workers", type=int, default=4,
+                        help="number of fragments / BSP workers n")
+    stream.add_argument("-d", type=int, default=2)
+    stream.add_argument("--max-edges", type=int, default=4, dest="max_edges")
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument("--updates", type=int, default=5,
+                        help="number of random update batches to apply")
+    stream.add_argument("--batch-size", type=int, default=8, dest="batch_size",
+                        help="operations per update batch")
+    stream.add_argument(
+        "--verify",
+        action="store_true",
+        help="after every batch, recompute from scratch and check the "
+        "maintained answer is identical (reports the repair speedup)",
+    )
+    _add_backend_arguments(stream)
+    stream.set_defaults(handler=_cmd_stream)
     return parser
 
 

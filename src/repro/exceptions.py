@@ -118,3 +118,12 @@ class IdentificationError(ReproError):
 
 class DatasetError(ReproError):
     """Raised when a synthetic dataset cannot be generated as requested."""
+
+
+class StreamError(ReproError):
+    """Raised for invalid streaming-update requests (:mod:`repro.stream`).
+
+    Covers malformed :class:`~repro.stream.UpdateBatch` operations and
+    rule sets a :class:`~repro.stream.StreamingIdentifier` cannot maintain
+    incrementally (e.g. a disconnected antecedent, whose matches are not a
+    function of any bounded ball around the centre)."""

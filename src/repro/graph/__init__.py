@@ -13,7 +13,7 @@ model with the indexes the mining and matching algorithms need:
   (:mod:`index`).
 """
 
-from repro.graph.graph import Edge, Graph
+from repro.graph.graph import DELTA_LOG_SIZE, Edge, Graph, GraphBatch, GraphDelta
 from repro.graph.builder import GraphBuilder
 from repro.graph.index import (
     FragmentIndex,
@@ -47,8 +47,11 @@ from repro.graph.io import (
 from repro.graph.statistics import GraphSummary, summarize
 
 __all__ = [
+    "DELTA_LOG_SIZE",
     "Edge",
     "Graph",
+    "GraphBatch",
+    "GraphDelta",
     "GraphBuilder",
     "ball",
     "bfs_distances",

@@ -19,6 +19,7 @@ Model (paper Section 2.1)
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, Hashable, Iterable, Iterator
 
@@ -26,6 +27,12 @@ from repro.exceptions import EdgeNotFoundError, GraphError, NodeNotFoundError
 
 NodeId = Hashable
 Label = str
+
+#: How many finished :class:`GraphDelta` records a graph retains.  Derived
+#: structures (``FragmentIndex``, ``MatchStore``) repair themselves from this
+#: log; once a consumer falls further behind than the log reaches, it rebuilds
+#: from scratch instead.
+DELTA_LOG_SIZE = 32
 
 
 @dataclass(frozen=True)
@@ -39,6 +46,167 @@ class Edge:
     def reversed(self) -> "Edge":
         """Return the edge with source and target swapped (same label)."""
         return Edge(self.target, self.source, self.label)
+
+
+@dataclass(frozen=True)
+class GraphDelta:
+    """The *net* effect of one version tick (a single mutation or a batch).
+
+    ``touched`` is the set of nodes whose incident structure changed: the
+    endpoints of every net-added/removed edge plus every net-added, removed
+    or relabelled node (a removed node's former neighbours are touched via
+    its removed incident edges).  Operations that cancel out inside one batch
+    (an edge removed then re-added) appear in no set — the version still
+    ticks, but the delta is net-empty.
+
+    The central locality fact consumers rely on (proved in
+    ``docs/streaming.md``): for any node ``c``, if the r-hop neighbourhood of
+    ``c`` changed between ``base_version`` and ``result_version``, then some
+    touched node lies within ``r`` hops of ``c`` **in the post-update
+    graph**.  Ball-scoped invalidation from ``touched`` on the new graph is
+    therefore exact — no pre-update snapshot is needed.
+    """
+
+    base_version: int
+    result_version: int
+    touched: frozenset
+    added_nodes: frozenset
+    removed_nodes: frozenset
+    relabeled_nodes: frozenset
+    added_edges: frozenset
+    removed_edges: frozenset
+
+    @property
+    def net_empty(self) -> bool:
+        """Whether the delta changed nothing (every operation cancelled out)."""
+        return not self.touched
+
+
+class _DeltaRecorder:
+    """Captures pre-mutation state so a net :class:`GraphDelta` can be diffed.
+
+    One recorder is open per version tick: either for the span of a
+    ``batch_update`` context or transiently inside a single mutator call.
+    First-touch wins: ``node_initial``/``edge_initial`` keep the state from
+    *before* the tick, whatever later operations do to the same key.
+    """
+
+    __slots__ = ("base_version", "node_initial", "edge_initial", "dirty")
+
+    def __init__(self, base_version: int) -> None:
+        self.base_version = base_version
+        # node id -> (was present, label at open time or None)
+        self.node_initial: dict[NodeId, tuple[bool, Label | None]] = {}
+        # (source, target, label) -> was present
+        self.edge_initial: dict[tuple, bool] = {}
+        self.dirty = False
+
+    def finalize(self, graph: "Graph") -> GraphDelta:
+        """Diff the recorded initial states against the graph's current state."""
+        added_nodes: list[NodeId] = []
+        removed_nodes: list[NodeId] = []
+        relabeled: list[NodeId] = []
+        touched: set[NodeId] = set()
+        labels = graph._labels
+        for node, (was_present, old_label) in self.node_initial.items():
+            now = labels.get(node)
+            if was_present:
+                if now is None:
+                    removed_nodes.append(node)
+                    touched.add(node)
+                elif now != old_label:
+                    relabeled.append(node)
+                    touched.add(node)
+            elif now is not None:
+                added_nodes.append(node)
+                touched.add(node)
+        added_edges: list[tuple] = []
+        removed_edges: list[tuple] = []
+        for key, was_present in self.edge_initial.items():
+            source, target, label = key
+            now = graph.has_edge(source, target, label)
+            if now == was_present:
+                continue
+            (added_edges if now else removed_edges).append(key)
+            touched.add(source)
+            touched.add(target)
+        return GraphDelta(
+            base_version=self.base_version,
+            result_version=graph._version,
+            touched=frozenset(touched),
+            added_nodes=frozenset(added_nodes),
+            removed_nodes=frozenset(removed_nodes),
+            relabeled_nodes=frozenset(relabeled),
+            added_edges=frozenset(added_edges),
+            removed_edges=frozenset(removed_edges),
+        )
+
+
+class GraphBatch:
+    """Context manager applying several mutations as **one** version tick.
+
+    Returned by :meth:`Graph.batch_update`.  Mutations made inside the
+    ``with`` block — through the proxy methods below or directly on the
+    graph — are folded into a single version bump and one recorded
+    :class:`GraphDelta`; ``touched``/``delta`` expose the net effect after
+    the block exits.  Nested batches join the outermost one (one tick in
+    total).
+
+    Derived structures must not be probed *inside* the block: the
+    :class:`~repro.graph.index.FragmentIndex` treats an open batch as stale
+    (``"raise"`` mode raises :class:`~repro.exceptions.StaleIndexError`,
+    ``"refresh"`` mode refuses to rebuild from a half-applied state).
+    """
+
+    __slots__ = ("_graph", "_owns", "_delta")
+
+    def __init__(self, graph: "Graph") -> None:
+        self._graph = graph
+        self._owns = False
+        self._delta: GraphDelta | None = None
+
+    def __enter__(self) -> "GraphBatch":
+        if self._graph._recorder is None:
+            self._graph._open_recorder()
+            self._owns = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._owns:
+            self._delta = self._graph._close_recorder()
+        return False
+
+    # -- proxy mutators (equivalent to calling the graph directly) ---------
+    def add_node(self, node_id: NodeId, label: Label, attrs: dict | None = None) -> None:
+        self._graph.add_node(node_id, label, attrs)
+
+    def add_edge(self, source: NodeId, target: NodeId, label: Label) -> bool:
+        return self._graph.add_edge(source, target, label)
+
+    def remove_edge(self, source: NodeId, target: NodeId, label: Label) -> None:
+        self._graph.remove_edge(source, target, label)
+
+    def remove_node(self, node_id: NodeId) -> None:
+        self._graph.remove_node(node_id)
+
+    def relabel_node(self, node_id: NodeId, label: Label) -> None:
+        self._graph.relabel_node(node_id, label)
+
+    # -- outcome -----------------------------------------------------------
+    @property
+    def delta(self) -> GraphDelta:
+        """The batch's net :class:`GraphDelta`; only available after exit."""
+        if self._delta is None:
+            raise GraphError(
+                "the batch is still open (or joined an enclosing batch); "
+                "its delta is available only after the outermost block exits"
+            )
+        return self._delta
+
+    @property
+    def touched(self) -> frozenset:
+        """Net touched-node set of the batch (see :class:`GraphDelta`)."""
+        return self.delta.touched
 
 
 class Graph:
@@ -71,6 +239,8 @@ class Graph:
         "_num_edges",
         "_edge_label_counts",
         "_version",
+        "_recorder",
+        "_delta_log",
         "__weakref__",
     )
 
@@ -89,10 +259,81 @@ class Graph:
         self._num_edges = 0
         # edge label -> count
         self._edge_label_counts: dict[Label, int] = {}
-        # Mutation counter: bumped by every structural change, so derived
+        # Mutation counter: bumped by every version tick — one per single
+        # mutator call *or* per whole batch_update() block — so derived
         # structures (e.g. repro.graph.index.FragmentIndex) can detect
         # staleness with a single integer comparison.
         self._version = 0
+        # Open _DeltaRecorder while a tick is in progress, else None.
+        self._recorder: _DeltaRecorder | None = None
+        # Ring buffer of finished GraphDeltas (newest last); consumers patch
+        # themselves forward from it via deltas_since().
+        self._delta_log: deque = deque(maxlen=DELTA_LOG_SIZE)
+
+    # ------------------------------------------------------------------
+    # version ticks and delta recording
+    # ------------------------------------------------------------------
+    def _open_recorder(self) -> tuple[_DeltaRecorder, bool]:
+        """The open recorder (joining an outer batch) or a fresh owned one."""
+        recorder = self._recorder
+        if recorder is not None:
+            return recorder, False
+        recorder = self._recorder = _DeltaRecorder(self._version)
+        return recorder, True
+
+    def _close_recorder(self) -> GraphDelta:
+        """Finish the tick: bump the version once (if dirty) and log the delta."""
+        recorder = self._recorder
+        self._recorder = None
+        if recorder.dirty:
+            self._version += 1
+        delta = recorder.finalize(self)
+        if recorder.dirty:
+            # Net-empty-but-dirty deltas are logged too: they keep the
+            # (base_version -> result_version) chain contiguous.
+            self._delta_log.append(delta)
+        return delta
+
+    @property
+    def in_batch(self) -> bool:
+        """Whether a version tick (batch or single mutation) is in progress."""
+        return self._recorder is not None
+
+    def batch_update(self) -> GraphBatch:
+        """Open a :class:`GraphBatch`: many mutations, one version bump.
+
+        Example
+        -------
+        >>> g = Graph()
+        >>> g.add_node("a", "x"); g.add_node("b", "x")
+        >>> before = g.version
+        >>> with g.batch_update() as tx:
+        ...     _ = tx.add_edge("a", "b", "e")
+        ...     tx.relabel_node("b", "y")
+        >>> g.version - before
+        1
+        >>> sorted(tx.touched)
+        ['a', 'b']
+        """
+        return GraphBatch(self)
+
+    def deltas_since(self, version: int) -> list[GraphDelta] | None:
+        """Recorded deltas forming a contiguous chain from *version* to now.
+
+        Returns ``[]`` when *version* is current, or ``None`` when the log no
+        longer reaches back that far (the caller must rebuild from scratch).
+        """
+        if version == self._version:
+            return []
+        chain: list[GraphDelta] = []
+        for delta in reversed(self._delta_log):
+            chain.append(delta)
+            if delta.base_version == version:
+                chain.reverse()
+                return chain
+            if delta.base_version < version:
+                return None
+        return None
 
     # ------------------------------------------------------------------
     # construction
@@ -114,13 +355,19 @@ class Graph:
             if attrs:
                 self._attrs.setdefault(node_id, {}).update(attrs)
             return
-        self._labels[node_id] = label
-        self._out[node_id] = {}
-        self._in[node_id] = {}
-        self._nodes_by_label.setdefault(label, set()).add(node_id)
-        if attrs:
-            self._attrs[node_id] = dict(attrs)
-        self._version += 1
+        recorder, owns = self._open_recorder()
+        try:
+            recorder.node_initial.setdefault(node_id, (False, None))
+            self._labels[node_id] = label
+            self._out[node_id] = {}
+            self._in[node_id] = {}
+            self._nodes_by_label.setdefault(label, set()).add(node_id)
+            if attrs:
+                self._attrs[node_id] = dict(attrs)
+            recorder.dirty = True
+        finally:
+            if owns:
+                self._close_recorder()
 
     def add_edge(self, source: NodeId, target: NodeId, label: Label) -> bool:
         """Add edge ``source --label--> target``.
@@ -136,11 +383,17 @@ class Graph:
         targets = self._out[source].setdefault(label, set())
         if target in targets:
             return False
-        targets.add(target)
-        self._in[target].setdefault(label, set()).add(source)
-        self._num_edges += 1
-        self._edge_label_counts[label] = self._edge_label_counts.get(label, 0) + 1
-        self._version += 1
+        recorder, owns = self._open_recorder()
+        try:
+            recorder.edge_initial.setdefault((source, target, label), False)
+            targets.add(target)
+            self._in[target].setdefault(label, set()).add(source)
+            self._num_edges += 1
+            self._edge_label_counts[label] = self._edge_label_counts.get(label, 0) + 1
+            recorder.dirty = True
+        finally:
+            if owns:
+                self._close_recorder()
         return True
 
     def remove_edge(self, source: NodeId, target: NodeId, label: Label) -> None:
@@ -148,39 +401,56 @@ class Graph:
         targets = self._out.get(source, {}).get(label)
         if not targets or target not in targets:
             raise EdgeNotFoundError(source, target, label)
-        targets.discard(target)
-        if not targets:
-            del self._out[source][label]
-        sources = self._in[target][label]
-        sources.discard(source)
-        if not sources:
-            del self._in[target][label]
-        self._num_edges -= 1
-        remaining = self._edge_label_counts[label] - 1
-        if remaining:
-            self._edge_label_counts[label] = remaining
-        else:
-            del self._edge_label_counts[label]
-        self._version += 1
+        recorder, owns = self._open_recorder()
+        try:
+            recorder.edge_initial.setdefault((source, target, label), True)
+            targets.discard(target)
+            if not targets:
+                del self._out[source][label]
+            sources = self._in[target][label]
+            sources.discard(source)
+            if not sources:
+                del self._in[target][label]
+            self._num_edges -= 1
+            remaining = self._edge_label_counts[label] - 1
+            if remaining:
+                self._edge_label_counts[label] = remaining
+            else:
+                del self._edge_label_counts[label]
+            recorder.dirty = True
+        finally:
+            if owns:
+                self._close_recorder()
 
     def remove_node(self, node_id: NodeId) -> None:
-        """Remove a node and all incident edges."""
+        """Remove a node and all incident edges (one version tick in total).
+
+        The incident-edge removals are folded into the node removal's own
+        recorder, so one logical operation is one version bump — and the
+        recorded delta's ``touched`` set includes the former neighbours.
+        """
         if node_id not in self._labels:
             raise NodeNotFoundError(node_id)
-        for label, targets in list(self._out[node_id].items()):
-            for target in list(targets):
-                self.remove_edge(node_id, target, label)
-        for label, sources in list(self._in[node_id].items()):
-            for source in list(sources):
-                self.remove_edge(source, node_id, label)
-        label = self._labels.pop(node_id)
-        self._nodes_by_label[label].discard(node_id)
-        if not self._nodes_by_label[label]:
-            del self._nodes_by_label[label]
-        del self._out[node_id]
-        del self._in[node_id]
-        self._attrs.pop(node_id, None)
-        self._version += 1
+        recorder, owns = self._open_recorder()
+        try:
+            recorder.node_initial.setdefault(node_id, (True, self._labels[node_id]))
+            for label, targets in list(self._out[node_id].items()):
+                for target in list(targets):
+                    self.remove_edge(node_id, target, label)
+            for label, sources in list(self._in[node_id].items()):
+                for source in list(sources):
+                    self.remove_edge(source, node_id, label)
+            label = self._labels.pop(node_id)
+            self._nodes_by_label[label].discard(node_id)
+            if not self._nodes_by_label[label]:
+                del self._nodes_by_label[label]
+            del self._out[node_id]
+            del self._in[node_id]
+            self._attrs.pop(node_id, None)
+            recorder.dirty = True
+        finally:
+            if owns:
+                self._close_recorder()
 
     def relabel_node(self, node_id: NodeId, label: Label) -> None:
         """Change the label of an existing node (no-op if unchanged)."""
@@ -189,13 +459,19 @@ class Graph:
             raise NodeNotFoundError(node_id)
         if existing == label:
             return
-        self._labels[node_id] = label
-        old_bucket = self._nodes_by_label[existing]
-        old_bucket.discard(node_id)
-        if not old_bucket:
-            del self._nodes_by_label[existing]
-        self._nodes_by_label.setdefault(label, set()).add(node_id)
-        self._version += 1
+        recorder, owns = self._open_recorder()
+        try:
+            recorder.node_initial.setdefault(node_id, (True, existing))
+            self._labels[node_id] = label
+            old_bucket = self._nodes_by_label[existing]
+            old_bucket.discard(node_id)
+            if not old_bucket:
+                del self._nodes_by_label[existing]
+            self._nodes_by_label.setdefault(label, set()).add(node_id)
+            recorder.dirty = True
+        finally:
+            if owns:
+                self._close_recorder()
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -392,10 +668,14 @@ class Graph:
     def copy(self, name: str | None = None) -> "Graph":
         """Return a deep structural copy of the graph."""
         clone = Graph(name=name or self.name)
-        for node_id, label in self._labels.items():
-            clone.add_node(node_id, label, self._attrs.get(node_id))
-        for edge in self.edges():
-            clone.add_edge(edge.source, edge.target, edge.label)
+        with clone.batch_update():
+            for node_id, label in self._labels.items():
+                clone.add_node(node_id, label, self._attrs.get(node_id))
+            for edge in self.edges():
+                clone.add_edge(edge.source, edge.target, edge.label)
+        # Construction is not an update: nothing existed before it that a
+        # derived structure could patch forward from.
+        clone._delta_log.clear()
         return clone
 
     def induced_subgraph(self, node_ids: Iterable[NodeId], name: str | None = None) -> "Graph":
@@ -405,13 +685,15 @@ class Graph:
         if missing:
             raise NodeNotFoundError(missing[0])
         sub = Graph(name=name or f"{self.name}|induced")
-        for node_id in keep:
-            sub.add_node(node_id, self._labels[node_id], self._attrs.get(node_id))
-        for node_id in keep:
-            for label, targets in self._out[node_id].items():
-                for target in targets:
-                    if target in keep:
-                        sub.add_edge(node_id, target, label)
+        with sub.batch_update():
+            for node_id in keep:
+                sub.add_node(node_id, self._labels[node_id], self._attrs.get(node_id))
+            for node_id in keep:
+                for label, targets in self._out[node_id].items():
+                    for target in targets:
+                        if target in keep:
+                            sub.add_edge(node_id, target, label)
+        sub._delta_log.clear()
         return sub
 
     def descendants(self, node_id: NodeId) -> set[NodeId]:

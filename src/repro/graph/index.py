@@ -31,9 +31,25 @@ Invalidation
 ------------
 The index records ``graph.version`` (a monotonic mutation counter) at build
 time and compares it on **every** probe.  On a mismatch the index either
-rebuilds itself (``mode="refresh"``, the default) or raises
+brings itself up to date (``mode="refresh"``, the default) or raises
 :class:`~repro.exceptions.StaleIndexError` (``mode="raise"``); a stale read
-is impossible in both modes.
+is impossible in both modes.  A probe made while a
+``Graph.batch_update`` block is still open is treated as stale too —
+``"raise"`` mode raises and ``"refresh"`` mode refuses to rebuild from a
+half-applied batch.
+
+Delta maintenance
+-----------------
+``refresh()`` no longer rebuilds eagerly: when the graph's bounded delta log
+(:meth:`repro.graph.graph.Graph.deltas_since`) still reaches back to the
+version the index was built at, :meth:`FragmentIndex.apply_delta` patches
+the index **in place** — label buckets and adjacency profiles of the
+touched region are recomputed, memoised adjacency views of touched nodes
+are dropped, and cached k-hop sketches are invalidated only inside the
+k-hop balls of the touched nodes (computed on the post-update graph; see
+``docs/streaming.md`` for why that is exact).  A full rebuild remains the
+fallback when the log has been outrun or the touched region covers most of
+the graph.
 
 Residency
 ---------
@@ -54,7 +70,7 @@ from dataclasses import dataclass
 from typing import Hashable, Mapping
 
 from repro.exceptions import GraphError, NodeNotFoundError, StaleIndexError
-from repro.graph.graph import Graph
+from repro.graph.graph import Graph, GraphDelta
 from repro.graph.sketch import KHopSketch, build_sketch, empty_sketch
 
 NodeId = Hashable
@@ -66,6 +82,11 @@ INDEX_MODES = ("refresh", "raise")
 #: Default number of hops summarised by cached sketches (the paper uses 2).
 DEFAULT_SKETCH_HOPS = 2
 
+#: When the touched nodes of a pending delta chain exceed this fraction of
+#: the graph, ``refresh()`` prefers one full O(|V| + |E|) rebuild over
+#: patching most of the index anyway.
+DELTA_REBUILD_FRACTION = 0.25
+
 _EMPTY_FROZEN: frozenset = frozenset()
 
 
@@ -75,8 +96,10 @@ class IndexStatistics:
 
     builds: int = 0
     refreshes: int = 0
+    delta_applies: int = 0
     sketches_built: int = 0
     sketch_fast_paths: int = 0
+    sketches_invalidated: int = 0
     stale_probes: int = 0
 
 
@@ -180,9 +203,131 @@ class FragmentIndex:
         return self.graph.version != self._built_version
 
     def refresh(self) -> None:
-        """Rebuild all layers from the graph's current state."""
+        """Bring all layers up to date with the graph's current state.
+
+        Prefers in-place delta patching: when the graph's recorded delta log
+        still reaches back to :attr:`built_version` (and the touched region
+        is small relative to the graph), every pending
+        :class:`~repro.graph.graph.GraphDelta` is applied via
+        :meth:`apply_delta`; otherwise the index rebuilds from scratch.
+        """
+        graph = self.graph
+        if graph.in_batch:
+            raise GraphError(
+                f"cannot refresh the index of graph {graph.name!r} while a "
+                "batch_update is open: the graph is in a half-applied state"
+            )
+        deltas = graph.deltas_since(self._built_version)
+        if deltas is not None:
+            touched_total = sum(len(delta.touched) for delta in deltas)
+            if touched_total <= DELTA_REBUILD_FRACTION * max(1, graph.num_nodes):
+                for delta in deltas:
+                    if not self.apply_delta(delta):  # pragma: no cover - chain guard
+                        deltas = None
+                        break
+                if deltas is not None:
+                    self.statistics.refreshes += 1
+                    return
+            else:
+                deltas = None
         self._build()
         self.statistics.refreshes += 1
+
+    def apply_delta(self, delta: GraphDelta) -> bool:
+        """Patch the index in place with one recorded graph delta.
+
+        Requires ``delta.base_version`` to equal :attr:`built_version`
+        (returns ``False``, leaving the index untouched, otherwise).  Label
+        buckets, node labels and adjacency profiles are recomputed for the
+        touched region only; memoised adjacency views of touched nodes are
+        dropped; cached sketches are invalidated only within the k-hop balls
+        of the touched nodes.  After a successful patch the index is
+        indistinguishable from a fresh build at ``delta.result_version``.
+        """
+        if delta.base_version != self._built_version:
+            return False
+        graph = self.graph
+        if graph.in_batch:
+            raise GraphError(
+                f"cannot patch the index of graph {graph.name!r} while a "
+                "batch_update is open: the graph is in a half-applied state"
+            )
+        if not delta.net_empty:
+            self._patch(delta.touched)
+        self._built_version = delta.result_version
+        self.statistics.delta_applies += 1
+        return True
+
+    def _patch(self, touched: frozenset) -> None:
+        """Recompute the touched region of every layer from the current graph.
+
+        Later deltas of a chain may already be reflected in the graph; that
+        is fine — patching reads the *current* state, so applying a chain in
+        order converges on exactly the fresh-build contents (each layer's
+        entries are pure functions of the current graph restricted to the
+        patched region).
+        """
+        graph = self.graph
+        labels = graph._labels
+        # Layer (a): labels + label buckets of the touched nodes.
+        for node in touched:
+            old_label = self._labels.get(node)
+            new_label = labels.get(node)
+            if old_label == new_label:
+                continue
+            if old_label is not None:
+                bucket = self._nodes_by_label.get(old_label, _EMPTY_FROZEN) - {node}
+                if bucket:
+                    self._nodes_by_label[old_label] = bucket
+                else:
+                    self._nodes_by_label.pop(old_label, None)
+            if new_label is None:
+                del self._labels[node]
+            else:
+                self._labels[node] = new_label
+                self._nodes_by_label[new_label] = self._nodes_by_label.get(
+                    new_label, _EMPTY_FROZEN
+                ) | {node}
+        # Layer (b): adjacency profiles of the touched nodes and their
+        # current neighbours (a relabelled node changes the profiles of
+        # everything adjacent to it; removed endpoints are touched already).
+        recompute: set = set()
+        for node in touched:
+            if node in labels:
+                recompute.add(node)
+                recompute.update(graph.neighbors(node))
+            else:
+                self._profiles.pop(node, None)
+        for node in recompute:
+            profile = Counter()
+            for edge_label, targets in graph._out[node].items():
+                for target in targets:
+                    profile[("out", edge_label, labels[target])] += 1
+            for edge_label, sources in graph._in[node].items():
+                for source in sources:
+                    profile[("in", edge_label, labels[source])] += 1
+            self._profiles[node] = dict(profile)
+        # Layer (c): memoised adjacency views of touched nodes only — an
+        # untouched node's neighbour sets are unchanged by definition.
+        for frozen in (self._out_frozen, self._in_frozen):
+            stale_keys = [key for key in frozen if key[0] in touched]
+            for key in stale_keys:
+                del frozen[key]
+        # Layer (d): sketches within the k-hop balls of the touched nodes,
+        # computed on the *post-update* graph (exact; docs/streaming.md).
+        if self._sketches:
+            from repro.graph.neighborhood import multi_source_distances
+
+            max_hops = max(hops for _node, hops in self._sketches)
+            distances = multi_source_distances(graph, touched, max_hops)
+            stale_sketches = [
+                key
+                for key in self._sketches
+                if key[0] in touched or distances.get(key[0], max_hops + 1) <= key[1]
+            ]
+            for key in stale_sketches:
+                del self._sketches[key]
+            self.statistics.sketches_invalidated += len(stale_sketches)
 
     def _check(self) -> None:
         """Probe guard: refresh or raise if the graph has mutated."""
@@ -190,7 +335,9 @@ class FragmentIndex:
         if graph is None:
             raise GraphError("the graph of this FragmentIndex no longer exists")
         if graph._version == self._built_version:
-            return
+            recorder = graph._recorder
+            if recorder is None or not recorder.dirty:
+                return
         self.statistics.stale_probes += 1
         if self.mode == "raise":
             raise StaleIndexError(graph.name, self._built_version, graph.version)

@@ -57,6 +57,44 @@ def bfs_distances(
     return distances
 
 
+def multi_source_distances(
+    graph: Graph,
+    sources,
+    radius: int,
+) -> dict[NodeId, int]:
+    """Hop distance to the nearest of *sources*, for nodes within *radius*.
+
+    Sources absent from the graph are skipped (streaming deltas legitimately
+    name removed nodes).  Edges are treated as undirected, matching the
+    paper's ball notion — and the ball-scoped invalidation lemma of
+    ``docs/streaming.md``, whose consumers (`FragmentIndex.apply_delta`,
+    `MatchStore.repair`, `StreamingIdentifier`) all derive their affected
+    regions through this one helper.
+    """
+    if radius < 0:
+        raise ValueError(f"radius must be >= 0, got {radius}")
+    distances: dict[NodeId, int] = {
+        source: 0 for source in sources if graph.has_node(source)
+    }
+    frontier = list(distances)
+    for hop in range(1, radius + 1):
+        next_frontier: list[NodeId] = []
+        for node in frontier:
+            for neighbor in graph.neighbors(node):
+                if neighbor not in distances:
+                    distances[neighbor] = hop
+                    next_frontier.append(neighbor)
+        if not next_frontier:
+            break
+        frontier = next_frontier
+    return distances
+
+
+def multi_source_ball(graph: Graph, sources, radius: int) -> set[NodeId]:
+    """Nodes within *radius* hops of any of *sources* (undirected)."""
+    return set(multi_source_distances(graph, sources, radius))
+
+
 def ball(graph: Graph, center: NodeId, radius: int) -> set[NodeId]:
     """``Nr(vx)``: the set of nodes within *radius* hops of *center*.
 

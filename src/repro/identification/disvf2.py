@@ -44,6 +44,8 @@ class DisVF2(MatchC):
         report = _FragmentReport(fragment_index=fragment.index)
         local_positives = set(stats.positives)
         local_negatives = set(stats.negatives)
+        report.positives = local_positives
+        report.negatives = local_negatives
         report.supp_q = len(local_positives)
         report.supp_q_bar = len(local_negatives)
 
@@ -63,6 +65,7 @@ class DisVF2(MatchC):
             } & owned
             rule_matches = pr_matches & local_positives
             report.rule_matches[rule] = rule_matches
+            report.antecedent_sets[rule] = antecedent_matches
             report.antecedent_counts[rule] = len(antecedent_matches)
             report.qbar_counts[rule] = len(antecedent_matches & local_negatives)
         return report

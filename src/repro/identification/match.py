@@ -66,6 +66,8 @@ class Match(MatchC):
         report = _FragmentReport(fragment_index=fragment.index)
         local_positives = set(stats.positives)
         local_negatives = set(stats.negatives)
+        report.positives = local_positives
+        report.negatives = local_negatives
         report.supp_q = len(local_positives)
         report.supp_q_bar = len(local_negatives)
 
@@ -78,7 +80,7 @@ class Match(MatchC):
         }
 
         rule_matches: dict[GPAR, set[NodeId]] = {rule: set() for rule in rules}
-        antecedent_counts = {rule: 0 for rule in rules}
+        antecedent_sets: dict[GPAR, set[NodeId]] = {rule: set() for rule in rules}
         qbar_counts = {rule: 0 for rule in rules}
 
         for candidate in owned:
@@ -90,7 +92,7 @@ class Match(MatchC):
                     continue
                 if not matcher.exists_match_at(graph, rule.antecedent, candidate):
                     continue
-                antecedent_counts[rule] += 1
+                antecedent_sets[rule].add(candidate)
                 if candidate in local_negatives:
                     qbar_counts[rule] += 1
                 if candidate not in local_positives:
@@ -101,7 +103,10 @@ class Match(MatchC):
                     rule_matches[rule].add(candidate)
 
         report.rule_matches = rule_matches
-        report.antecedent_counts = antecedent_counts
+        report.antecedent_sets = antecedent_sets
+        report.antecedent_counts = {
+            rule: len(matches) for rule, matches in antecedent_sets.items()
+        }
         report.qbar_counts = qbar_counts
         return report
 
@@ -126,6 +131,8 @@ class Match(MatchC):
         report = _FragmentReport(fragment_index=fragment.index)
         local_positives = set(stats.positives)
         local_negatives = set(stats.negatives)
+        report.positives = local_positives
+        report.negatives = local_negatives
         report.supp_q = len(local_positives)
         report.supp_q_bar = len(local_negatives)
         # Parity with the rule-at-a-time loop, which examines every
@@ -148,6 +155,7 @@ class Match(MatchC):
         for rule in rules:
             antecedent_matches = antecedent_sets[rule]
             report.rule_matches[rule] = pr_sets[rule]
+            report.antecedent_sets[rule] = antecedent_matches
             report.antecedent_counts[rule] = len(antecedent_matches)
             report.qbar_counts[rule] = len(antecedent_matches & local_negatives)
         return report

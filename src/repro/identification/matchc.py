@@ -64,7 +64,15 @@ def verify_worker(context: WorkerContext, payload: VerifyPayload) -> "_FragmentR
 
 @dataclass
 class _FragmentReport:
-    """Per-fragment counts and witness sets returned to the coordinator."""
+    """Per-fragment counts and witness sets returned to the coordinator.
+
+    Beyond the counts the assembling step sums, the report carries the
+    per-centre *sets* behind them (``positives``/``negatives`` from the LCWA
+    classification and ``antecedent_sets`` per rule): the streaming
+    subsystem (:mod:`repro.stream`) merges partial re-verifications into a
+    maintained report, which requires replacing individual centres'
+    contributions rather than adjusting opaque sums.
+    """
 
     fragment_index: int
     supp_q: int = 0
@@ -73,6 +81,9 @@ class _FragmentReport:
     rule_matches: dict[GPAR, set] = field(default_factory=dict)
     antecedent_counts: dict[GPAR, int] = field(default_factory=dict)
     qbar_counts: dict[GPAR, int] = field(default_factory=dict)
+    positives: set = field(default_factory=set)
+    negatives: set = field(default_factory=set)
+    antecedent_sets: dict[GPAR, set] = field(default_factory=dict)
 
 
 class MatchC:
@@ -109,19 +120,21 @@ class MatchC:
         report = _FragmentReport(fragment_index=fragment.index)
         local_positives = set(stats.positives)
         local_negatives = set(stats.negatives)
+        report.positives = local_positives
+        report.negatives = local_negatives
         report.supp_q = len(local_positives)
         report.supp_q_bar = len(local_negatives)
 
         for rule in rules:
             rule_matches: set[NodeId] = set()
-            antecedent_count = 0
+            antecedent_matches: set[NodeId] = set()
             qbar_count = 0
             for candidate in owned:
                 report.candidates_examined += 1
                 in_antecedent = matcher.exists_match_at(graph, rule.antecedent, candidate)
                 if not in_antecedent:
                     continue
-                antecedent_count += 1
+                antecedent_matches.add(candidate)
                 if candidate in local_negatives:
                     qbar_count += 1
                 if candidate in local_positives and matcher.exists_match_at(
@@ -129,7 +142,8 @@ class MatchC:
                 ):
                     rule_matches.add(candidate)
             report.rule_matches[rule] = rule_matches
-            report.antecedent_counts[rule] = antecedent_count
+            report.antecedent_sets[rule] = antecedent_matches
+            report.antecedent_counts[rule] = len(antecedent_matches)
             report.qbar_counts[rule] = qbar_count
         return report
 

@@ -50,9 +50,12 @@ class GuidedMatcher(Matcher):
         self.sketch_hops = sketch_hops
         self.use_sketch_pruning = use_sketch_pruning
         # Per data-graph sketch cache keyed by the graph object itself (not
-        # id(): holding the object avoids id reuse after garbage collection).
-        # Only used when the resident index is disabled.
-        self._data_sketches: dict[Graph, dict[NodeId, KHopSketch]] = {}
+        # id(): holding the object avoids id reuse after garbage collection),
+        # pinned to the Graph.version it was filled at — a graph mutated
+        # between probes (repro.stream update batches) starts a fresh cache
+        # instead of serving stale sketches.  Only used when the resident
+        # index is disabled.
+        self._data_sketches: dict[Graph, tuple[int, dict[NodeId, KHopSketch]]] = {}
         # Pattern sketches keyed by (pattern, node); Pattern hashes by
         # structure, so transient expanded copies reuse the right entry.
         self._pattern_sketches: dict[tuple[Pattern, NodeId], KHopSketch] = {}
@@ -65,7 +68,14 @@ class GuidedMatcher(Matcher):
     def _data_sketch(self, graph: Graph, index, node: NodeId) -> KHopSketch:
         if index is not None:
             return index.sketch(node, self.sketch_hops)
-        cache = self._data_sketches.setdefault(graph, {})
+        if graph.in_batch:  # half-applied state: compute, never cache
+            return build_sketch(graph, node, self.sketch_hops)
+        entry = self._data_sketches.get(graph)
+        if entry is None or entry[0] != graph.version:
+            cache: dict[NodeId, KHopSketch] = {}
+            self._data_sketches[graph] = (graph.version, cache)
+        else:
+            cache = entry[1]
         sketch = cache.get(node)
         if sketch is None:
             sketch = build_sketch(graph, node, self.sketch_hops)

@@ -49,17 +49,22 @@ class LocalityMatcher(Matcher):
         self.radius = radius
         self.cache_balls = cache_balls
         # Keyed by the graph object itself (identity hash) so cached balls
-        # keep their source graph alive and ids are never reused.
-        self._ball_cache: dict[tuple[Graph, NodeId, int], Graph] = {}
+        # keep their source graph alive and ids are never reused; each entry
+        # is pinned to the Graph.version it was extracted at, so a graph
+        # mutated between probes (repro.stream update batches) re-extracts
+        # instead of serving a stale neighbourhood.
+        self._ball_cache: dict[tuple[Graph, NodeId, int], tuple[int, Graph]] = {}
 
     def _ball(self, graph: Graph, anchor_value: NodeId, radius: int) -> Graph:
         if not self.cache_balls:
             return d_neighborhood(graph, anchor_value, radius)
         key = (graph, anchor_value, radius)
-        ball = self._ball_cache.get(key)
-        if ball is None:
-            ball = d_neighborhood(graph, anchor_value, radius)
-            self._ball_cache[key] = ball
+        entry = self._ball_cache.get(key)
+        if entry is not None and entry[0] == graph.version and not graph.in_batch:
+            return entry[1]
+        ball = d_neighborhood(graph, anchor_value, radius)
+        if not graph.in_batch:  # never pin a half-applied batch state
+            self._ball_cache[key] = (graph.version, ball)
         return ball
 
     def clear_caches(self) -> None:

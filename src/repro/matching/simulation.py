@@ -100,17 +100,24 @@ class SimulationMatcher:
 
     def __init__(self, use_index: bool = True) -> None:
         self.use_index = use_index
-        # Cache of maximum simulations keyed by (pattern, graph identity).
-        self._cache: dict[tuple[Pattern, int], dict] = {}
+        # Cache of maximum simulations keyed by (pattern, graph identity),
+        # each entry pinned to the Graph.version it was computed at: a
+        # mutated graph (e.g. under repro.stream update batches) recomputes
+        # instead of serving a stale fixpoint.
+        self._cache: dict[tuple[Pattern, int], tuple[int, dict]] = {}
         self._graphs: dict[int, Graph] = {}
 
     def _simulation(self, graph: Graph, pattern: Pattern) -> dict:
         key = (pattern, id(graph))
-        if key not in self._cache:
-            index = graph_index(graph) if self.use_index else None
-            self._cache[key] = maximum_dual_simulation(pattern, graph, index)
+        entry = self._cache.get(key)
+        if entry is not None and entry[0] == graph.version and not graph.in_batch:
+            return entry[1]
+        index = graph_index(graph) if self.use_index else None
+        simulation = maximum_dual_simulation(pattern, graph, index)
+        if not graph.in_batch:  # a half-applied batch state must not linger
+            self._cache[key] = (graph.version, simulation)
             self._graphs[id(graph)] = graph  # keep the graph alive for id stability
-        return self._cache[key]
+        return simulation
 
     def clear_caches(self) -> None:
         """Drop cached simulations."""

@@ -1,0 +1,53 @@
+"""Streaming updates: keep derived state correct while the graph changes.
+
+The paper's workloads (social recommendation, fake-account detection) live
+on graphs that mutate continuously; this package turns the repository's
+static pipeline into an online one:
+
+* :mod:`repro.stream.updates` — :class:`UpdateOp` / :class:`UpdateBatch`
+  value types and the ``random_update_batch`` workload sampler; a batch is
+  applied as **one** ``Graph.batch_update`` version tick;
+* :mod:`repro.stream.matchview` — :class:`MaintainedMatchView`, match sets
+  (with embeddings) repaired by
+  :meth:`repro.matching.incremental.MatchStore.repair` instead of
+  re-matched;
+* :mod:`repro.stream.identifier` — :class:`StreamingIdentifier`, an
+  :class:`~repro.identification.eip.EIPResult` kept continuously correct by
+  re-verifying only candidate centres inside the d-hop balls of the nodes a
+  batch touched, with update slices shipped to the persistent worker pool
+  so fragment-resident graphs and indexes stay in sync without re-pickling
+  graphs.
+
+See ``docs/streaming.md`` for the update model, the ball-scoped
+invalidation argument, and the repair-vs-recompute benchmark gate.
+"""
+
+from repro.stream.updates import (
+    OP_KINDS,
+    UpdateBatch,
+    UpdateOp,
+    random_update_batch,
+)
+from repro.stream.matchview import MaintainedMatchView
+from repro.stream.identifier import (
+    STREAM_ALGORITHMS,
+    FragmentUpdate,
+    StreamUpdateReport,
+    StreamVerifyPayload,
+    StreamingIdentifier,
+    stream_update_worker,
+)
+
+__all__ = [
+    "OP_KINDS",
+    "UpdateOp",
+    "UpdateBatch",
+    "random_update_batch",
+    "MaintainedMatchView",
+    "STREAM_ALGORITHMS",
+    "FragmentUpdate",
+    "StreamVerifyPayload",
+    "StreamUpdateReport",
+    "StreamingIdentifier",
+    "stream_update_worker",
+]

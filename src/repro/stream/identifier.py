@@ -1,0 +1,546 @@
+"""Streaming entity identification: keep an EIP answer correct under updates.
+
+A :class:`StreamingIdentifier` runs one full Match/Matchc verification when
+constructed and then maintains the resulting
+:class:`~repro.identification.eip.EIPResult` across
+:class:`~repro.stream.updates.UpdateBatch` applications by repairing, not
+recomputing:
+
+* the coordinator applies the batch to the authoritative graph (one version
+  tick) and derives, per fragment, a :class:`FragmentUpdate` — the
+  fragment-local slice of the batch plus the *ball augmentation* (nodes
+  newly within ``d`` hops of an owned centre, with their induced edges) that
+  keeps every fragment a superset of its owned centres' d-balls;
+* each worker replays the slices its fragment-resident copy has not seen
+  yet (an update *log*, so the process backend's arbitrary task routing can
+  never serve a stale fragment), lets the resident
+  :class:`~repro.graph.index.FragmentIndex` patch itself forward from the
+  graph's recorded deltas, and re-verifies **only** the owned centres
+  within ``d`` hops of a touched node — every other centre's verdict is
+  provably unchanged (see ``docs/streaming.md``);
+* the coordinator splices the partial reports into its per-fragment state
+  and re-assembles confidences, so :attr:`result` is at all times exactly
+  what a from-scratch run on the current graph would return.
+
+Ownership of candidate centres is maintained too: nodes that gain the
+centre label join the fragment already holding most of their d-ball, nodes
+that lose it (or are removed) leave.  Because every maintained rule is
+ball-local (connected antecedent — enforced at construction), the merged
+answer is independent of which fragment owns which centre, which is what
+makes repaired-vs-recomputed results byte-identical even though a fresh run
+would partition the mutated graph differently.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from repro.exceptions import PatternError, StreamError
+from repro.graph.graph import Graph, GraphDelta
+from repro.graph.index import registered_index
+from repro.graph.neighborhood import ball, multi_source_ball
+from repro.identification.eip import EIPConfig, EIPResult, _shared_predicate
+from repro.identification.match import Match
+from repro.identification.matchc import MatchC, VerifyPayload, _FragmentReport, verify_worker
+from repro.parallel.executor import make_executor
+from repro.parallel.runtime import BSPRuntime
+from repro.parallel.worker import WorkerContext
+from repro.partition.fragment import Fragment
+from repro.partition.partitioner import partition_graph
+from repro.pattern.gpar import GPAR
+from repro.pattern.radius import pattern_radius
+from repro.stream.updates import UpdateBatch
+
+NodeId = Hashable
+
+#: Solvers the streaming layer can drive (disVF2 enumerates whole fragments,
+#: which is not ball-local, so it stays batch-only).
+STREAM_ALGORITHMS = {"match": Match, "matchc": MatchC}
+
+
+@dataclass(frozen=True)
+class FragmentUpdate:
+    """One fragment's slice of a global update batch (coordinator → worker).
+
+    ``sequence`` orders the slices per fragment; a worker whose resident
+    copy is behind replays every missed slice before verifying.  All fields
+    are plain sorted tuples so the payload pickles small and hashes stably.
+    """
+
+    sequence: int
+    remove_edges: tuple = ()
+    remove_nodes: tuple = ()
+    add_nodes: tuple = ()  # (node, label, attrs-items)
+    add_edges: tuple = ()
+    relabels: tuple = ()  # (node, new label)
+    own_add: tuple = ()
+    own_remove: tuple = ()
+    recheck: tuple = ()
+
+    @property
+    def mutates(self) -> bool:
+        """Whether replaying this slice changes the fragment graph at all."""
+        return bool(
+            self.remove_edges
+            or self.remove_nodes
+            or self.add_nodes
+            or self.add_edges
+            or self.relabels
+        )
+
+
+@dataclass(frozen=True)
+class StreamVerifyPayload:
+    """Round payload of one streaming update (coordinator → worker).
+
+    ``updates`` is the fragment's full slice log: any worker process —
+    however stale its resident copy, including one that never served this
+    fragment before — can catch up deterministically and then re-verify the
+    newest slice's ``recheck`` centres.
+    """
+
+    updates: tuple[FragmentUpdate, ...]
+    solver_cls: type
+    config: EIPConfig
+    rules: tuple[GPAR, ...]
+    max_radius: int
+    predicate: object
+
+
+@dataclass
+class StreamUpdateReport:
+    """What one :meth:`StreamingIdentifier.apply` did (measurement surface)."""
+
+    delta: GraphDelta
+    rechecked_centers: int = 0
+    owned_added: int = 0
+    owned_removed: int = 0
+    entered_nodes: int = 0
+    shipped_edges: int = 0
+    wall_time: float = 0.0
+
+    def as_row(self) -> str:
+        """One-line human-readable summary used by the CLI."""
+        return (
+            f"touched={len(self.delta.touched)} rechecked={self.rechecked_centers} "
+            f"owned(+{self.owned_added}/-{self.owned_removed}) "
+            f"entered_nodes={self.entered_nodes} wall={self.wall_time:.3f}s"
+        )
+
+
+def _apply_fragment_update(fragment: Fragment, update: FragmentUpdate) -> None:
+    """Replay one slice on a fragment-resident graph (one version tick)."""
+    graph = fragment.graph
+    if update.mutates:
+        with graph.batch_update():
+            for source, target, label in update.remove_edges:
+                graph.remove_edge(source, target, label)
+            for node in update.remove_nodes:
+                graph.remove_node(node)
+            for node, label, attrs in update.add_nodes:
+                graph.add_node(node, label, dict(attrs) or None)
+            for source, target, label in update.add_edges:
+                graph.add_edge(source, target, label)
+            for node, label in update.relabels:
+                graph.relabel_node(node, label)
+    fragment.owned_centers.difference_update(update.own_remove)
+    fragment.owned_centers.update(update.own_add)
+
+
+def stream_update_worker(
+    context: WorkerContext, payload: StreamVerifyPayload
+) -> _FragmentReport:
+    """BSP worker function: catch up on update slices, re-verify the recheck set.
+
+    The applied-slice counter lives in the pool-lifetime
+    :class:`~repro.parallel.worker.WorkerContext`, so on the process backend
+    — where any pool process may serve any fragment — a stale resident copy
+    deterministically replays exactly the slices it missed before answering.
+    The resident index is patched forward from the graph's recorded deltas
+    rather than rebuilt (``FragmentIndex.refresh`` delegates to
+    ``apply_delta``).
+    """
+    fragment = context.fragment
+    applied = context.state.get("stream-applied-sequence", 0)
+    for update in payload.updates:
+        if update.sequence <= applied:
+            continue
+        _apply_fragment_update(fragment, update)
+        applied = update.sequence
+    context.state["stream-applied-sequence"] = applied
+
+    index = registered_index(fragment.graph)
+    if index is not None and index.is_stale:
+        index.refresh()
+
+    solver = payload.solver_cls(payload.config)
+    matcher = context.cached(
+        ("eip-matcher", payload.solver_cls, payload.config, payload.max_radius),
+        lambda: solver._make_matcher(payload.max_radius),
+    )
+    latest = payload.updates[-1]
+    recheck_fragment = Fragment(
+        index=fragment.index,
+        graph=fragment.graph,
+        owned_centers=set(latest.recheck),
+    )
+    return solver._verify_fragment(
+        recheck_fragment, payload.rules, matcher, payload.predicate
+    )
+
+
+class StreamingIdentifier:
+    """Maintain ``Σ(x, G, η)`` across graph update batches.
+
+    Parameters
+    ----------
+    graph:
+        The live data graph.  The identifier takes over mutation: apply
+        updates through :meth:`apply` (arbitrary direct mutations between
+        batches are detected and rejected, not silently mis-served).
+    rules:
+        The rule set Σ; every antecedent must be connected (ball-local
+        verification is what makes repair exact), else :class:`StreamError`.
+    config:
+        Standard :class:`~repro.identification.eip.EIPConfig`; the backend
+        and its worker pool stay up between batches.
+    algorithm:
+        ``"match"`` (default) or ``"matchc"``.
+
+    Use as a context manager, or call :meth:`close` to release the pool.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        rules: Sequence[GPAR],
+        config: EIPConfig | None = None,
+        algorithm: str = "match",
+        **config_overrides,
+    ) -> None:
+        if algorithm not in STREAM_ALGORITHMS:
+            raise StreamError(
+                f"unknown streaming algorithm {algorithm!r}; "
+                f"expected one of {sorted(STREAM_ALGORITHMS)}"
+            )
+        self.graph = graph
+        self.rules = tuple(rules)
+        self.config = config if config is not None else EIPConfig(**config_overrides)
+        self.algorithm = algorithm
+        solver_cls = STREAM_ALGORITHMS[algorithm]
+        self._solver = solver_cls(self.config)
+        representative = _shared_predicate(list(self.rules))
+        self.predicate = representative.q_pattern()
+        self.x_label = representative.x_label
+        self.max_radius = max(rule.verification_radius for rule in self.rules)
+        for rule in self.rules:
+            try:
+                pattern_radius(rule.antecedent, rule.antecedent.x)
+            except PatternError as exc:
+                raise StreamError(
+                    f"rule {rule.name} cannot be maintained incrementally: "
+                    f"its antecedent is not ball-local ({exc})"
+                ) from None
+
+        centers = graph.nodes_with_label(self.x_label)
+        self.fragments = partition_graph(
+            graph,
+            self.config.num_workers,
+            centers=centers,
+            d=self.max_radius,
+            seed=self.config.seed,
+        )
+        # Coordinator-side bookkeeping; fragment *objects* may live (and
+        # mutate) in worker processes, so membership/ownership truth is kept
+        # here, next to the authoritative graph.
+        self._node_sets: dict[int, set] = {
+            fragment.index: set(fragment.graph.nodes()) for fragment in self.fragments
+        }
+        self._owner: dict[NodeId, int] = {
+            center: fragment.index
+            for fragment in self.fragments
+            for center in fragment.owned_centers
+        }
+        self._logs: dict[int, list[FragmentUpdate]] = {
+            fragment.index: [] for fragment in self.fragments
+        }
+        self._sequence = 0
+        self.batches_applied = 0
+
+        executor = make_executor(
+            self.config.backend,
+            self.config.executor_workers,
+            build_indexes=self.config.use_index and solver_cls._consumes_resident_index,
+        )
+        self.runtime = BSPRuntime(self.fragments, executor)
+        self.runtime.start_run()
+        self._closed = False
+
+        payload = VerifyPayload(
+            solver_cls=solver_cls,
+            config=self.config,
+            rules=self.rules,
+            max_radius=self.max_radius,
+            predicate=self.predicate,
+        )
+        reports = self.runtime.run_round(verify_worker, [payload] * len(self.fragments))
+        self._reports: dict[int, _FragmentReport] = {
+            report.fragment_index: report for report in reports
+        }
+        self._graph_version = graph.version
+        self._result = self._assemble()
+
+    # ------------------------------------------------------------------
+    def _assemble(self) -> EIPResult:
+        reports = [self._reports[fragment.index] for fragment in self.fragments]
+        result = self._solver._assemble(list(self.rules), reports)
+        result.timings = self.runtime.timings
+        return result
+
+    @property
+    def result(self) -> EIPResult:
+        """The maintained EIP answer for the graph's current state."""
+        if self.graph.version != self._graph_version:
+            raise StreamError(
+                "the graph was mutated outside StreamingIdentifier.apply(); "
+                "the maintained result no longer describes it"
+            )
+        return self._result
+
+    # ------------------------------------------------------------------
+    def apply(self, batch: UpdateBatch) -> StreamUpdateReport:
+        """Apply *batch* to the graph and repair the maintained answer."""
+        if self._closed:
+            raise StreamError("this StreamingIdentifier is closed")
+        if self.graph.version != self._graph_version:
+            raise StreamError(
+                "the graph was mutated outside StreamingIdentifier.apply(); "
+                "close this identifier and build a fresh one"
+            )
+        started = time.perf_counter()
+        delta = batch.apply(self.graph)
+        report = StreamUpdateReport(delta=delta)
+        graph = self.graph
+        self._graph_version = graph.version
+        self.batches_applied += 1
+        self._sequence += 1
+
+        # Region whose centres may have changed verdicts: within d hops of a
+        # touched node, measured on the post-update graph (exact — see
+        # docs/streaming.md).
+        region = multi_source_ball(graph, delta.touched, self.max_radius)
+
+        # Centre ownership maintenance (touched nodes only can change role).
+        own_add: dict[int, set] = {fragment.index: set() for fragment in self.fragments}
+        own_remove: dict[int, set] = {
+            fragment.index: set() for fragment in self.fragments
+        }
+        for node in delta.touched:
+            owner = self._owner.get(node)
+            is_center = graph.has_node(node) and graph.node_label(node) == self.x_label
+            if owner is not None and not is_center:
+                del self._owner[node]
+                own_remove[owner].add(node)
+            elif owner is None and is_center:
+                chosen = self._assign_owner(node)
+                self._owner[node] = chosen
+                own_add[chosen].add(node)
+        report.owned_added = sum(len(nodes) for nodes in own_add.values())
+        report.owned_removed = sum(len(nodes) for nodes in own_remove.values())
+
+        payloads = []
+        invalidated: dict[int, set] = {}
+        for fragment in self.fragments:
+            index = fragment.index
+            update = self._fragment_update(
+                index, delta, region, own_add[index], own_remove[index], report
+            )
+            self._logs[index].append(update)
+            invalidated[index] = set(update.recheck) | own_remove[index]
+            payloads.append(
+                StreamVerifyPayload(
+                    updates=tuple(self._logs[index]),
+                    solver_cls=type(self._solver),
+                    config=self.config,
+                    rules=self.rules,
+                    max_radius=self.max_radius,
+                    predicate=self.predicate,
+                )
+            )
+        partials = self.runtime.run_round(stream_update_worker, payloads)
+        for partial in partials:
+            self._merge(partial, invalidated[partial.fragment_index])
+        self._result = self._assemble()
+        report.wall_time = time.perf_counter() - started
+        return report
+
+    # ------------------------------------------------------------------
+    def _assign_owner(self, center: NodeId) -> int:
+        """Fragment for a freshly appeared centre: most of its ball resident.
+
+        Ownership placement only affects which worker does the centre's
+        work — never the answer — so the tie-break just balances load
+        deterministically (fewest owned centres, then lowest index).
+        """
+        center_ball = ball(self.graph, center, self.max_radius)
+        owned_counts: dict[int, int] = {
+            fragment.index: 0 for fragment in self.fragments
+        }
+        for owner in self._owner.values():
+            owned_counts[owner] = owned_counts.get(owner, 0) + 1
+        best_index = None
+        best_cost = None
+        for fragment in self.fragments:
+            index = fragment.index
+            overlap = len(center_ball & self._node_sets[index])
+            cost = (-overlap, owned_counts.get(index, 0), index)
+            if best_cost is None or cost < best_cost:
+                best_cost = cost
+                best_index = index
+        return best_index
+
+    def _fragment_update(
+        self,
+        index: int,
+        delta: GraphDelta,
+        region: set,
+        own_add: set,
+        own_remove: set,
+        report: StreamUpdateReport,
+    ) -> FragmentUpdate:
+        """Derive one fragment's slice of *delta* (and update bookkeeping)."""
+        graph = self.graph
+        node_set = self._node_sets[index]
+        remove_edges = tuple(
+            sorted(
+                (
+                    edge
+                    for edge in delta.removed_edges
+                    if edge[0] in node_set and edge[1] in node_set
+                ),
+                key=str,
+            )
+        )
+        remove_nodes = tuple(
+            sorted((node for node in delta.removed_nodes if node in node_set), key=str)
+        )
+        relabels = tuple(
+            sorted(
+                (
+                    (node, graph.node_label(node))
+                    for node in delta.relabeled_nodes
+                    if node in node_set
+                ),
+                key=str,
+            )
+        )
+        node_set.difference_update(remove_nodes)
+
+        # Recheck = owned centres whose verdict may have changed.  Their
+        # d-balls may also have *grown*; ship the ball augmentation so the
+        # fragment stays a superset of every owned centre's d-ball.
+        recheck = {
+            center
+            for center, owner in self._owner.items()
+            if owner == index and center in region
+        }
+        entering: set = set()
+        for center in recheck:
+            for node in ball(graph, center, self.max_radius):
+                if node not in node_set:
+                    entering.add(node)
+        add_nodes = tuple(
+            sorted(
+                (
+                    (
+                        node,
+                        graph.node_label(node),
+                        tuple(sorted(graph.node_attrs(node).items())),
+                    )
+                    for node in entering
+                ),
+                key=str,
+            )
+        )
+        new_node_set = node_set | entering
+        add_edge_set = {
+            edge
+            for edge in delta.added_edges
+            if edge[0] in new_node_set and edge[1] in new_node_set
+        }
+        for node in entering:
+            for edge in graph.out_edges(node):
+                if edge.target in new_node_set:
+                    add_edge_set.add((node, edge.target, edge.label))
+            for edge in graph.in_edges(node):
+                if edge.source in new_node_set:
+                    add_edge_set.add((edge.source, node, edge.label))
+        node_set.update(entering)
+        report.rechecked_centers += len(recheck)
+        report.entered_nodes += len(entering)
+        report.shipped_edges += len(add_edge_set) + len(remove_edges)
+        return FragmentUpdate(
+            sequence=self._sequence,
+            remove_edges=remove_edges,
+            remove_nodes=remove_nodes,
+            add_nodes=add_nodes,
+            add_edges=tuple(sorted(add_edge_set, key=str)),
+            relabels=relabels,
+            own_add=tuple(sorted(own_add, key=str)),
+            own_remove=tuple(sorted(own_remove, key=str)),
+            recheck=tuple(sorted(recheck, key=str)),
+        )
+
+    def _merge(self, partial: _FragmentReport, invalidated: set) -> None:
+        """Splice a partial re-verification into the fragment's stored report."""
+        stored = self._reports[partial.fragment_index]
+        stored.positives = (stored.positives - invalidated) | partial.positives
+        stored.negatives = (stored.negatives - invalidated) | partial.negatives
+        stored.supp_q = len(stored.positives)
+        stored.supp_q_bar = len(stored.negatives)
+        stored.candidates_examined += partial.candidates_examined
+        for rule in self.rules:
+            antecedent = (
+                stored.antecedent_sets.get(rule, set()) - invalidated
+            ) | partial.antecedent_sets.get(rule, set())
+            matches = (
+                stored.rule_matches.get(rule, set()) - invalidated
+            ) | partial.rule_matches.get(rule, set())
+            stored.antecedent_sets[rule] = antecedent
+            stored.rule_matches[rule] = matches
+            stored.antecedent_counts[rule] = len(antecedent)
+            stored.qbar_counts[rule] = len(antecedent & stored.negatives)
+
+    # ------------------------------------------------------------------
+    def recompute(self) -> EIPResult:
+        """From-scratch answer on the current graph (the repair-vs-recompute
+        baseline used by the equivalence gate and the ``stream`` benchmark)."""
+        from repro.identification.eip import identify_entities
+
+        return identify_entities(
+            self.graph,
+            list(self.rules),
+            eta=self.config.eta,
+            num_workers=self.config.num_workers,
+            algorithm=self.algorithm,
+            seed=self.config.seed,
+            backend=self.config.backend,
+            executor_workers=self.config.executor_workers,
+            use_index=self.config.use_index,
+            use_incremental=self.config.use_incremental,
+        )
+
+    def close(self) -> None:
+        """Release the worker pool; the maintained result stays readable."""
+        if not self._closed:
+            self.runtime.finish_run()
+            self._closed = True
+
+    def __enter__(self) -> "StreamingIdentifier":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

@@ -101,3 +101,22 @@ class TestCommands:
                     "--backend", "gpu",
                 ]
             )
+
+    def test_stream_maintains_and_verifies(self, graph_file, capsys):
+        exit_code = main(
+            [
+                "stream", str(graph_file),
+                "--predicate", "user:like_book:personal development",
+                "--rules", "3",
+                "--eta", "0.5",
+                "--updates", "2",
+                "--batch-size", "5",
+                "--max-edges", "2",
+                "--verify",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "streaming match over" in captured
+        assert "identical]" in captured
+        assert "repair wall over 2 batches" in captured

@@ -1,0 +1,314 @@
+"""Randomized equivalence: streaming repair == from-scratch recompute.
+
+The acceptance gate of the streaming subsystem: across 50 seeded
+(graph, update-batch) pairs,
+
+* a delta-patched :class:`~repro.graph.index.FragmentIndex` is
+  **byte-identical** to a freshly built one — layer contents and sketches —
+  and VF2 / guided / dual-simulation matchers probing it produce the same
+  match sets either way;
+* :meth:`MatchStore.repair` leaves exactly the entries a fresh
+  materialization on the mutated graph would produce;
+* a :class:`~repro.stream.StreamingIdentifier` maintained across batches
+  reports identifications and confidences byte-identical to
+  ``identify_entities`` re-run from scratch on the mutated graph — across
+  the sequential/threads/processes backends and both Match and Matchc;
+* DMine runs against the repaired resident state mine byte-identical rules
+  to runs on a pristine copy of the same mutated graph, on every backend.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import generate_gpars, most_frequent_predicates, synthetic_graph
+from repro.graph import FragmentIndex, graph_index
+from repro.identification import identify_entities
+from repro.matching import (
+    DeltaMatcher,
+    GuidedMatcher,
+    MatchStore,
+    SimulationMatcher,
+    VF2Matcher,
+)
+from repro.mining import DMineConfig, dmine
+from repro.parallel.executor import BACKENDS
+from repro.stream import MaintainedMatchView, StreamingIdentifier, random_update_batch
+
+SEEDS = range(50)
+
+
+def _workload_graph(seed: int):
+    """One seeded random graph (updates are sampled lazily while applying,
+    so each batch is valid against the state the previous ones left)."""
+    return synthetic_graph(
+        num_nodes=60 + (seed % 5) * 15,
+        num_edges=180 + (seed % 7) * 40,
+        num_node_labels=4 + (seed % 3),
+        num_edge_labels=3,
+        seed=seed,
+    )
+
+
+def _apply_batches(graph, seed: int, count: int, size: int = 7):
+    applied = []
+    for position in range(count):
+        batch = random_update_batch(graph, size=size, seed=seed * 100 + position)
+        batch.apply(graph)
+        applied.append(batch)
+    return applied
+
+
+def _matcher(kind: str):
+    if kind == "guided":
+        return GuidedMatcher()
+    if kind == "simulation":
+        return SimulationMatcher()
+    return VF2Matcher()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_patched_index_is_byte_identical_to_fresh_build(seed):
+    """Interleaved mutations + delta refresh == a from-scratch index.
+
+    The graph is large relative to the batches so ``refresh()`` provably
+    takes the ``apply_delta`` patch path (the touched region stays under the
+    rebuild-fraction heuristic) — the small-graph rebuild fallback is
+    covered separately in ``tests/test_stream.py``.
+    """
+    graph = synthetic_graph(
+        num_nodes=200 + (seed % 5) * 20,
+        num_edges=600 + (seed % 7) * 60,
+        num_node_labels=4 + (seed % 3),
+        num_edge_labels=3,
+        seed=seed,
+    )
+    index = FragmentIndex(graph)
+    nodes = sorted(graph.nodes(), key=str)
+    for node in nodes[: len(nodes) // 3]:
+        index.sketch(node)
+        for label in sorted(graph.edge_labels()):
+            index.out_neighbors(node, label)
+            index.in_neighbors(node, label)
+    # Interleave batch updates with plain single mutations.
+    _apply_batches(graph, seed, count=2, size=5)
+    graph.add_node(f"solo-{seed}", sorted(graph.node_labels())[0])
+    index.refresh()
+    assert index.statistics.builds == 1, "refresh must patch, not rebuild"
+    fresh = FragmentIndex(graph)
+    assert index._labels == fresh._labels
+    assert index._nodes_by_label == fresh._nodes_by_label
+    assert index._profiles == fresh._profiles
+    for node in sorted(graph.nodes(), key=str):
+        assert index.sketch(node) == fresh.sketch(node)
+        for label in sorted(graph.edge_labels()):
+            assert index.out_neighbors(node, label) == fresh.out_neighbors(node, label)
+            assert index.in_neighbors(node, label) == fresh.in_neighbors(node, label)
+
+
+@pytest.mark.parametrize("kind", ["vf2", "guided", "simulation"])
+@pytest.mark.parametrize("seed", range(0, 50, 2))
+def test_matchers_agree_on_patched_index(seed, kind):
+    """Match sets probed through a patched index == through a fresh one."""
+    graph = _workload_graph(seed)
+    predicate = most_frequent_predicates(graph, top=1)[0]
+    rules = generate_gpars(graph, predicate, count=2, max_pattern_edges=3, d=2, seed=seed)
+    graph_index(graph)  # build + register the resident index
+    matcher = _matcher(kind)
+    for rule in rules:  # warm the resident index with real traffic
+        matcher.match_set(graph, rule.pr_pattern())
+    _apply_batches(graph, seed, count=2)
+    oracle = _matcher(kind)
+    pristine = graph.copy()  # fresh graph object => fresh resident index
+    for rule in rules:
+        for pattern in (rule.antecedent, rule.pr_pattern()):
+            patched = matcher.match_set(graph, pattern)
+            fresh = oracle.match_set(pristine, pattern)
+            assert patched == fresh, (seed, kind, pattern)
+
+
+@pytest.mark.parametrize("kind", ["vf2", "guided"])
+@pytest.mark.parametrize("seed", SEEDS)
+def test_repaired_store_equals_fresh_materialization(seed, kind):
+    """Repaired entries == materializing from scratch on the mutated graph."""
+    graph = _workload_graph(seed)
+    predicate = most_frequent_predicates(graph, top=1)[0]
+    rules = generate_gpars(graph, predicate, count=2, max_pattern_edges=3, d=2, seed=seed)
+    matcher = _matcher(kind)
+    store = MatchStore(graph)
+    delta_matcher = DeltaMatcher(graph, matcher, store)
+    patterns = [rule.pr_pattern() for rule in rules]
+    for pattern in patterns:
+        candidates = sorted(graph.nodes_with_label(pattern.label(pattern.x)), key=str)
+        delta_matcher.materialize(pattern, candidates)
+    _apply_batches(graph, seed, count=2)
+    store.repair(matcher)
+    oracle = _matcher(kind)
+    for pattern in patterns:
+        entry = store.get(pattern)
+        if entry is None:
+            continue  # dropped as unrepairable: the exact-fallback path
+        candidates = sorted(graph.nodes_with_label(pattern.label(pattern.x)), key=str)
+        expected = oracle.match_set(graph, pattern, candidates=candidates)
+        assert entry.matches & set(candidates) == expected, (seed, kind)
+        # Complete streams must hold exactly the fresh enumeration.
+        for center in sorted(entry.matches, key=str)[:4]:
+            stream = entry.streams.get(center)
+            if stream is None:
+                continue
+            while stream.ensure(len(stream.pulled) + 1):
+                pass
+            if stream.complete:
+                fresh = {
+                    tuple(mapping[node] for node in entry.node_order)
+                    for mapping in oracle.iter_matches_at(graph, pattern, center)
+                }
+                assert set(stream.pulled) == fresh, (seed, kind, center)
+
+
+@pytest.mark.parametrize("kind", ["vf2", "guided"])
+@pytest.mark.parametrize("seed", range(0, 50, 5))
+def test_maintained_view_equals_rematching(seed, kind):
+    """MaintainedMatchView across batches == fresh match_set per batch."""
+    graph = _workload_graph(seed)
+    predicate = most_frequent_predicates(graph, top=1)[0]
+    rules = generate_gpars(graph, predicate, count=3, max_pattern_edges=3, d=2, seed=seed)
+    patterns = [rule.pr_pattern() for rule in rules]  # PR is always connected
+    view = MaintainedMatchView(graph, patterns, _matcher(kind))
+    for position in range(3):
+        batch = random_update_batch(graph, size=6, seed=seed * 31 + position)
+        view.apply(batch)
+        oracle = _matcher(kind)
+        for pattern in patterns:
+            assert view.match_set(pattern) == frozenset(
+                oracle.match_set(graph, pattern)
+            ), (seed, kind, position)
+
+
+def _eip_fingerprint(result):
+    return (
+        tuple(sorted(map(str, result.identified))),
+        tuple(
+            sorted(
+                (rule.name, round(confidence, 9))
+                for rule, confidence in result.rule_confidences.items()
+            )
+        ),
+        tuple(
+            sorted(
+                (rule.name, tuple(sorted(map(str, matches))))
+                for rule, matches in result.rule_matches.items()
+            )
+        ),
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_streaming_identifier_equals_recompute(seed):
+    """Maintained EIP answer == from-scratch run, after every batch."""
+    graph = _workload_graph(seed)
+    predicate = most_frequent_predicates(graph, top=1)[0]
+    rules = generate_gpars(graph, predicate, count=3, max_pattern_edges=3, d=2, seed=seed)
+    with StreamingIdentifier(
+        graph, rules, eta=0.5, num_workers=2 + seed % 3, seed=0
+    ) as identifier:
+        assert _eip_fingerprint(identifier.result) == _eip_fingerprint(
+            identifier.recompute()
+        )
+        for position in range(2):
+            batch = random_update_batch(graph, size=7, seed=seed * 100 + position)
+            identifier.apply(batch)
+            assert _eip_fingerprint(identifier.result) == _eip_fingerprint(
+                identifier.recompute()
+            ), (seed, position)
+
+
+@pytest.mark.parametrize("use_index", [True, False])
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("algorithm", ["match", "matchc"])
+def test_streaming_identifier_across_backends(backend, algorithm, use_index):
+    """Every backend and solver maintains the same answer over one sequence.
+
+    ``use_index=False`` additionally exercises the matchers' private
+    (non-resident) caches across mutations — the warm-matcher staleness
+    path that worker contexts keep alive between batches.
+    """
+    base = synthetic_graph(120, 360, num_node_labels=5, num_edge_labels=3, seed=9)
+    predicate = most_frequent_predicates(base, top=1)[0]
+    rules = generate_gpars(base, predicate, count=4, max_pattern_edges=3, d=2, seed=9)
+    graph = base.copy()
+    with StreamingIdentifier(
+        graph,
+        rules,
+        eta=0.5,
+        num_workers=3,
+        seed=0,
+        backend=backend,
+        executor_workers=2,
+        algorithm=algorithm,
+        use_index=use_index,
+    ) as identifier:
+        for position in range(2):
+            batch = random_update_batch(graph, size=7, seed=900 + position)
+            identifier.apply(batch)
+        maintained = _eip_fingerprint(identifier.result)
+        # Compare against a sequential from-scratch run on an equal mutated
+        # copy: one fingerprint across every backend x solver x mode.
+        fresh = identify_entities(
+            identifier.graph,
+            list(rules),
+            eta=0.5,
+            num_workers=3,
+            algorithm=algorithm,
+        )
+    assert maintained == _eip_fingerprint(fresh), (backend, algorithm)
+
+
+def _dmine_fingerprint(result):
+    return sorted(
+        (
+            rule.name,
+            info.support,
+            round(info.confidence, 9),
+            tuple(sorted(map(str, info.matches))),
+        )
+        for rule, info in result.all_rules.items()
+    )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_dmine_on_repaired_state_equals_pristine(backend):
+    """Mining after streaming repairs == mining a pristine mutated copy.
+
+    The mutated graph object carries a delta-patched resident index and a
+    repaired match-store history; a fresh copy of the same graph carries
+    neither.  DMine must mine byte-identical rules from both.
+    """
+    graph = synthetic_graph(150, 450, num_node_labels=6, num_edge_labels=4, seed=4)
+    predicate = most_frequent_predicates(graph, top=1)[0]
+    graph_index(graph)  # resident index that the updates will delta-patch
+    store = MatchStore(graph)
+    delta_matcher = DeltaMatcher(graph, VF2Matcher(), store)
+    rules = generate_gpars(graph, predicate, count=2, max_pattern_edges=2, d=2, seed=4)
+    for rule in rules:
+        pattern = rule.pr_pattern()
+        delta_matcher.materialize(
+            pattern, sorted(graph.nodes_with_label(pattern.label(pattern.x)), key=str)
+        )
+    _apply_batches(graph, seed=5, count=2)
+    graph_index(graph).refresh()  # delta path
+    store.repair(VF2Matcher())
+    config = DMineConfig(
+        k=3,
+        d=2,
+        sigma=1,
+        num_workers=2,
+        max_edges=3,
+        max_extensions_per_rule=6,
+        max_rules_per_round=10,
+        backend=backend,
+        executor_workers=2,
+    )
+    repaired_run = dmine(graph, predicate, config)
+    pristine_run = dmine(graph.copy(), predicate, config)
+    assert _dmine_fingerprint(repaired_run) == _dmine_fingerprint(pristine_run)

@@ -642,18 +642,27 @@ class StreamRow:
         return row
 
 
-def sample_update_batches(graph: Graph, count: int, size: int, seed: int = 0) -> list:
+def sample_update_batches(
+    graph: Graph, count: int, size: int, seed: int = 0, deletion_bias: float = 0.0
+) -> list:
     """*count* batches, each valid against the state the previous ones left.
 
     Sampled once against a scratch copy so every backend/mode of a
-    comparison replays the **same** update sequence.
+    comparison replays the **same** update sequence.  *deletion_bias*
+    forwards to :func:`repro.stream.random_update_batch` (deletion-heavy
+    churn workloads).
     """
     from repro.stream import random_update_batch
 
     scratch = graph.copy()
     batches = []
     for position in range(count):
-        batch = random_update_batch(scratch, size=size, seed=seed * 1000 + position)
+        batch = random_update_batch(
+            scratch,
+            size=size,
+            seed=seed * 1000 + position,
+            deletion_bias=deletion_bias,
+        )
         batch.apply(scratch)
         batches.append(batch)
     return batches
@@ -765,6 +774,245 @@ def run_eip_stream_comparison(
             )
         rows.append(recompute_row)
         rows.append(repair_row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# deletion-heavy churn: resident-size trajectory
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ChurnRow:
+    """One batch of a deletion-heavy streaming run (resident-size trajectory).
+
+    The churn bench answers a different question than the repair-speedup
+    rows: does resident fragment state (graphs + update logs) stay
+    *bounded* when the workload keeps deleting?  Each row records the
+    authoritative graph size, the coordinator's total resident node count
+    and retained log operations, and the lifecycle actions of the batch.
+    """
+
+    dataset: str
+    batch: int
+    graph_nodes: int
+    graph_edges: int
+    resident_nodes: int
+    log_ops: int
+    rechecked: int
+    shed: int
+    migrated: int
+    compacted: int
+    wall_time: float
+    backend: str = "sequential"
+    fingerprint: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "dataset": self.dataset,
+            "batch": self.batch,
+            "backend": self.backend,
+            "graph_nodes": self.graph_nodes,
+            "graph_edges": self.graph_edges,
+            "resident_nodes": self.resident_nodes,
+            "log_ops": self.log_ops,
+            "rechecked": self.rechecked,
+            "shed": self.shed,
+            "migrated": self.migrated,
+            "compacted": self.compacted,
+            "wall_s": round(self.wall_time, 3),
+            "fingerprint": self.fingerprint,
+        }
+
+
+def run_stream_churn(
+    dataset: str,
+    graph: Graph,
+    rules: tuple[GPAR, ...],
+    num_workers: int,
+    num_batches: int = 50,
+    batch_size: int = 16,
+    deletion_bias: float = 0.7,
+    eta: float = 1.0,
+    algorithm: str = "match",
+    seed: int = 0,
+    stream_config=None,
+) -> list[ChurnRow]:
+    """Deletion-heavy maintenance run recording resident size per batch.
+
+    A single :class:`~repro.stream.StreamingIdentifier` absorbs
+    *num_batches* deletion-biased batches (each sampled against the live
+    graph, so the sequence stays valid as the graph shrinks).  After the
+    final batch the maintained answer is gate-checked byte-identical to a
+    from-scratch recompute; the per-batch rows feed the resident-size
+    bounded gate of the smoke runner (``BENCH_stream_churn.json``).
+    """
+    from repro.stream import StreamingIdentifier, random_update_batch
+
+    live = graph.copy()
+    rows: list[ChurnRow] = []
+    with StreamingIdentifier(
+        live,
+        rules,
+        eta=eta,
+        num_workers=num_workers,
+        algorithm=algorithm,
+        stream_config=stream_config,
+    ) as identifier:
+        for position in range(num_batches):
+            batch = random_update_batch(
+                live,
+                size=batch_size,
+                seed=seed * 1000 + position,
+                deletion_bias=deletion_bias,
+            )
+            update_report = identifier.apply(batch)
+            rows.append(
+                ChurnRow(
+                    dataset=dataset,
+                    batch=position + 1,
+                    graph_nodes=live.num_nodes,
+                    graph_edges=live.num_edges,
+                    resident_nodes=update_report.resident_nodes,
+                    log_ops=update_report.log_ops,
+                    rechecked=update_report.rechecked_centers,
+                    shed=update_report.shed_nodes,
+                    migrated=update_report.migrated_centers,
+                    compacted=update_report.compacted_fragments,
+                    wall_time=update_report.wall_time,
+                    fingerprint=_eip_result_fingerprint(identifier.result),
+                )
+            )
+        maintained = _eip_result_fingerprint(identifier.result)
+        fresh = _eip_result_fingerprint(identifier.recompute())
+        if maintained != fresh:
+            raise AssertionError(
+                f"churn run diverged from recompute after {num_batches} "
+                f"batches: {maintained} != {fresh}"
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# lifecycle: checkpoint → restart → byte-identical answers
+# ----------------------------------------------------------------------
+def run_lifecycle_roundtrip(
+    dataset: str,
+    graph: Graph,
+    rules: tuple[GPAR, ...],
+    num_workers: int,
+    backends: Sequence[str] = ("sequential", "threads", "processes"),
+    executor_workers: int | None = None,
+    num_batches: int = 3,
+    batch_size: int = 8,
+    eta: float = 1.0,
+    algorithm: str = "match",
+    seed: int = 0,
+) -> list[StreamRow]:
+    """Checkpoint/restart round-trip gate, per backend.
+
+    For every backend: maintain a :class:`~repro.stream.StreamingIdentifier`
+    across the sampled sequence, ``save_state`` it, ``restore`` onto the
+    same backend, and require (a) the restored answer byte-identical to the
+    checkpointed one and (b) one further batch applied post-restart
+    byte-identical to a from-scratch recompute.  A maintained
+    :class:`~repro.stream.MaintainedMatchView` round-trips alongside (graph
+    pickled, view re-materialised, match sets compared).  Raises
+    ``AssertionError`` on any divergence.
+    """
+    import pickle
+    import tempfile
+    from pathlib import Path
+
+    from repro.matching import VF2Matcher
+    from repro.stream import MaintainedMatchView, StreamingIdentifier
+
+    batches = sample_update_batches(graph, num_batches + 1, batch_size, seed=seed)
+    rows: list[StreamRow] = []
+    for backend in backends:
+        stream_graph = graph.copy()
+        started = time.perf_counter()
+        with tempfile.TemporaryDirectory() as scratch:
+            with StreamingIdentifier(
+                stream_graph,
+                rules,
+                eta=eta,
+                num_workers=num_workers,
+                algorithm=algorithm,
+                backend=backend,
+                executor_workers=executor_workers,
+            ) as identifier:
+                for batch in batches[:num_batches]:
+                    identifier.apply(batch)
+                checkpointed = _eip_result_fingerprint(identifier.result)
+                identified = len(identifier.result.identified)
+                state_path = identifier.save_state(Path(scratch) / "state.pkl")
+            rows.append(
+                StreamRow(
+                    dataset=dataset,
+                    algorithm=algorithm,
+                    parameter="backend",
+                    value=backend,
+                    mode="checkpointed",
+                    wall_time=time.perf_counter() - started,
+                    batches=num_batches,
+                    rechecked=0,
+                    identified=identified,
+                    backend=backend,
+                    fingerprint=checkpointed,
+                )
+            )
+            started = time.perf_counter()
+            with StreamingIdentifier.restore(state_path, backend=backend) as restored:
+                restored_fingerprint = _eip_result_fingerprint(restored.result)
+                if restored_fingerprint != checkpointed:
+                    raise AssertionError(
+                        f"lifecycle restore diverged on {backend}: "
+                        f"{restored_fingerprint} != {checkpointed}"
+                    )
+                restored.apply(batches[num_batches])
+                continued = _eip_result_fingerprint(restored.result)
+                fresh = _eip_result_fingerprint(restored.recompute())
+                if continued != fresh:
+                    raise AssertionError(
+                        f"post-restart apply diverged on {backend}: "
+                        f"{continued} != {fresh}"
+                    )
+                identified = len(restored.result.identified)
+            rows.append(
+                StreamRow(
+                    dataset=dataset,
+                    algorithm=algorithm,
+                    parameter="backend",
+                    value=backend,
+                    mode="restored",
+                    wall_time=time.perf_counter() - started,
+                    batches=1,
+                    rechecked=0,
+                    identified=identified,
+                    backend=backend,
+                    fingerprint=restored_fingerprint,
+                )
+            )
+
+    # Maintained match sets round-trip.  Embedding streams hold suspended
+    # generators and cannot cross a pickle boundary, so a view restarts by
+    # re-materialising from the serialized graph; the gate therefore
+    # compares the *repair-maintained* view (its store patched across every
+    # batch) against that post-restart rebuild — catching both graph
+    # serialization drift and repaired-store divergence.
+    view_graph = graph.copy()
+    patterns = [rule.pr_pattern() for rule in rules]
+    view = MaintainedMatchView(view_graph, patterns, VF2Matcher())
+    for batch in batches[:num_batches]:
+        view.apply(batch)  # repairs the store in place
+    before = [sorted(map(str, view.match_set(pattern))) for pattern in patterns]
+    assert view.store.statistics.repaired_entries > 0 or num_batches == 0
+    revived_graph = pickle.loads(pickle.dumps(view_graph))
+    if not revived_graph.structure_equal(view_graph):
+        raise AssertionError("graph serialization drifted across the round-trip")
+    revived = MaintainedMatchView(revived_graph, patterns, VF2Matcher())
+    after = [sorted(map(str, revived.match_set(pattern))) for pattern in patterns]
+    if before != after:
+        raise AssertionError("maintained match view diverged across a round-trip")
     return rows
 
 

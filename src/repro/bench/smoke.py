@@ -8,6 +8,8 @@ the execution backends without paying for a full fig5 sweep::
     python -m repro.bench.smoke --family index --workers 2
     python -m repro.bench.smoke --family incremental --workers 2
     python -m repro.bench.smoke --family stream --workers 2
+    python -m repro.bench.smoke --family stream --deletion-bias 0.7 --workers 2
+    python -m repro.bench.smoke --family lifecycle --workers 2
 
 Each run executes the configuration on the sequential baseline and on the
 requested backend, asserts the two produce identical results, prints the
@@ -35,7 +37,15 @@ one sampled update sequence on the dense workload replayed in *repair* mode
 :class:`~repro.stream.MaintainedMatchView`) and in *recompute* mode (a full
 run after every batch), per backend.  Every batch's maintained result is
 checked byte-identical to a from-scratch recompute, and the run fails if the
-sequential ``repair_speedup`` drops below 1.0.
+sequential ``repair_speedup`` drops below 1.0.  With ``--deletion-bias`` the
+family switches to the deletion-heavy churn variant: one long shrinking
+maintenance run recording resident fragment size per batch
+(``BENCH_stream_churn.json``), gated on bounded residency (shedding and
+log compaction must keep pace — see ``docs/lifecycle.md``).
+
+The ``lifecycle`` family is the checkpoint→restart gate: per backend, a
+maintained run is ``save_state``d, ``restore``d and required byte-identical
+before and after, including one further batch against a fresh recompute.
 
 ``--profile`` wraps the whole family in :mod:`cProfile` and prints the top
 25 functions by cumulative time — the first stop when a trajectory row
@@ -58,8 +68,10 @@ from repro.bench.harness import (
     run_eip_incremental_comparison,
     run_eip_index_comparison,
     run_eip_stream_comparison,
+    run_lifecycle_roundtrip,
     run_matching_index_comparison,
     run_matchview_stream_comparison,
+    run_stream_churn,
 )
 from repro.bench.reporting import format_rows, rows_as_json, wall_speedups
 from repro.bench.workloads import (
@@ -71,7 +83,7 @@ from repro.bench.workloads import (
 )
 from repro.parallel.executor import BACKENDS
 
-FAMILIES = ("dmine", "match", "index", "incremental", "stream")
+FAMILIES = ("dmine", "match", "index", "incremental", "stream", "lifecycle")
 
 # Tiny-but-nontrivial smoke scales: seconds per family, not minutes.
 SMOKE_SCALE = 400
@@ -102,6 +114,17 @@ STREAM_RULES = 12
 STREAM_BATCHES = 3
 STREAM_BATCH_SIZE = 8
 
+# The deletion-heavy churn variant (`--family stream --deletion-bias 0.7`)
+# replays enough shrinking batches that unbounded resident growth would be
+# visible, and gates on the resident-size trajectory instead of speedups.
+CHURN_BATCHES = 50
+CHURN_BATCH_SIZE = 16
+
+# The lifecycle family checkpoints a maintained run, restarts it on every
+# backend, and gates on byte-identical answers before and after.
+LIFECYCLE_BATCHES = 3
+LIFECYCLE_BATCH_SIZE = 8
+
 
 def run_smoke(
     family: str,
@@ -109,6 +132,7 @@ def run_smoke(
     workers: int,
     pool_size: int | None = None,
     scale: int | None = None,
+    deletion_bias: float | None = None,
 ) -> list:
     """Run the family's smoke workload on sequential + *backend*; return rows.
 
@@ -116,17 +140,20 @@ def run_smoke(
     dmine/match families, *all* backends for the index and incremental
     families' cross-backend equivalence gates.  An explicit backend
     restricts the comparison families to sequential + that backend.
+    ``deletion_bias`` switches the ``stream`` family into its
+    deletion-heavy churn variant (resident-size trajectory instead of the
+    repair-speedup comparison).
     """
     if scale is None:
         if family == "index":
             scale = INDEX_SCALE
         elif family == "incremental":
             scale = INCREMENTAL_SCALE
-        elif family == "stream":
+        elif family in ("stream", "lifecycle"):
             scale = STREAM_SCALE
         else:
             scale = SMOKE_SCALE
-    if family not in ("index", "incremental", "stream") and backend is None:
+    if family not in ("index", "incremental", "stream", "lifecycle") and backend is None:
         backend = "processes"
     if family == "dmine":
         graph, predicate = mining_workload("synthetic", scale)
@@ -213,6 +240,24 @@ def run_smoke(
             )
         )
         return rows
+    if family == "lifecycle":
+        backends = (
+            BACKENDS
+            if backend is None
+            else tuple(dict.fromkeys(("sequential", backend)))
+        )
+        graph, rules = stream_workload(scale, STREAM_RULES)
+        return run_lifecycle_roundtrip(
+            "synthetic-dense",
+            graph,
+            rules,
+            num_workers=workers,
+            backends=backends,
+            executor_workers=pool_size,
+            num_batches=LIFECYCLE_BATCHES,
+            batch_size=LIFECYCLE_BATCH_SIZE,
+            eta=0.5,
+        )
     if family == "stream":
         backends = (
             BACKENDS
@@ -220,6 +265,19 @@ def run_smoke(
             else tuple(dict.fromkeys(("sequential", backend)))
         )
         graph, rules = stream_workload(scale, STREAM_RULES)
+        if deletion_bias is not None:
+            # Churn variant: one long deletion-biased maintenance run with
+            # the resident-size trajectory as the measurement.
+            return run_stream_churn(
+                "synthetic-dense",
+                graph,
+                rules,
+                num_workers=workers,
+                num_batches=CHURN_BATCHES,
+                batch_size=CHURN_BATCH_SIZE,
+                deletion_bias=deletion_bias,
+                eta=0.5,
+            )
         # Part 1: maintained match sets (MatchStore.repair) vs re-matching.
         rows = list(
             run_matchview_stream_comparison(
@@ -316,6 +374,40 @@ def _check_stream_gate(rows) -> None:
             )
 
 
+def _check_churn_gate(rows, workers: int) -> None:
+    """Regression gate: deletion-heavy churn must keep resident state bounded.
+
+    Two invariants: (a) the resident node count of the run's last quarter
+    never exceeds the first quarter's peak (no monotone growth — shedding
+    and checkpointing keep pace with the churn), and (b) every batch leaves
+    each retained log under the compaction threshold, so total retained log
+    operations stay below ``fraction × resident`` plus a per-fragment
+    rounding slack.
+    """
+    from repro.stream import StreamConfig
+
+    if not rows:
+        raise SystemExit("churn run produced no rows")
+    fraction = StreamConfig().checkpoint_log_fraction
+    quarter = max(1, len(rows) // 4)
+    early_peak = max(row.resident_nodes for row in rows[:quarter])
+    late_peak = max(row.resident_nodes for row in rows[-quarter:])
+    if late_peak > early_peak:
+        raise SystemExit(
+            f"churn regression: resident fragment nodes grew under a "
+            f"deletion-heavy workload (early peak {early_peak}, late peak "
+            f"{late_peak})"
+        )
+    slack = fraction * max(1, workers) + 1
+    for row in rows:
+        bound = fraction * row.resident_nodes + slack
+        if row.log_ops > bound:
+            raise SystemExit(
+                f"churn regression: batch {row.batch} retains {row.log_ops} "
+                f"log ops, above the compaction bound {bound:.0f}"
+            )
+
+
 def _check_incremental_gate(rows) -> None:
     """Regression gate: sequential DMine must not lose from incremental on.
 
@@ -364,6 +456,26 @@ def _report_family(family: str, backend: str | None, workers: int, rows) -> None
         for name, speedup in sorted(_incremental_speedups(rows).items()):
             print(f"incremental speedup ({name}): {speedup:.2f}x")
         _check_incremental_gate(rows)
+    elif family == "lifecycle":
+        shown = "/".join(BACKENDS) if backend is None else f"sequential/{backend}"
+        title = f"smoke lifecycle (n={workers}, backends={shown})"
+        print(f"== {title} ==")
+        print("-- checkpoint -> restart -> byte-identical answers (gated in-run) --")
+        print(format_rows(rows))
+    elif family == "stream" and rows and hasattr(rows[0], "resident_nodes"):
+        title = f"smoke stream churn (n={workers}, deletion-biased)"
+        print(f"== {title} ==")
+        print("-- resident fragment size under deletion churn (gated bounded) --")
+        shown_rows = rows if len(rows) <= 12 else rows[:3] + rows[-9:]
+        print(format_rows(shown_rows))
+        first, last = rows[0], rows[-1]
+        print(
+            f"resident nodes {first.resident_nodes} -> {last.resident_nodes}, "
+            f"graph nodes {first.graph_nodes} -> {last.graph_nodes}, "
+            f"shed total {sum(row.shed for row in rows)}, "
+            f"compactions {sum(row.compacted for row in rows)}"
+        )
+        _check_churn_gate(rows, workers)
     elif family == "stream":
         shown = "/".join(BACKENDS) if backend is None else f"sequential/{backend}"
         title = f"smoke stream (n={workers}, backends={shown})"
@@ -411,6 +523,15 @@ def main(argv: list[str] | None = None) -> int:
         f"families {INDEX_SCALE})",
     )
     parser.add_argument(
+        "--deletion-bias",
+        type=float,
+        default=None,
+        dest="deletion_bias",
+        help="switch the stream family to its deletion-heavy churn variant "
+        "(e.g. 0.7): one long maintenance run gated on bounded resident "
+        "fragment size, persisted as BENCH_stream_churn.json",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="run the family under cProfile and print the top 25 functions "
@@ -426,25 +547,36 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     backend = args.backend
-    if backend is None and args.family not in ("index", "incremental", "stream"):
+    if backend is None and args.family not in ("index", "incremental", "stream", "lifecycle"):
         backend = "processes"
+    if args.deletion_bias is not None and args.family != "stream":
+        raise SystemExit("--deletion-bias only applies to the stream family")
     if args.profile:
         profiler = cProfile.Profile()
         profiler.enable()
-        rows = run_smoke(args.family, backend, args.workers, args.pool_size, args.scale)
+        rows = run_smoke(
+            args.family, backend, args.workers, args.pool_size, args.scale, args.deletion_bias
+        )
         profiler.disable()
         buffer = io.StringIO()
         pstats.Stats(profiler, stream=buffer).sort_stats("cumulative").print_stats(25)
         print(f"== cProfile top 25 (family={args.family}) ==")
         print(buffer.getvalue())
     else:
-        rows = run_smoke(args.family, backend, args.workers, args.pool_size, args.scale)
+        rows = run_smoke(
+            args.family, backend, args.workers, args.pool_size, args.scale, args.deletion_bias
+        )
 
     # Persist the trajectory rows *before* the gates run: a failing gate
     # must still leave the JSON of the run that regressed for diagnosis.
-    title = f"smoke {args.family} (n={args.workers})"
-    out = args.out if args.out is not None else Path(f"BENCH_{args.family}.json")
-    out.write_text(rows_as_json(f"smoke_{args.family}", title, rows) + "\n")
+    family_tag = (
+        "stream_churn"
+        if args.family == "stream" and args.deletion_bias is not None
+        else args.family
+    )
+    title = f"smoke {family_tag} (n={args.workers})"
+    out = args.out if args.out is not None else Path(f"BENCH_{family_tag}.json")
+    out.write_text(rows_as_json(f"smoke_{family_tag}", title, rows) + "\n")
 
     _report_family(args.family, backend, args.workers, rows)
     print(f"wrote {out}")

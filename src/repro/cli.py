@@ -124,6 +124,32 @@ def _cmd_identify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _stream_config_from_args(args: argparse.Namespace):
+    """Build a :class:`StreamConfig` from the stream subcommand's flags.
+
+    CLI values beat environment variables beat defaults; the chosen values
+    are also exported back into the environment so worker processes (which
+    build fragment indexes with process-wide defaults) agree with the
+    coordinator.
+    """
+    from repro.stream import StreamConfig
+
+    overrides = {}
+    if args.delta_log_size is not None:
+        overrides["delta_log_size"] = args.delta_log_size
+    if args.rebuild_fraction is not None:
+        overrides["delta_rebuild_fraction"] = args.rebuild_fraction
+    if args.checkpoint_log_fraction is not None:
+        overrides["checkpoint_log_fraction"] = args.checkpoint_log_fraction
+    if args.rebalance_skew is not None:
+        overrides["rebalance_skew"] = args.rebalance_skew
+    if args.state_dir is not None:
+        overrides["state_dir"] = args.state_dir
+    config = StreamConfig(**overrides)
+    config.export_env()
+    return config
+
+
 def _cmd_stream(args: argparse.Namespace) -> int:
     import time
 
@@ -138,6 +164,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         d=args.d,
         seed=args.seed,
     )
+    stream_config = _stream_config_from_args(args)
     repair_wall = 0.0
     recompute_wall = 0.0
     with StreamingIdentifier(
@@ -151,6 +178,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         executor_workers=args.pool_size,
         use_index=not args.no_index,
         use_incremental=not args.no_incremental,
+        stream_config=stream_config,
     ) as identifier:
         print(
             f"streaming {args.algorithm} over {graph.num_nodes} nodes / "
@@ -160,7 +188,10 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         print(f"initial: {identifier.result.summary().splitlines()[0]}")
         for position in range(args.updates):
             batch = random_update_batch(
-                graph, size=args.batch_size, seed=args.seed * 1000 + position
+                graph,
+                size=args.batch_size,
+                seed=args.seed * 1000 + position,
+                deletion_bias=args.deletion_bias,
             )
             update_report = identifier.apply(batch)
             repair_wall += update_report.wall_time
@@ -179,6 +210,9 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                     return 1
                 line += f" [recompute {recompute_wall:.3f}s cumulative, identical]"
             print(line)
+        if args.save_state is not None:
+            saved = identifier.save_state(args.save_state)
+            print(f"saved stream state to {saved}")
         result = identifier.result
     print(result.summary())
     print(f"repair wall over {args.updates} batches: {repair_wall:.3f}s")
@@ -261,6 +295,63 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="after every batch, recompute from scratch and check the "
         "maintained answer is identical (reports the repair speedup)",
+    )
+    stream.add_argument(
+        "--deletion-bias",
+        type=float,
+        default=0.0,
+        dest="deletion_bias",
+        help="probability that a sampled operation is forced to be a "
+        "removal (deletion-heavy churn; see docs/lifecycle.md)",
+    )
+    stream.add_argument(
+        "--delta-log-size",
+        type=int,
+        default=None,
+        dest="delta_log_size",
+        help="bounded GraphDelta log capacity per managed graph "
+        "(default: REPRO_DELTA_LOG_SIZE or 32)",
+    )
+    stream.add_argument(
+        "--rebuild-fraction",
+        type=float,
+        default=None,
+        dest="rebuild_fraction",
+        help="FragmentIndex rebuilds instead of delta-patching above this "
+        "touched fraction (default: REPRO_DELTA_REBUILD_FRACTION or 0.25)",
+    )
+    stream.add_argument(
+        "--checkpoint-log-fraction",
+        type=float,
+        default=None,
+        dest="checkpoint_log_fraction",
+        help="compact a fragment's update log once it outweighs this "
+        "fraction of the fragment (default: REPRO_CHECKPOINT_LOG_FRACTION "
+        "or 0.5)",
+    )
+    stream.add_argument(
+        "--rebalance-skew",
+        type=float,
+        default=None,
+        dest="rebalance_skew",
+        help="migrate centre ownership once the fragment load skew exceeds "
+        "this bound; 1.0 disables (default: REPRO_REBALANCE_SKEW or 0.6)",
+    )
+    stream.add_argument(
+        "--state-dir",
+        type=Path,
+        default=None,
+        dest="state_dir",
+        help="directory for on-disk fragment checkpoints (leases then ship "
+        "paths instead of inline snapshots; default: REPRO_STATE_DIR)",
+    )
+    stream.add_argument(
+        "--save-state",
+        type=Path,
+        default=None,
+        dest="save_state",
+        help="after the last batch, write a durable stream-state pickle "
+        "that StreamingIdentifier.restore() can resume from",
     )
     _add_backend_arguments(stream)
     stream.set_defaults(handler=_cmd_stream)

@@ -19,6 +19,7 @@ Model (paper Section 2.1)
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Hashable, Iterable, Iterator
@@ -31,8 +32,26 @@ Label = str
 #: How many finished :class:`GraphDelta` records a graph retains.  Derived
 #: structures (``FragmentIndex``, ``MatchStore``) repair themselves from this
 #: log; once a consumer falls further behind than the log reaches, it rebuilds
-#: from scratch instead.
+#: from scratch instead.  Per-graph override: the ``delta_log_size``
+#: constructor argument / :meth:`Graph.configure_delta_log`; process-wide
+#: override: the ``REPRO_DELTA_LOG_SIZE`` environment variable (also the
+#: default of :class:`repro.stream.StreamConfig`).
 DELTA_LOG_SIZE = 32
+
+
+def default_delta_log_size() -> int:
+    """The effective delta-log size: ``REPRO_DELTA_LOG_SIZE`` or the constant.
+
+    Resolved at every graph construction (not import time) so tests and the
+    CLI can override it per run.
+    """
+    raw = os.environ.get("REPRO_DELTA_LOG_SIZE")
+    if raw is None:
+        return DELTA_LOG_SIZE
+    size = int(raw)
+    if size < 1:
+        raise GraphError(f"REPRO_DELTA_LOG_SIZE must be >= 1, got {size}")
+    return size
 
 
 @dataclass(frozen=True)
@@ -244,7 +263,7 @@ class Graph:
         "__weakref__",
     )
 
-    def __init__(self, name: str = "graph") -> None:
+    def __init__(self, name: str = "graph", delta_log_size: int | None = None) -> None:
         self.name = name
         # node id -> node label
         self._labels: dict[NodeId, Label] = {}
@@ -268,7 +287,11 @@ class Graph:
         self._recorder: _DeltaRecorder | None = None
         # Ring buffer of finished GraphDeltas (newest last); consumers patch
         # themselves forward from it via deltas_since().
-        self._delta_log: deque = deque(maxlen=DELTA_LOG_SIZE)
+        if delta_log_size is not None and delta_log_size < 1:
+            raise GraphError(f"delta_log_size must be >= 1, got {delta_log_size}")
+        self._delta_log: deque = deque(
+            maxlen=delta_log_size if delta_log_size is not None else default_delta_log_size()
+        )
 
     # ------------------------------------------------------------------
     # version ticks and delta recording
@@ -316,6 +339,24 @@ class Graph:
         ['a', 'b']
         """
         return GraphBatch(self)
+
+    @property
+    def delta_log_size(self) -> int:
+        """Capacity of the bounded delta log (see :data:`DELTA_LOG_SIZE`)."""
+        return self._delta_log.maxlen
+
+    def configure_delta_log(self, size: int) -> None:
+        """Resize the bounded delta log, keeping the newest recorded deltas.
+
+        Streaming consumers (:class:`repro.stream.StreamConfig`) use this to
+        tune how far behind a derived structure may fall before it must
+        rebuild instead of patching forward.
+        """
+        if size < 1:
+            raise GraphError(f"delta log size must be >= 1, got {size}")
+        if size == self._delta_log.maxlen:
+            return
+        self._delta_log = deque(self._delta_log, maxlen=size)
 
     def deltas_since(self, version: int) -> list[GraphDelta] | None:
         """Recorded deltas forming a contiguous chain from *version* to now.
@@ -666,8 +707,8 @@ class Graph:
     # derived graphs
     # ------------------------------------------------------------------
     def copy(self, name: str | None = None) -> "Graph":
-        """Return a deep structural copy of the graph."""
-        clone = Graph(name=name or self.name)
+        """Return a deep structural copy of the graph (same delta-log size)."""
+        clone = Graph(name=name or self.name, delta_log_size=self._delta_log.maxlen)
         with clone.batch_update():
             for node_id, label in self._labels.items():
                 clone.add_node(node_id, label, self._attrs.get(node_id))
@@ -684,7 +725,10 @@ class Graph:
         missing = [node for node in keep if node not in self._labels]
         if missing:
             raise NodeNotFoundError(missing[0])
-        sub = Graph(name=name or f"{self.name}|induced")
+        sub = Graph(
+            name=name or f"{self.name}|induced",
+            delta_log_size=self._delta_log.maxlen,
+        )
         with sub.batch_update():
             for node_id in keep:
                 sub.add_node(node_id, self._labels[node_id], self._attrs.get(node_id))

@@ -84,8 +84,27 @@ DEFAULT_SKETCH_HOPS = 2
 
 #: When the touched nodes of a pending delta chain exceed this fraction of
 #: the graph, ``refresh()`` prefers one full O(|V| + |E|) rebuild over
-#: patching most of the index anyway.
+#: patching most of the index anyway.  Per-index override: the
+#: ``rebuild_fraction`` constructor argument; process-wide override: the
+#: ``REPRO_DELTA_REBUILD_FRACTION`` environment variable (also the default
+#: of :class:`repro.stream.StreamConfig`, and inherited by forked worker
+#: processes).
 DELTA_REBUILD_FRACTION = 0.25
+
+
+def default_rebuild_fraction() -> float:
+    """Effective rebuild fraction: ``REPRO_DELTA_REBUILD_FRACTION`` or the constant."""
+    import os
+
+    raw = os.environ.get("REPRO_DELTA_REBUILD_FRACTION")
+    if raw is None:
+        return DELTA_REBUILD_FRACTION
+    fraction = float(raw)
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(
+            f"REPRO_DELTA_REBUILD_FRACTION must be in [0, 1], got {fraction}"
+        )
+    return fraction
 
 _EMPTY_FROZEN: frozenset = frozenset()
 
@@ -122,6 +141,7 @@ class FragmentIndex:
         "_graph_ref",
         "mode",
         "default_hops",
+        "rebuild_fraction",
         "statistics",
         "_built_version",
         "_labels",
@@ -138,11 +158,19 @@ class FragmentIndex:
         graph: Graph,
         mode: str = "refresh",
         default_hops: int = DEFAULT_SKETCH_HOPS,
+        rebuild_fraction: float | None = None,
     ) -> None:
         if mode not in INDEX_MODES:
             raise ValueError(f"mode must be one of {INDEX_MODES}, got {mode!r}")
         if default_hops < 1:
             raise ValueError(f"default_hops must be >= 1, got {default_hops}")
+        if rebuild_fraction is not None and not 0.0 <= rebuild_fraction <= 1.0:
+            raise ValueError(
+                f"rebuild_fraction must be in [0, 1], got {rebuild_fraction}"
+            )
+        self.rebuild_fraction = (
+            rebuild_fraction if rebuild_fraction is not None else default_rebuild_fraction()
+        )
         # Weak reference only: the process-wide registry maps graph -> index
         # with weak keys, so a strong graph reference here would keep every
         # indexed graph (e.g. per-run fragment graphs) alive forever.  The
@@ -220,7 +248,7 @@ class FragmentIndex:
         deltas = graph.deltas_since(self._built_version)
         if deltas is not None:
             touched_total = sum(len(delta.touched) for delta in deltas)
-            if touched_total <= DELTA_REBUILD_FRACTION * max(1, graph.num_nodes):
+            if touched_total <= self.rebuild_fraction * max(1, graph.num_nodes):
                 for delta in deltas:
                     if not self.apply_delta(delta):  # pragma: no cover - chain guard
                         deltas = None
@@ -454,19 +482,26 @@ def graph_index(
     graph: Graph,
     mode: str = "refresh",
     default_hops: int = DEFAULT_SKETCH_HOPS,
+    rebuild_fraction: float | None = None,
 ) -> FragmentIndex:
     """The process-wide resident :class:`FragmentIndex` for *graph*.
 
     Builds the index on first use and memoises it against the graph object;
     every layer of the matching stack that probes the same graph shares one
-    index.  *mode*/*default_hops* only apply to the first (building) call.
+    index.  *mode*/*default_hops*/*rebuild_fraction* only apply to the first
+    (building) call.
     """
     index = _REGISTRY.get(graph)
     if index is None:
         with _REGISTRY_LOCK:
             index = _REGISTRY.get(graph)
             if index is None:
-                index = FragmentIndex(graph, mode=mode, default_hops=default_hops)
+                index = FragmentIndex(
+                    graph,
+                    mode=mode,
+                    default_hops=default_hops,
+                    rebuild_fraction=rebuild_fraction,
+                )
                 _REGISTRY[graph] = index
     return index
 

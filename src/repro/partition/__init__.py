@@ -12,6 +12,21 @@ the plain sums of fragment-local supports.
 """
 
 from repro.partition.fragment import Fragment, FragmentationReport
+from repro.partition.lifecycle import (
+    FragmentCheckpoint,
+    FragmentLease,
+    FragmentManager,
+    FragmentUpdate,
+)
 from repro.partition.partitioner import fragmentation_report, partition_graph
 
-__all__ = ["Fragment", "FragmentationReport", "partition_graph", "fragmentation_report"]
+__all__ = [
+    "Fragment",
+    "FragmentationReport",
+    "FragmentCheckpoint",
+    "FragmentLease",
+    "FragmentManager",
+    "FragmentUpdate",
+    "partition_graph",
+    "fragmentation_report",
+]

@@ -1,0 +1,832 @@
+"""Fragment lifecycle management: residency, compaction, shedding, migration.
+
+Before this module, fragment residency was smeared across four layers: the
+coordinator-side node sets and centre-ownership maps lived in
+:class:`repro.stream.StreamingIdentifier`, the per-fragment update-slice
+logs grew without bound next to them, the resident copies mutated inside
+:mod:`repro.parallel.worker` contexts, and nothing ever *shrank* — a node
+that left every owned centre's d-ball after deletions stayed resident
+forever.  :class:`FragmentManager` owns the whole life of a fragment now:
+
+* **membership via ball refcounts** — for every fragment the manager keeps
+  each owned centre's current d-ball and a per-node refcount (how many
+  owned balls contain the node).  A batch's recheck centres swap their old
+  ball for the new one; nodes whose refcount drops to zero are *shed* from
+  the resident fragment (the slice carries them in
+  :attr:`FragmentUpdate.shed`), which also evicts them from the resident
+  :class:`~repro.graph.index.FragmentIndex` (via the graph's delta log) and
+  from any repaired :class:`~repro.matching.incremental.MatchStore` entry.
+  Shedding is exact: anchored matching of a ball-local pattern at an owned
+  centre only inspects the centre's d-ball (``docs/streaming.md``), and a
+  shed node lies in no owned ball.
+* **log compaction with checkpoints** — once a fragment's slice log
+  outweighs a configurable fraction of the fragment itself, the manager
+  snapshots the fragment from the authoritative graph (the resident copy
+  is, invariantly, the induced subgraph on the managed node set) as a
+  picklable :class:`FragmentCheckpoint` — written to ``state_dir`` when one
+  is configured, shipped inline otherwise — and truncates the log.
+  Sequence numbers order everything: a worker process behind the
+  checkpoint installs it and replays only the remaining tail, a worker
+  ahead of it ignores it, so the process pool's arbitrary task routing
+  stays deterministic.
+* **churn-driven re-partitioning** — when the per-fragment load skew
+  (sum of owned ball sizes, the partitioner's own balance measure) crosses
+  a threshold, ownership of *quiescent* centres (outside the batch's
+  affected region, so their verdicts are provably unchanged) migrates from
+  the most- to the least-loaded fragment.  The coordinator splices the
+  migrated centres' stored verdict bits between the fragments' reports —
+  no re-verification, no rebuild — and the ball refcounts move with them,
+  shrinking the source fragment where the migration left nodes uncovered.
+
+The worker-side half of the protocol is :func:`catch_up`: given a
+:class:`FragmentLease` (base checkpoint reference + slice tail) it brings
+the process-resident fragment copy to the coordinator's sequence.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Hashable, Sequence
+
+from repro.exceptions import StreamError
+from repro.graph.graph import Graph
+from repro.graph.neighborhood import ball
+from repro.partition.fragment import Fragment
+
+NodeId = Hashable
+
+#: ``WorkerContext.state`` key tracking the newest applied slice sequence.
+APPLIED_SEQUENCE_KEY = "lifecycle-applied-sequence"
+
+
+@dataclass(frozen=True)
+class FragmentUpdate:
+    """One fragment's slice of a global update batch (coordinator → worker).
+
+    ``sequence`` orders the slices per fragment; a worker whose resident
+    copy is behind replays every missed slice before verifying.  All fields
+    are plain sorted tuples so the payload pickles small and hashes stably.
+    ``shed`` carries residency-only removals: nodes still present in the
+    authoritative graph that left every owned centre's d-ball and must be
+    dropped from the resident copy.
+    """
+
+    sequence: int
+    remove_edges: tuple = ()
+    remove_nodes: tuple = ()
+    add_nodes: tuple = ()  # (node, label, attrs-items)
+    add_edges: tuple = ()
+    relabels: tuple = ()  # (node, new label)
+    shed: tuple = ()
+    own_add: tuple = ()
+    own_remove: tuple = ()
+    recheck: tuple = ()
+
+    @property
+    def mutates(self) -> bool:
+        """Whether replaying this slice changes the fragment graph at all."""
+        return bool(
+            self.remove_edges
+            or self.remove_nodes
+            or self.add_nodes
+            or self.add_edges
+            or self.relabels
+            or self.shed
+        )
+
+    @property
+    def weight(self) -> int:
+        """Number of shipped operations (the compaction trigger's measure)."""
+        return (
+            len(self.remove_edges)
+            + len(self.remove_nodes)
+            + len(self.add_nodes)
+            + len(self.add_edges)
+            + len(self.relabels)
+            + len(self.shed)
+        )
+
+
+@dataclass(frozen=True)
+class FragmentCheckpoint:
+    """A picklable snapshot of one fragment at a slice sequence number.
+
+    Built from the authoritative graph (the resident fragment copy is the
+    induced subgraph on the managed node set, so the snapshot is
+    byte-identical to a resident copy that replayed every slice), installed
+    by :func:`catch_up` into workers whose applied sequence is behind
+    :attr:`sequence`.
+    """
+
+    fragment_index: int
+    sequence: int
+    name: str
+    delta_log_size: int
+    nodes: tuple  # (node, label, attrs-items), sorted
+    edges: tuple  # (source, target, label), sorted
+    owned_centers: tuple
+
+    @classmethod
+    def capture(
+        cls,
+        graph: Graph,
+        node_set: set,
+        owned_centers: set,
+        fragment_index: int,
+        sequence: int,
+        name: str,
+    ) -> "FragmentCheckpoint":
+        """Snapshot the induced subgraph on *node_set* of *graph*."""
+        nodes = tuple(
+            sorted(
+                (
+                    (
+                        node,
+                        graph.node_label(node),
+                        tuple(sorted(graph.node_attrs(node).items())),
+                    )
+                    for node in node_set
+                ),
+                key=str,
+            )
+        )
+        edges = tuple(
+            sorted(
+                (
+                    (node, edge.target, edge.label)
+                    for node in node_set
+                    for edge in graph.out_edges(node)
+                    if edge.target in node_set
+                ),
+                key=str,
+            )
+        )
+        return cls(
+            fragment_index=fragment_index,
+            sequence=sequence,
+            name=name,
+            delta_log_size=graph.delta_log_size,
+            nodes=nodes,
+            edges=edges,
+            owned_centers=tuple(sorted(owned_centers, key=str)),
+        )
+
+    def build_graph(self) -> Graph:
+        """Materialise the snapshot as a fresh fragment graph."""
+        graph = Graph(name=self.name, delta_log_size=self.delta_log_size)
+        with graph.batch_update():
+            for node, label, attrs in self.nodes:
+                graph.add_node(node, label, dict(attrs) or None)
+            for source, target, label in self.edges:
+                graph.add_edge(source, target, label)
+        # Construction is not an update (same contract as Graph.copy).
+        graph._delta_log.clear()
+        return graph
+
+    def build_fragment(self) -> Fragment:
+        """Materialise the snapshot as a whole :class:`Fragment`."""
+        return Fragment(
+            index=self.fragment_index,
+            graph=self.build_graph(),
+            owned_centers=set(self.owned_centers),
+            sequence=self.sequence,
+        )
+
+    def install(self, fragment: Fragment) -> None:
+        """Replace *fragment*'s resident state with this snapshot in place."""
+        fragment.graph = self.build_graph()
+        fragment.owned_centers = set(self.owned_centers)
+        fragment.sequence = self.sequence
+
+    def save(self, path: Path | str) -> Path:
+        """Write the snapshot as a pickle file; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "wb") as handle:
+            pickle.dump(self, handle)
+        return path
+
+    @classmethod
+    def load(cls, path: Path | str) -> "FragmentCheckpoint":
+        """Read a snapshot written by :meth:`save`."""
+        with open(path, "rb") as handle:
+            checkpoint = pickle.load(handle)
+        if not isinstance(checkpoint, cls):
+            raise StreamError(f"{path} does not hold a FragmentCheckpoint")
+        return checkpoint
+
+
+@dataclass(frozen=True)
+class FragmentLease:
+    """What one round ships a worker about its fragment's state.
+
+    ``base_sequence`` is the sequence of the newest compaction checkpoint
+    (0 when the log still reaches back to pool start); exactly one of
+    ``checkpoint`` (inline) / ``checkpoint_path`` (``state_dir`` form) is
+    set when ``base_sequence > 0``.  ``updates`` is the slice tail after the
+    base.  Any worker process — however stale its resident copy — catches
+    up deterministically: install the base if behind it, replay the tail.
+    """
+
+    base_sequence: int = 0
+    checkpoint: FragmentCheckpoint | None = None
+    checkpoint_path: str | None = None
+    updates: tuple[FragmentUpdate, ...] = ()
+
+
+def apply_fragment_update(fragment: Fragment, update: FragmentUpdate) -> None:
+    """Replay one slice on a fragment-resident graph (one version tick)."""
+    graph = fragment.graph
+    if update.mutates:
+        with graph.batch_update():
+            for source, target, label in update.remove_edges:
+                graph.remove_edge(source, target, label)
+            for node in update.remove_nodes:
+                graph.remove_node(node)
+            for node, label, attrs in update.add_nodes:
+                graph.add_node(node, label, dict(attrs) or None)
+            for source, target, label in update.add_edges:
+                graph.add_edge(source, target, label)
+            for node, label in update.relabels:
+                graph.relabel_node(node, label)
+            for node in update.shed:
+                graph.remove_node(node)
+    fragment.owned_centers.difference_update(update.own_remove)
+    fragment.owned_centers.update(update.own_add)
+    fragment.sequence = update.sequence
+
+
+def catch_up(context, lease: FragmentLease) -> Fragment:
+    """Bring a worker's resident fragment copy up to the lease's sequence.
+
+    The applied-slice counter lives in the pool-lifetime
+    :class:`~repro.parallel.worker.WorkerContext`, so on the process backend
+    — where any pool process may serve any fragment — a stale resident copy
+    deterministically installs the base checkpoint (only if it is behind
+    it) and replays exactly the slices it missed.
+    """
+    fragment = context.fragment
+    applied = context.state.get(APPLIED_SEQUENCE_KEY)
+    if applied is None:
+        applied = fragment.sequence
+    if applied < lease.base_sequence:
+        checkpoint = lease.checkpoint
+        if checkpoint is None:
+            if lease.checkpoint_path is None:
+                raise StreamError(
+                    f"fragment {fragment.index} is behind sequence "
+                    f"{lease.base_sequence} but the lease carries no checkpoint"
+                )
+            checkpoint = FragmentCheckpoint.load(lease.checkpoint_path)
+        checkpoint.install(fragment)
+        applied = checkpoint.sequence
+    for update in lease.updates:
+        if update.sequence <= applied:
+            continue
+        apply_fragment_update(fragment, update)
+        applied = update.sequence
+    context.state[APPLIED_SEQUENCE_KEY] = applied
+    return fragment
+
+
+@dataclass
+class BatchPlan:
+    """What :meth:`FragmentManager.derive_batch` decided for one batch."""
+
+    updates: dict[int, FragmentUpdate] = field(default_factory=dict)
+    migrations: tuple = ()  # (center, src fragment, dst fragment)
+    rechecked_centers: int = 0
+    owned_added: int = 0
+    owned_removed: int = 0
+    entered_nodes: int = 0
+    shed_nodes: int = 0
+    shipped_edges: int = 0
+
+
+class FragmentManager:
+    """Coordinator-side owner of every fragment's residency and logs.
+
+    Parameters
+    ----------
+    graph:
+        The authoritative data graph (already partitioned).
+    fragments:
+        The fragments of :func:`repro.partition.partition_graph`; their node
+        sets must equal the union of their owned centres' d-balls (the
+        partitioner's contract), which seeds the refcounts.
+    max_radius:
+        Ball radius ``d`` every fragment preserves around its owned centres.
+    x_label:
+        Search condition of the candidate centres (nodes gaining/losing this
+        label join/leave the ownership map).
+    config:
+        A :class:`repro.stream.StreamConfig` (duck-typed: only the
+        lifecycle fields are read).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        fragments: Sequence[Fragment],
+        max_radius: int,
+        x_label: str,
+        config,
+    ) -> None:
+        self.graph = graph
+        self.fragments = list(fragments)
+        self.max_radius = max_radius
+        self.x_label = x_label
+        self.config = config
+        self._owner: dict[NodeId, int] = {}
+        self._balls: dict[NodeId, set] = {}
+        self._refcounts: dict[int, dict[NodeId, int]] = {}
+        self._node_sets: dict[int, set] = {}
+        self._logs: dict[int, list[FragmentUpdate]] = {}
+        self._bases: dict[int, FragmentCheckpoint | None] = {}
+        self._base_paths: dict[int, str | None] = {}
+        self._base_sequences: dict[int, int] = {}
+        self._sequence = 0
+        for fragment in self.fragments:
+            index = fragment.index
+            refcounts: dict[NodeId, int] = {}
+            for center in fragment.owned_centers:
+                self._owner[center] = index
+                center_ball = ball(graph, center, max_radius)
+                self._balls[center] = center_ball
+                for node in center_ball:
+                    refcounts[node] = refcounts.get(node, 0) + 1
+            self._refcounts[index] = refcounts
+            self._node_sets[index] = set(refcounts)
+            self._logs[index] = []
+            self._bases[index] = None
+            self._base_paths[index] = None
+            self._base_sequences[index] = fragment.sequence
+
+    # ------------------------------------------------------------------
+    # membership / ownership accessors
+    # ------------------------------------------------------------------
+    @property
+    def sequence(self) -> int:
+        """Newest derived slice sequence number."""
+        return self._sequence
+
+    def owner_of(self, center: NodeId) -> int | None:
+        """The fragment owning *center*, or ``None``."""
+        return self._owner.get(center)
+
+    def owned_centers(self, index: int) -> set:
+        """Centres currently owned by fragment *index*."""
+        return {center for center, owner in self._owner.items() if owner == index}
+
+    def node_set(self, index: int) -> frozenset:
+        """Current resident node set of fragment *index* (read-only view)."""
+        return frozenset(self._node_sets[index])
+
+    def log_weight(self, index: int) -> int:
+        """Total shipped operations currently retained in the slice log."""
+        return sum(update.weight for update in self._logs[index])
+
+    def fragment_load(self, index: int) -> int:
+        """Sum of owned ball sizes (the partitioner's balance measure).
+
+        A centre gained in the current batch has no stored ball yet and
+        counts as zero until its first recheck stores one.
+        """
+        return sum(
+            len(self._balls.get(center, ()))
+            for center, owner in self._owner.items()
+            if owner == index
+        )
+
+    def resident_summary(self) -> dict:
+        """Coordinator-side residency metrics (the churn bench's row source)."""
+        nodes = sum(len(node_set) for node_set in self._node_sets.values())
+        log_ops = sum(self.log_weight(fragment.index) for fragment in self.fragments)
+        log_entries = sum(len(self._logs[fragment.index]) for fragment in self.fragments)
+        return {
+            "resident_nodes": nodes,
+            "log_ops": log_ops,
+            "log_entries": log_entries,
+            "loads": {
+                fragment.index: self.fragment_load(fragment.index)
+                for fragment in self.fragments
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # per-batch derivation
+    # ------------------------------------------------------------------
+    def derive_batch(self, delta, region: set) -> BatchPlan:
+        """Digest one applied batch: ownership, migration, slices, refcounts.
+
+        *delta* is the batch's recorded :class:`~repro.graph.graph.GraphDelta`
+        and *region* the d-ball of its touched set on the post-update graph.
+        Appends one :class:`FragmentUpdate` per fragment to the logs and
+        returns the :class:`BatchPlan` (slices + counters + migrations).
+        """
+        graph = self.graph
+        self._sequence += 1
+        plan = BatchPlan()
+        indexes = [fragment.index for fragment in self.fragments]
+        own_add: dict[int, set] = {index: set() for index in indexes}
+        own_remove: dict[int, set] = {index: set() for index in indexes}
+
+        # (1) slice removal/relabel fields against pre-batch membership.
+        removals: dict[int, tuple] = {}
+        for index in indexes:
+            node_set = self._node_sets[index]
+            remove_edges = tuple(
+                sorted(
+                    (
+                        edge
+                        for edge in delta.removed_edges
+                        if edge[0] in node_set and edge[1] in node_set
+                    ),
+                    key=str,
+                )
+            )
+            remove_nodes = tuple(
+                sorted((node for node in delta.removed_nodes if node in node_set), key=str)
+            )
+            relabels = tuple(
+                sorted(
+                    (
+                        (node, graph.node_label(node))
+                        for node in delta.relabeled_nodes
+                        if node in node_set
+                    ),
+                    key=str,
+                )
+            )
+            removals[index] = (remove_edges, remove_nodes, relabels)
+
+        # Refcount bookkeeping; entered/vanished are derived from the nodes
+        # whose count changed, so a release-then-retain inside one batch
+        # (a ball swap keeping the node) cancels out.
+        touched_rc: dict[int, set] = {index: set() for index in indexes}
+        before: dict[int, dict] = {index: {} for index in indexes}
+
+        def release(index: int, nodes) -> None:
+            refcounts = self._refcounts[index]
+            snapshot = before[index]
+            dirty = touched_rc[index]
+            for node in nodes:
+                if node not in snapshot:
+                    snapshot[node] = refcounts.get(node, 0)
+                dirty.add(node)
+                count = refcounts.get(node, 0) - 1
+                if count <= 0:
+                    refcounts.pop(node, None)
+                else:
+                    refcounts[node] = count
+
+        def retain(index: int, nodes) -> None:
+            refcounts = self._refcounts[index]
+            snapshot = before[index]
+            dirty = touched_rc[index]
+            for node in nodes:
+                if node not in snapshot:
+                    snapshot[node] = refcounts.get(node, 0)
+                dirty.add(node)
+                refcounts[node] = refcounts.get(node, 0) + 1
+
+        # (2) centre-role maintenance: only touched nodes can change role.
+        # A lost centre's stored ball is released from its old owner (which
+        # may shed the nodes only it was covering).
+        for node in sorted(delta.touched, key=str):
+            owner = self._owner.get(node)
+            is_center = graph.has_node(node) and graph.node_label(node) == self.x_label
+            if owner is not None and not is_center:
+                del self._owner[node]
+                own_remove[owner].add(node)
+                old_ball = self._balls.pop(node, None)
+                if old_ball is not None:
+                    release(owner, old_ball)
+            elif owner is None and is_center:
+                chosen = self._assign_owner(node)
+                self._owner[node] = chosen
+                own_add[chosen].add(node)
+        plan.owned_added = sum(len(centers) for centers in own_add.values())
+        plan.owned_removed = sum(len(centers) for centers in own_remove.values())
+
+        # (3) churn-driven re-partitioning over quiescent centres: the
+        # stored ball moves wholesale (it is provably current — the centre
+        # is outside the affected region).
+        migrations = self._plan_migrations(region)
+        for center, src, dst in migrations:
+            self._owner[center] = dst
+            own_remove[src].add(center)
+            own_add[dst].add(center)
+            moved_ball = self._balls[center]
+            release(src, moved_ball)
+            retain(dst, moved_ball)
+        plan.migrations = tuple(migrations)
+
+        # (4) recheck centres (owned, inside the affected region): swap the
+        # stored ball for the current one.  Freshly gained centres have no
+        # stored ball yet; they are in the region by construction (only
+        # touched nodes gain the centre label, and touched ⊆ region).
+        recheck: dict[int, set] = {index: set() for index in indexes}
+        for center, owner in self._owner.items():
+            if center in region:
+                recheck[owner].add(center)
+        for index in indexes:
+            for center in sorted(recheck[index], key=str):
+                old_ball = self._balls.get(center)
+                if old_ball is not None:
+                    release(index, old_ball)
+                new_ball = ball(graph, center, self.max_radius)
+                self._balls[center] = new_ball
+                retain(index, new_ball)
+
+        # (5) membership deltas and the shipped slices.
+        for index in indexes:
+            refcounts = self._refcounts[index]
+            node_set = self._node_sets[index]
+            entered = set()
+            vanished = set()
+            for node in touched_rc[index]:
+                was_resident = before[index][node] > 0
+                is_resident = node in refcounts
+                if is_resident and not was_resident:
+                    entered.add(node)
+                elif was_resident and not is_resident:
+                    vanished.add(node)
+            remove_edges, remove_nodes, relabels = removals[index]
+            shed = tuple(
+                sorted((node for node in vanished if graph.has_node(node)), key=str)
+            )
+            add_nodes = tuple(
+                sorted(
+                    (
+                        (
+                            node,
+                            graph.node_label(node),
+                            tuple(sorted(graph.node_attrs(node).items())),
+                        )
+                        for node in entered
+                    ),
+                    key=str,
+                )
+            )
+            add_edge_set = {
+                edge
+                for edge in delta.added_edges
+                if edge[0] in refcounts and edge[1] in refcounts
+            }
+            for node in entered:
+                for edge in graph.out_edges(node):
+                    if edge.target in refcounts:
+                        add_edge_set.add((node, edge.target, edge.label))
+                for edge in graph.in_edges(node):
+                    if edge.source in refcounts:
+                        add_edge_set.add((edge.source, node, edge.label))
+            node_set.difference_update(vanished)
+            node_set.difference_update(remove_nodes)
+            node_set.update(entered)
+            update = FragmentUpdate(
+                sequence=self._sequence,
+                remove_edges=remove_edges,
+                remove_nodes=remove_nodes,
+                add_nodes=add_nodes,
+                add_edges=tuple(sorted(add_edge_set, key=str)),
+                relabels=relabels,
+                shed=shed,
+                own_add=tuple(sorted(own_add[index], key=str)),
+                own_remove=tuple(sorted(own_remove[index], key=str)),
+                recheck=tuple(sorted(recheck[index], key=str)),
+            )
+            self._logs[index].append(update)
+            plan.updates[index] = update
+            plan.rechecked_centers += len(recheck[index])
+            plan.entered_nodes += len(entered)
+            plan.shed_nodes += len(shed)
+            plan.shipped_edges += len(add_edge_set) + len(remove_edges)
+        return plan
+
+    def _assign_owner(self, center: NodeId) -> int:
+        """Fragment for a freshly appeared centre: most of its ball resident.
+
+        Ownership placement only affects which worker does the centre's
+        work — never the answer — so the tie-break just balances load
+        deterministically (fewest owned centres, then lowest index).
+        """
+        center_ball = ball(self.graph, center, self.max_radius)
+        owned_counts: dict[int, int] = {
+            fragment.index: 0 for fragment in self.fragments
+        }
+        for owner in self._owner.values():
+            owned_counts[owner] = owned_counts.get(owner, 0) + 1
+        best_index = None
+        best_cost = None
+        for fragment in self.fragments:
+            index = fragment.index
+            overlap = len(center_ball & self._node_sets[index])
+            cost = (-overlap, owned_counts.get(index, 0), index)
+            if best_cost is None or cost < best_cost:
+                best_cost = cost
+                best_index = index
+        return best_index
+
+    # ------------------------------------------------------------------
+    # churn-driven re-partitioning
+    # ------------------------------------------------------------------
+    def _plan_migrations(self, region: set) -> list[tuple]:
+        """Ownership moves levelling the load skew, quiescent centres only.
+
+        A migrated centre must lie outside the batch's affected *region*:
+        its verdicts are then provably unchanged, so the coordinator can
+        splice its stored report bits between fragments instead of
+        re-verifying.  Deterministic: pure function of the manager state.
+        """
+        config = self.config
+        if (
+            len(self.fragments) < 2
+            or config.rebalance_max_moves <= 0
+            or config.rebalance_skew >= 1.0
+        ):
+            return []
+        loads = {
+            fragment.index: self.fragment_load(fragment.index)
+            for fragment in self.fragments
+        }
+        moves: list[tuple] = []
+        moved: set = set()
+        for _ in range(config.rebalance_max_moves):
+            src = max(loads, key=lambda index: (loads[index], index))
+            dst = min(loads, key=lambda index: (loads[index], index))
+            if src == dst or loads[src] == 0:
+                break
+            skew = (loads[src] - loads[dst]) / loads[src]
+            if skew <= config.rebalance_skew:
+                break
+            gap = loads[src] - loads[dst]
+            candidates = sorted(
+                (len(self._balls[center]), str(center), center)
+                for center, owner in self._owner.items()
+                if owner == src
+                and center not in region
+                and center not in moved
+                and center in self._balls
+            )
+            # Move the largest ball that still shrinks the gap (2·size ≤ gap
+            # guarantees monotone improvement, so migration never oscillates).
+            chosen = None
+            for size, _, center in reversed(candidates):
+                if 2 * size <= gap:
+                    chosen = (center, size)
+                    break
+            if chosen is None:
+                break
+            center, size = chosen
+            moves.append((center, src, dst))
+            moved.add(center)
+            loads[src] -= size
+            loads[dst] += size
+        return moves
+
+    # ------------------------------------------------------------------
+    # log compaction
+    # ------------------------------------------------------------------
+    def maybe_compact(self) -> list[int]:
+        """Checkpoint + truncate every log that outgrew its fragment.
+
+        Returns the indexes of the fragments that were compacted.  With a
+        ``state_dir`` configured the checkpoint is written to disk and only
+        its path travels in later leases; otherwise it ships inline.
+        """
+        compacted: list[int] = []
+        fraction = self.config.checkpoint_log_fraction
+        state_dir = getattr(self.config, "state_dir", None)
+        for fragment in self.fragments:
+            index = fragment.index
+            log = self._logs[index]
+            if not log:
+                continue
+            weight = sum(update.weight for update in log)
+            if weight <= fraction * max(1, len(self._node_sets[index])):
+                continue
+            self.compact_fragment(index, state_dir)
+            compacted.append(index)
+        return compacted
+
+    def compact_fragment(self, index: int, state_dir: Path | None = None) -> FragmentCheckpoint:
+        """Snapshot fragment *index* at the current sequence; truncate its log."""
+        checkpoint = FragmentCheckpoint.capture(
+            self.graph,
+            self._node_sets[index],
+            self.owned_centers(index),
+            index,
+            self._sequence,
+            name=f"{self.graph.name}|F{index}",
+        )
+        previous_path = self._base_paths[index]
+        if state_dir is not None:
+            path = Path(state_dir) / f"fragment-{index}-seq{self._sequence}.ckpt"
+            checkpoint.save(path)
+            self._bases[index] = None
+            self._base_paths[index] = str(path)
+            if previous_path and previous_path != str(path):
+                Path(previous_path).unlink(missing_ok=True)
+        else:
+            self._bases[index] = checkpoint
+            self._base_paths[index] = None
+        self._base_sequences[index] = self._sequence
+        self._logs[index].clear()
+        return checkpoint
+
+    def lease(self, index: int) -> FragmentLease:
+        """The round payload state for fragment *index* (base + slice tail)."""
+        return FragmentLease(
+            base_sequence=self._base_sequences[index],
+            checkpoint=self._bases[index],
+            checkpoint_path=self._base_paths[index],
+            updates=tuple(self._logs[index]),
+        )
+
+    # ------------------------------------------------------------------
+    # durable state (checkpoint → restart)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Self-contained picklable state (on-disk bases are inlined)."""
+        bases: dict[int, FragmentCheckpoint | None] = {}
+        for fragment in self.fragments:
+            index = fragment.index
+            base = self._bases[index]
+            if base is None and self._base_paths[index] is not None:
+                base = FragmentCheckpoint.load(self._base_paths[index])
+            bases[index] = base
+        return {
+            "max_radius": self.max_radius,
+            "x_label": self.x_label,
+            "owner": dict(self._owner),
+            "balls": {center: set(nodes) for center, nodes in self._balls.items()},
+            "refcounts": {
+                index: dict(counts) for index, counts in self._refcounts.items()
+            },
+            "node_sets": {index: set(nodes) for index, nodes in self._node_sets.items()},
+            "logs": {index: list(log) for index, log in self._logs.items()},
+            "bases": bases,
+            "base_paths": dict(self._base_paths),
+            "base_sequences": dict(self._base_sequences),
+            "sequence": self._sequence,
+        }
+
+    @classmethod
+    def from_state(cls, graph: Graph, state: dict, config) -> "FragmentManager":
+        """Rebuild a manager (and its fragments) from :meth:`state_dict`.
+
+        The fragments are re-materialised from the authoritative graph at
+        the saved sequence, so a restarted worker pool starts from resident
+        copies that are byte-identical to the pre-restart ones.
+        """
+        manager = cls.__new__(cls)
+        manager.graph = graph
+        manager.max_radius = state["max_radius"]
+        manager.x_label = state["x_label"]
+        manager.config = config
+        manager._owner = dict(state["owner"])
+        manager._balls = {center: set(nodes) for center, nodes in state["balls"].items()}
+        manager._refcounts = {
+            index: dict(counts) for index, counts in state["refcounts"].items()
+        }
+        manager._node_sets = {
+            index: set(nodes) for index, nodes in state["node_sets"].items()
+        }
+        manager._logs = {index: list(log) for index, log in state["logs"].items()}
+        manager._bases = dict(state["bases"])
+        # On-disk base files that still exist keep serving leases (and get
+        # reclaimed by the next compaction); the inlined copies in `bases`
+        # cover restores onto a machine without the old state_dir.
+        manager._base_paths = {
+            index: path if path is not None and Path(path).exists() else None
+            for index, path in state.get("base_paths", {}).items()
+        }
+        for index in manager._node_sets:
+            manager._base_paths.setdefault(index, None)
+            if manager._base_paths[index] is not None:
+                manager._bases[index] = None
+        manager._base_sequences = dict(state["base_sequences"])
+        manager._sequence = state["sequence"]
+        manager.fragments = []
+        for index in sorted(manager._node_sets):
+            node_set = manager._node_sets[index]
+            local = (
+                graph.induced_subgraph(node_set, name=f"{graph.name}|F{index}")
+                if node_set
+                else Graph(
+                    name=f"{graph.name}|F{index}",
+                    delta_log_size=graph.delta_log_size,
+                )
+            )
+            manager.fragments.append(
+                Fragment(
+                    index=index,
+                    graph=local,
+                    owned_centers=manager.owned_centers(index),
+                    sequence=manager._sequence,
+                )
+            )
+        return manager

@@ -16,12 +16,21 @@ static pipeline into an online one:
   re-verifying only candidate centres inside the d-hop balls of the nodes a
   batch touched, with update slices shipped to the persistent worker pool
   so fragment-resident graphs and indexes stay in sync without re-pickling
-  graphs.
+  graphs;
+* :mod:`repro.stream.config` — :class:`StreamConfig`, every streaming and
+  fragment-lifecycle threshold (delta-log capacity, index rebuild fraction,
+  log-compaction trigger, re-partitioning skew, checkpoint ``state_dir``)
+  as per-run fields with env/CLI overrides.
 
-See ``docs/streaming.md`` for the update model, the ball-scoped
-invalidation argument, and the repair-vs-recompute benchmark gate.
+Fragment residency itself — refcounted ball membership with
+deletion-driven shedding, checkpointed log compaction, churn-driven
+ownership migration — lives in :mod:`repro.partition.lifecycle` and is
+driven from here.  See ``docs/streaming.md`` for the update model and the
+ball-scoped invalidation argument, and ``docs/lifecycle.md`` for the
+lifecycle layer.
 """
 
+from repro.stream.config import StreamConfig
 from repro.stream.updates import (
     OP_KINDS,
     UpdateBatch,
@@ -31,10 +40,12 @@ from repro.stream.updates import (
 from repro.stream.matchview import MaintainedMatchView
 from repro.stream.identifier import (
     STREAM_ALGORITHMS,
+    CensusMatcher,
     FragmentUpdate,
     StreamUpdateReport,
     StreamVerifyPayload,
     StreamingIdentifier,
+    split_free_pattern,
     stream_update_worker,
 )
 
@@ -45,9 +56,12 @@ __all__ = [
     "random_update_batch",
     "MaintainedMatchView",
     "STREAM_ALGORITHMS",
+    "CensusMatcher",
     "FragmentUpdate",
+    "StreamConfig",
     "StreamVerifyPayload",
     "StreamUpdateReport",
     "StreamingIdentifier",
+    "split_free_pattern",
     "stream_update_worker",
 ]

@@ -7,51 +7,79 @@ constructed and then maintains the resulting
 recomputing:
 
 * the coordinator applies the batch to the authoritative graph (one version
-  tick) and derives, per fragment, a :class:`FragmentUpdate` — the
-  fragment-local slice of the batch plus the *ball augmentation* (nodes
-  newly within ``d`` hops of an owned centre, with their induced edges) that
-  keeps every fragment a superset of its owned centres' d-balls;
-* each worker replays the slices its fragment-resident copy has not seen
-  yet (an update *log*, so the process backend's arbitrary task routing can
-  never serve a stale fragment), lets the resident
-  :class:`~repro.graph.index.FragmentIndex` patch itself forward from the
-  graph's recorded deltas, and re-verifies **only** the owned centres
-  within ``d`` hops of a touched node — every other centre's verdict is
-  provably unchanged (see ``docs/streaming.md``);
+  tick) and hands the recorded delta to its
+  :class:`~repro.partition.lifecycle.FragmentManager`, which derives one
+  :class:`~repro.partition.lifecycle.FragmentUpdate` slice per fragment —
+  the fragment-local mutations, the *ball augmentation* (nodes newly within
+  ``d`` hops of an owned centre), deletion-driven *shedding* (nodes whose
+  ball-membership refcount dropped to zero), centre-ownership changes and
+  churn-driven migrations;
+* each worker catches its resident copy up through
+  :func:`~repro.partition.lifecycle.catch_up` — installing the newest
+  compaction checkpoint if it is behind it, replaying the slice tail —
+  lets the resident :class:`~repro.graph.index.FragmentIndex` patch itself
+  forward from the graph's recorded deltas, and re-verifies **only** the
+  owned centres within ``d`` hops of a touched node — every other centre's
+  verdict is provably unchanged (see ``docs/streaming.md``);
 * the coordinator splices the partial reports into its per-fragment state
-  and re-assembles confidences, so :attr:`result` is at all times exactly
-  what a from-scratch run on the current graph would return.
+  (migrated centres' verdict bits move between reports without any
+  re-verification) and re-assembles confidences, so :attr:`result` is at
+  all times exactly what a from-scratch run on the current graph would
+  return.
 
-Ownership of candidate centres is maintained too: nodes that gain the
-centre label join the fragment already holding most of their d-ball, nodes
-that lose it (or are removed) leave.  Because every maintained rule is
-ball-local (connected antecedent — enforced at construction), the merged
-answer is independent of which fragment owns which centre, which is what
-makes repaired-vs-recomputed results byte-identical even though a fresh run
-would partition the mutated graph differently.
+Rules whose antecedent carries a *free* (disconnected, isolated) ``y`` node
+— the usual shape of DMine-mined rules — are maintained too: the connected
+x-component is verified ball-locally as usual, and the free nodes are
+checked against a coordinator-maintained **global label census** (the
+feasibility condition ``count(L) >= #antecedent nodes labelled L`` for each
+free label, which is exact for injective label-equality matching).  The
+maintained answer for such rules follows whole-graph matching semantics;
+see ``docs/lifecycle.md``.
 """
 
 from __future__ import annotations
 
+import pickle
 import time
-from dataclasses import dataclass
-from typing import Hashable, Sequence
+from collections import Counter
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Hashable, Mapping, Sequence
 
 from repro.exceptions import PatternError, StreamError
 from repro.graph.graph import Graph, GraphDelta
 from repro.graph.index import registered_index
-from repro.graph.neighborhood import ball, multi_source_ball
+from repro.graph.neighborhood import eccentricity, multi_source_ball
 from repro.identification.eip import EIPConfig, EIPResult, _shared_predicate
 from repro.identification.match import Match
-from repro.identification.matchc import MatchC, VerifyPayload, _FragmentReport, verify_worker
+from repro.identification.matchc import MatchC, _FragmentReport
 from repro.parallel.executor import make_executor
 from repro.parallel.runtime import BSPRuntime
 from repro.parallel.worker import WorkerContext
 from repro.partition.fragment import Fragment
+from repro.partition.lifecycle import (
+    FragmentLease,
+    FragmentManager,
+    FragmentUpdate,
+    catch_up,
+)
 from repro.partition.partitioner import partition_graph
 from repro.pattern.gpar import GPAR
+from repro.pattern.pattern import Pattern
 from repro.pattern.radius import pattern_radius
+from repro.stream.config import StreamConfig
 from repro.stream.updates import UpdateBatch
+
+__all__ = [
+    "STREAM_ALGORITHMS",
+    "CensusMatcher",
+    "FragmentUpdate",
+    "StreamUpdateReport",
+    "StreamVerifyPayload",
+    "StreamingIdentifier",
+    "split_free_pattern",
+    "stream_update_worker",
+]
 
 NodeId = Hashable
 
@@ -60,53 +88,112 @@ NodeId = Hashable
 STREAM_ALGORITHMS = {"match": Match, "matchc": MatchC}
 
 
-@dataclass(frozen=True)
-class FragmentUpdate:
-    """One fragment's slice of a global update batch (coordinator → worker).
+# ----------------------------------------------------------------------
+# free-y antecedents: global label census
+# ----------------------------------------------------------------------
+def split_free_pattern(pattern: Pattern):
+    """Split *pattern* into its x-component and free-label requirements.
 
-    ``sequence`` orders the slices per fragment; a worker whose resident
-    copy is behind replays every missed slice before verifying.  All fields
-    are plain sorted tuples so the payload pickles small and hashes stably.
+    Returns ``(x_part, requirements)`` when every node disconnected from
+    ``x`` is *isolated* (carries no edges) — ``x_part`` is the connected
+    component of ``x`` (with ``y`` kept only if it lies inside) and
+    ``requirements`` the sorted ``(label, needed)`` pairs such that the
+    whole pattern matches at a centre iff the x-component matches there and
+    every free label's global node count reaches ``needed``.  Exact for
+    injective, label-equality matchers (VF2/guided): any x-component
+    embedding uses exactly the component's label multiset, so an injective
+    completion over the isolated free nodes exists iff each label's count
+    covers the whole pattern's demand.
+
+    Returns ``None`` when the disconnected part has edges (no bounded ball
+    *or* census can decide it) or the pattern is connected (nothing to do).
+    """
+    expanded = pattern.expanded()
+    component: set = {expanded.x}
+    frontier = [expanded.x]
+    while frontier:
+        current = frontier.pop()
+        for neighbor in expanded.neighbors(current):
+            if neighbor not in component:
+                component.add(neighbor)
+                frontier.append(neighbor)
+    free = set(expanded.nodes()) - component
+    if not free:
+        return None
+    for edge in expanded.edges():
+        if edge.source in free or edge.target in free:
+            return None
+    x_part = Pattern(
+        nodes={node: expanded.label(node) for node in component},
+        edges=list(expanded.edges()),
+        x=expanded.x,
+        y=expanded.y if expanded.y in component else None,
+    )
+    totals = Counter(expanded.label(node) for node in expanded.nodes())
+    requirements = tuple(
+        sorted((label, totals[label]) for label in {expanded.label(node) for node in free})
+    )
+    return x_part, requirements
+
+
+def census_feasible(requirements, label_counts: Mapping) -> bool:
+    """Whether the global label census covers the free-node requirements."""
+    return all(label_counts.get(label, 0) >= needed for label, needed in requirements)
+
+
+class CensusMatcher:
+    """Substitute census-split antecedents' x-components before matching.
+
+    Workers never see the whole graph, so a free node matched against a
+    *fragment's* label index would make the verdict partition-dependent.
+    This wrapper reroutes every probe of a census-split antecedent to its
+    connected x-component (ball-local, hence exact on the fragment); the
+    coordinator applies the global feasibility half at assembly time.
+    Everything else — PR patterns, the predicate — passes through.
     """
 
-    sequence: int
-    remove_edges: tuple = ()
-    remove_nodes: tuple = ()
-    add_nodes: tuple = ()  # (node, label, attrs-items)
-    add_edges: tuple = ()
-    relabels: tuple = ()  # (node, new label)
-    own_add: tuple = ()
-    own_remove: tuple = ()
-    recheck: tuple = ()
+    __slots__ = ("_inner", "_substitutions")
 
-    @property
-    def mutates(self) -> bool:
-        """Whether replaying this slice changes the fragment graph at all."""
-        return bool(
-            self.remove_edges
-            or self.remove_nodes
-            or self.add_nodes
-            or self.add_edges
-            or self.relabels
-        )
+    def __init__(self, inner, substitutions: Mapping[Pattern, Pattern]) -> None:
+        self._inner = inner
+        self._substitutions = dict(substitutions)
+
+    def exists_match_at(self, graph: Graph, pattern: Pattern, anchor_value) -> bool:
+        resolved = self._substitutions.get(pattern, pattern)
+        return self._inner.exists_match_at(graph, resolved, anchor_value)
+
+    def find_match_at(self, graph: Graph, pattern: Pattern, anchor_value):
+        resolved = self._substitutions.get(pattern, pattern)
+        return self._inner.find_match_at(graph, resolved, anchor_value)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
 
 
+# ----------------------------------------------------------------------
+# round payloads and the worker function
+# ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class StreamVerifyPayload:
-    """Round payload of one streaming update (coordinator → worker).
+    """Round payload of one streaming verification (coordinator → worker).
 
-    ``updates`` is the fragment's full slice log: any worker process —
-    however stale its resident copy, including one that never served this
-    fragment before — can catch up deterministically and then re-verify the
-    newest slice's ``recheck`` centres.
+    ``lease`` carries the fragment's base checkpoint reference plus the
+    update-slice tail, so any worker process — however stale its resident
+    copy, including one that never served this fragment before — catches up
+    deterministically.  ``recheck`` restricts re-verification to the
+    centres whose verdict may have changed; ``None`` verifies every owned
+    centre (the initial full round).  ``census`` maps census-split
+    antecedents to their x-components (see :class:`CensusMatcher`).
     """
 
-    updates: tuple[FragmentUpdate, ...]
+    lease: FragmentLease
     solver_cls: type
     config: EIPConfig
     rules: tuple[GPAR, ...]
     max_radius: int
     predicate: object
+    recheck: tuple | None = None
+    census: tuple = ()  # ((antecedent, x_part), ...)
 
 
 @dataclass
@@ -118,7 +205,12 @@ class StreamUpdateReport:
     owned_added: int = 0
     owned_removed: int = 0
     entered_nodes: int = 0
+    shed_nodes: int = 0
+    migrated_centers: int = 0
+    compacted_fragments: int = 0
     shipped_edges: int = 0
+    resident_nodes: int = 0
+    log_ops: int = 0
     wall_time: float = 0.0
 
     def as_row(self) -> str:
@@ -126,69 +218,51 @@ class StreamUpdateReport:
         return (
             f"touched={len(self.delta.touched)} rechecked={self.rechecked_centers} "
             f"owned(+{self.owned_added}/-{self.owned_removed}) "
-            f"entered_nodes={self.entered_nodes} wall={self.wall_time:.3f}s"
+            f"entered={self.entered_nodes} shed={self.shed_nodes} "
+            f"migrated={self.migrated_centers} compacted={self.compacted_fragments} "
+            f"resident={self.resident_nodes} wall={self.wall_time:.3f}s"
         )
-
-
-def _apply_fragment_update(fragment: Fragment, update: FragmentUpdate) -> None:
-    """Replay one slice on a fragment-resident graph (one version tick)."""
-    graph = fragment.graph
-    if update.mutates:
-        with graph.batch_update():
-            for source, target, label in update.remove_edges:
-                graph.remove_edge(source, target, label)
-            for node in update.remove_nodes:
-                graph.remove_node(node)
-            for node, label, attrs in update.add_nodes:
-                graph.add_node(node, label, dict(attrs) or None)
-            for source, target, label in update.add_edges:
-                graph.add_edge(source, target, label)
-            for node, label in update.relabels:
-                graph.relabel_node(node, label)
-    fragment.owned_centers.difference_update(update.own_remove)
-    fragment.owned_centers.update(update.own_add)
 
 
 def stream_update_worker(
     context: WorkerContext, payload: StreamVerifyPayload
 ) -> _FragmentReport:
-    """BSP worker function: catch up on update slices, re-verify the recheck set.
+    """BSP worker function: catch up on fragment state, verify the recheck set.
 
-    The applied-slice counter lives in the pool-lifetime
-    :class:`~repro.parallel.worker.WorkerContext`, so on the process backend
-    — where any pool process may serve any fragment — a stale resident copy
-    deterministically replays exactly the slices it missed before answering.
-    The resident index is patched forward from the graph's recorded deltas
-    rather than rebuilt (``FragmentIndex.refresh`` delegates to
-    ``apply_delta``).
+    Catch-up runs through :func:`repro.partition.lifecycle.catch_up`: a
+    resident copy behind the lease's base checkpoint installs it, then the
+    missed slice tail replays (the applied-sequence counter lives in the
+    pool-lifetime :class:`~repro.parallel.worker.WorkerContext`).  The
+    resident index is patched forward from the graph's recorded deltas
+    rather than rebuilt.
     """
-    fragment = context.fragment
-    applied = context.state.get("stream-applied-sequence", 0)
-    for update in payload.updates:
-        if update.sequence <= applied:
-            continue
-        _apply_fragment_update(fragment, update)
-        applied = update.sequence
-    context.state["stream-applied-sequence"] = applied
+    fragment = catch_up(context, payload.lease)
 
     index = registered_index(fragment.graph)
     if index is not None and index.is_stale:
         index.refresh()
 
-    solver = payload.solver_cls(payload.config)
+    config = payload.config
+    if payload.census:
+        # The prefix-trie path matches antecedents without consulting the
+        # matcher wrapper; census rules take the rule-at-a-time path.
+        config = replace(config, use_incremental=False)
+    solver = payload.solver_cls(config)
     matcher = context.cached(
-        ("eip-matcher", payload.solver_cls, payload.config, payload.max_radius),
+        ("eip-matcher", payload.solver_cls, config, payload.max_radius),
         lambda: solver._make_matcher(payload.max_radius),
     )
-    latest = payload.updates[-1]
-    recheck_fragment = Fragment(
-        index=fragment.index,
-        graph=fragment.graph,
-        owned_centers=set(latest.recheck),
-    )
-    return solver._verify_fragment(
-        recheck_fragment, payload.rules, matcher, payload.predicate
-    )
+    if payload.census:
+        matcher = CensusMatcher(matcher, dict(payload.census))
+    if payload.recheck is None:
+        target = fragment
+    else:
+        target = Fragment(
+            index=fragment.index,
+            graph=fragment.graph,
+            owned_centers=set(payload.recheck),
+        )
+    return solver._verify_fragment(target, payload.rules, matcher, payload.predicate)
 
 
 class StreamingIdentifier:
@@ -201,13 +275,18 @@ class StreamingIdentifier:
         updates through :meth:`apply` (arbitrary direct mutations between
         batches are detected and rejected, not silently mis-served).
     rules:
-        The rule set Σ; every antecedent must be connected (ball-local
-        verification is what makes repair exact), else :class:`StreamError`.
+        The rule set Σ.  Connected antecedents are maintained ball-locally;
+        antecedents whose only disconnection is isolated free nodes (the
+        mined free-``y`` shape) are maintained via the global label census;
+        anything else raises :class:`StreamError`.
     config:
         Standard :class:`~repro.identification.eip.EIPConfig`; the backend
         and its worker pool stay up between batches.
     algorithm:
         ``"match"`` (default) or ``"matchc"``.
+    stream_config:
+        Lifecycle thresholds (:class:`repro.stream.StreamConfig`); defaults
+        resolve from the environment.
 
     Use as a context manager, or call :meth:`close` to release the pool.
     """
@@ -218,74 +297,41 @@ class StreamingIdentifier:
         rules: Sequence[GPAR],
         config: EIPConfig | None = None,
         algorithm: str = "match",
+        stream_config: StreamConfig | None = None,
         **config_overrides,
     ) -> None:
-        if algorithm not in STREAM_ALGORITHMS:
-            raise StreamError(
-                f"unknown streaming algorithm {algorithm!r}; "
-                f"expected one of {sorted(STREAM_ALGORITHMS)}"
-            )
         self.graph = graph
         self.rules = tuple(rules)
         self.config = config if config is not None else EIPConfig(**config_overrides)
         self.algorithm = algorithm
-        solver_cls = STREAM_ALGORITHMS[algorithm]
-        self._solver = solver_cls(self.config)
-        representative = _shared_predicate(list(self.rules))
-        self.predicate = representative.q_pattern()
-        self.x_label = representative.x_label
-        self.max_radius = max(rule.verification_radius for rule in self.rules)
-        for rule in self.rules:
-            try:
-                pattern_radius(rule.antecedent, rule.antecedent.x)
-            except PatternError as exc:
-                raise StreamError(
-                    f"rule {rule.name} cannot be maintained incrementally: "
-                    f"its antecedent is not ball-local ({exc})"
-                ) from None
+        self.stream_config = stream_config if stream_config is not None else StreamConfig()
+        self._prepare_rules()
 
+        self.stream_config.apply_to_graph(graph)
         centers = graph.nodes_with_label(self.x_label)
-        self.fragments = partition_graph(
+        fragments = partition_graph(
             graph,
             self.config.num_workers,
             centers=centers,
             d=self.max_radius,
             seed=self.config.seed,
         )
-        # Coordinator-side bookkeeping; fragment *objects* may live (and
-        # mutate) in worker processes, so membership/ownership truth is kept
-        # here, next to the authoritative graph.
-        self._node_sets: dict[int, set] = {
-            fragment.index: set(fragment.graph.nodes()) for fragment in self.fragments
-        }
-        self._owner: dict[NodeId, int] = {
-            center: fragment.index
-            for fragment in self.fragments
-            for center in fragment.owned_centers
-        }
-        self._logs: dict[int, list[FragmentUpdate]] = {
-            fragment.index: [] for fragment in self.fragments
-        }
-        self._sequence = 0
+        for fragment in fragments:
+            fragment.graph.configure_delta_log(self.stream_config.delta_log_size)
+        # All residency/ownership/log truth lives in the manager, next to
+        # the authoritative graph; fragment *objects* may live (and mutate)
+        # in worker processes.
+        self.manager = FragmentManager(
+            graph, fragments, self.max_radius, self.x_label, self.stream_config
+        )
+        self.fragments = self.manager.fragments
         self.batches_applied = 0
+        self._start_runtime()
 
-        executor = make_executor(
-            self.config.backend,
-            self.config.executor_workers,
-            build_indexes=self.config.use_index and solver_cls._consumes_resident_index,
-        )
-        self.runtime = BSPRuntime(self.fragments, executor)
-        self.runtime.start_run()
-        self._closed = False
-
-        payload = VerifyPayload(
-            solver_cls=solver_cls,
-            config=self.config,
-            rules=self.rules,
-            max_radius=self.max_radius,
-            predicate=self.predicate,
-        )
-        reports = self.runtime.run_round(verify_worker, [payload] * len(self.fragments))
+        payloads = [
+            self._payload(fragment.index, recheck=None) for fragment in self.fragments
+        ]
+        reports = self.runtime.run_round(stream_update_worker, payloads)
         self._reports: dict[int, _FragmentReport] = {
             report.fragment_index: report for report in reports
         }
@@ -293,8 +339,155 @@ class StreamingIdentifier:
         self._result = self._assemble()
 
     # ------------------------------------------------------------------
+    # construction helpers (shared with restore())
+    # ------------------------------------------------------------------
+    def _prepare_rules(self) -> None:
+        """Validate Σ; derive solver, predicate, radius and census plans."""
+        if self.algorithm not in STREAM_ALGORITHMS:
+            raise StreamError(
+                f"unknown streaming algorithm {self.algorithm!r}; "
+                f"expected one of {sorted(STREAM_ALGORITHMS)}"
+            )
+        solver_cls = STREAM_ALGORITHMS[self.algorithm]
+        self._solver = solver_cls(self.config)
+        representative = _shared_predicate(list(self.rules))
+        self.predicate = representative.q_pattern()
+        self.x_label = representative.x_label
+        self._census_parts: dict[GPAR, Pattern] = {}
+        self._census_requirements: dict[GPAR, tuple] = {}
+        self._census_pr_requirements: dict[GPAR, tuple] = {}
+        census_pairs: list[tuple[Pattern, Pattern]] = []
+        radii: list[int] = []
+        for rule in self.rules:
+            try:
+                pattern_radius(rule.antecedent, rule.antecedent.x)
+                radii.append(rule.verification_radius)
+                continue
+            except PatternError:
+                pass
+            split = split_free_pattern(rule.antecedent)
+            if split is None:
+                raise StreamError(
+                    f"rule {rule.name} cannot be maintained incrementally: "
+                    "its antecedent's disconnected part carries edges, so "
+                    "neither a bounded ball nor the label census can "
+                    "verify it"
+                )
+            x_part, requirements = split
+            self._census_parts[rule] = x_part
+            self._census_requirements[rule] = requirements
+            census_pairs.append((rule.antecedent, x_part))
+            # PR = antecedent + the q(x, y) edge.  With a free y it becomes
+            # connected; any *other* isolated free node stays free, so PR
+            # census-splits too (its free set is a subset of the
+            # antecedent's) and rule.verification_radius — which needs a
+            # connected PR — is replaced by the x-reachable depths of both
+            # patterns (eccentricity only walks x's component).
+            pr_pattern = rule.pr_pattern()
+            pr_split = split_free_pattern(pr_pattern)
+            if pr_split is not None:
+                pr_part, pr_requirements = pr_split
+                self._census_pr_requirements[rule] = pr_requirements
+                census_pairs.append((pr_pattern, pr_part))
+                pr_depth = eccentricity(pr_part.to_graph(), rule.x)
+            else:
+                pr_depth = pattern_radius(pr_pattern, rule.x)
+            radii.append(
+                max(pr_depth, eccentricity(self._census_parts[rule].to_graph(), rule.x))
+            )
+        self.max_radius = max(radii)
+        self._census_pairs = tuple(census_pairs)
+
+    def _start_runtime(self) -> None:
+        solver_cls = type(self._solver)
+        if self.config.backend == "processes":
+            # Pool workers build fragment indexes with the process-wide
+            # defaults; exporting before the pool forks/spawns is what makes
+            # a programmatic StreamConfig override reach them.
+            self.stream_config.export_env()
+        executor = make_executor(
+            self.config.backend,
+            self.config.executor_workers,
+            build_indexes=self.config.use_index and solver_cls._consumes_resident_index,
+        )
+        self.runtime = BSPRuntime(self.fragments, executor)
+        self.runtime.start_run()
+        # In-process backends share the coordinator's fragment indexes;
+        # honour the configured rebuild fraction on them directly (process
+        # pools inherit it through the exported environment variable).
+        for fragment in self.fragments:
+            resident = registered_index(fragment.graph)
+            if resident is not None:
+                resident.rebuild_fraction = self.stream_config.delta_rebuild_fraction
+        self._closed = False
+
+    def _payload(self, index: int, recheck: tuple | None) -> StreamVerifyPayload:
+        return StreamVerifyPayload(
+            lease=self.manager.lease(index),
+            solver_cls=type(self._solver),
+            config=self.config,
+            rules=self.rules,
+            max_radius=self.max_radius,
+            predicate=self.predicate,
+            recheck=recheck,
+            census=self._census_pairs,
+        )
+
+    # ------------------------------------------------------------------
+    def _infeasible_rules(self) -> list[GPAR]:
+        """Census rules whose *antecedent* the current label counts cannot cover."""
+        if not self._census_requirements:
+            return []
+        counts = self.graph.node_label_counts()
+        return [
+            rule
+            for rule, requirements in self._census_requirements.items()
+            if not census_feasible(requirements, counts)
+        ]
+
+    def _pr_infeasible_rules(self) -> list[GPAR]:
+        """Census rules whose *PR pattern* the current label counts cannot cover."""
+        if not self._census_pr_requirements:
+            return []
+        counts = self.graph.node_label_counts()
+        return [
+            rule
+            for rule, requirements in self._census_pr_requirements.items()
+            if not census_feasible(requirements, counts)
+        ]
+
     def _assemble(self) -> EIPResult:
         reports = [self._reports[fragment.index] for fragment in self.fragments]
+        infeasible = self._infeasible_rules()
+        pr_infeasible = self._pr_infeasible_rules()
+        if infeasible or pr_infeasible:
+            # A census rule whose free labels the graph cannot cover matches
+            # nowhere: zero its antecedent-side numbers (and, for a PR whose
+            # own free part the census cannot cover, its match set) without
+            # touching the maintained x-part sets — the census may become
+            # feasible again.
+            adjusted = []
+            for stored in reports:
+                qbar = dict(stored.qbar_counts)
+                antecedent_counts = dict(stored.antecedent_counts)
+                antecedent_sets = dict(stored.antecedent_sets)
+                rule_matches = dict(stored.rule_matches)
+                for rule in infeasible:
+                    qbar[rule] = 0
+                    antecedent_counts[rule] = 0
+                    antecedent_sets[rule] = set()
+                for rule in pr_infeasible:
+                    rule_matches[rule] = set()
+                adjusted.append(
+                    replace(
+                        stored,
+                        qbar_counts=qbar,
+                        antecedent_counts=antecedent_counts,
+                        antecedent_sets=antecedent_sets,
+                        rule_matches=rule_matches,
+                    )
+                )
+            reports = adjusted
         result = self._solver._assemble(list(self.rules), reports)
         result.timings = self.runtime.timings
         return result
@@ -325,181 +518,80 @@ class StreamingIdentifier:
         graph = self.graph
         self._graph_version = graph.version
         self.batches_applied += 1
-        self._sequence += 1
 
         # Region whose centres may have changed verdicts: within d hops of a
         # touched node, measured on the post-update graph (exact — see
         # docs/streaming.md).
         region = multi_source_ball(graph, delta.touched, self.max_radius)
+        plan = self.manager.derive_batch(delta, region)
+        report.rechecked_centers = plan.rechecked_centers
+        report.owned_added = plan.owned_added
+        report.owned_removed = plan.owned_removed
+        report.entered_nodes = plan.entered_nodes
+        report.shed_nodes = plan.shed_nodes
+        report.migrated_centers = len(plan.migrations)
+        report.shipped_edges = plan.shipped_edges
 
-        # Centre ownership maintenance (touched nodes only can change role).
-        own_add: dict[int, set] = {fragment.index: set() for fragment in self.fragments}
-        own_remove: dict[int, set] = {
-            fragment.index: set() for fragment in self.fragments
-        }
-        for node in delta.touched:
-            owner = self._owner.get(node)
-            is_center = graph.has_node(node) and graph.node_label(node) == self.x_label
-            if owner is not None and not is_center:
-                del self._owner[node]
-                own_remove[owner].add(node)
-            elif owner is None and is_center:
-                chosen = self._assign_owner(node)
-                self._owner[node] = chosen
-                own_add[chosen].add(node)
-        report.owned_added = sum(len(nodes) for nodes in own_add.values())
-        report.owned_removed = sum(len(nodes) for nodes in own_remove.values())
+        # Capture migrated centres' verdict bits before the merge removes
+        # them from their source reports; their verdicts are provably
+        # unchanged (quiescent centres only), so they splice — not re-verify.
+        splices = []
+        for center, src, dst in plan.migrations:
+            stored = self._reports[src]
+            splices.append(
+                (
+                    center,
+                    dst,
+                    center in stored.positives,
+                    center in stored.negatives,
+                    {
+                        rule
+                        for rule in self.rules
+                        if center in stored.antecedent_sets.get(rule, ())
+                    },
+                    {
+                        rule
+                        for rule in self.rules
+                        if center in stored.rule_matches.get(rule, ())
+                    },
+                )
+            )
 
         payloads = []
         invalidated: dict[int, set] = {}
         for fragment in self.fragments:
             index = fragment.index
-            update = self._fragment_update(
-                index, delta, region, own_add[index], own_remove[index], report
-            )
-            self._logs[index].append(update)
-            invalidated[index] = set(update.recheck) | own_remove[index]
-            payloads.append(
-                StreamVerifyPayload(
-                    updates=tuple(self._logs[index]),
-                    solver_cls=type(self._solver),
-                    config=self.config,
-                    rules=self.rules,
-                    max_radius=self.max_radius,
-                    predicate=self.predicate,
-                )
-            )
+            update = plan.updates[index]
+            invalidated[index] = set(update.recheck) | set(update.own_remove)
+            payloads.append(self._payload(index, recheck=update.recheck))
         partials = self.runtime.run_round(stream_update_worker, payloads)
         for partial in partials:
             self._merge(partial, invalidated[partial.fragment_index])
+        for center, dst, positive, negative, antecedent_rules, match_rules in splices:
+            stored = self._reports[dst]
+            if positive:
+                stored.positives.add(center)
+            if negative:
+                stored.negatives.add(center)
+            for rule in antecedent_rules:
+                stored.antecedent_sets.setdefault(rule, set()).add(center)
+            for rule in match_rules:
+                stored.rule_matches.setdefault(rule, set()).add(center)
+            self._recount(stored)
+        report.compacted_fragments = len(self.manager.maybe_compact())
+        summary = self.manager.resident_summary()
+        report.resident_nodes = summary["resident_nodes"]
+        report.log_ops = summary["log_ops"]
         self._result = self._assemble()
         report.wall_time = time.perf_counter() - started
         return report
 
     # ------------------------------------------------------------------
-    def _assign_owner(self, center: NodeId) -> int:
-        """Fragment for a freshly appeared centre: most of its ball resident.
-
-        Ownership placement only affects which worker does the centre's
-        work — never the answer — so the tie-break just balances load
-        deterministically (fewest owned centres, then lowest index).
-        """
-        center_ball = ball(self.graph, center, self.max_radius)
-        owned_counts: dict[int, int] = {
-            fragment.index: 0 for fragment in self.fragments
-        }
-        for owner in self._owner.values():
-            owned_counts[owner] = owned_counts.get(owner, 0) + 1
-        best_index = None
-        best_cost = None
-        for fragment in self.fragments:
-            index = fragment.index
-            overlap = len(center_ball & self._node_sets[index])
-            cost = (-overlap, owned_counts.get(index, 0), index)
-            if best_cost is None or cost < best_cost:
-                best_cost = cost
-                best_index = index
-        return best_index
-
-    def _fragment_update(
-        self,
-        index: int,
-        delta: GraphDelta,
-        region: set,
-        own_add: set,
-        own_remove: set,
-        report: StreamUpdateReport,
-    ) -> FragmentUpdate:
-        """Derive one fragment's slice of *delta* (and update bookkeeping)."""
-        graph = self.graph
-        node_set = self._node_sets[index]
-        remove_edges = tuple(
-            sorted(
-                (
-                    edge
-                    for edge in delta.removed_edges
-                    if edge[0] in node_set and edge[1] in node_set
-                ),
-                key=str,
-            )
-        )
-        remove_nodes = tuple(
-            sorted((node for node in delta.removed_nodes if node in node_set), key=str)
-        )
-        relabels = tuple(
-            sorted(
-                (
-                    (node, graph.node_label(node))
-                    for node in delta.relabeled_nodes
-                    if node in node_set
-                ),
-                key=str,
-            )
-        )
-        node_set.difference_update(remove_nodes)
-
-        # Recheck = owned centres whose verdict may have changed.  Their
-        # d-balls may also have *grown*; ship the ball augmentation so the
-        # fragment stays a superset of every owned centre's d-ball.
-        recheck = {
-            center
-            for center, owner in self._owner.items()
-            if owner == index and center in region
-        }
-        entering: set = set()
-        for center in recheck:
-            for node in ball(graph, center, self.max_radius):
-                if node not in node_set:
-                    entering.add(node)
-        add_nodes = tuple(
-            sorted(
-                (
-                    (
-                        node,
-                        graph.node_label(node),
-                        tuple(sorted(graph.node_attrs(node).items())),
-                    )
-                    for node in entering
-                ),
-                key=str,
-            )
-        )
-        new_node_set = node_set | entering
-        add_edge_set = {
-            edge
-            for edge in delta.added_edges
-            if edge[0] in new_node_set and edge[1] in new_node_set
-        }
-        for node in entering:
-            for edge in graph.out_edges(node):
-                if edge.target in new_node_set:
-                    add_edge_set.add((node, edge.target, edge.label))
-            for edge in graph.in_edges(node):
-                if edge.source in new_node_set:
-                    add_edge_set.add((edge.source, node, edge.label))
-        node_set.update(entering)
-        report.rechecked_centers += len(recheck)
-        report.entered_nodes += len(entering)
-        report.shipped_edges += len(add_edge_set) + len(remove_edges)
-        return FragmentUpdate(
-            sequence=self._sequence,
-            remove_edges=remove_edges,
-            remove_nodes=remove_nodes,
-            add_nodes=add_nodes,
-            add_edges=tuple(sorted(add_edge_set, key=str)),
-            relabels=relabels,
-            own_add=tuple(sorted(own_add, key=str)),
-            own_remove=tuple(sorted(own_remove, key=str)),
-            recheck=tuple(sorted(recheck, key=str)),
-        )
-
     def _merge(self, partial: _FragmentReport, invalidated: set) -> None:
         """Splice a partial re-verification into the fragment's stored report."""
         stored = self._reports[partial.fragment_index]
         stored.positives = (stored.positives - invalidated) | partial.positives
         stored.negatives = (stored.negatives - invalidated) | partial.negatives
-        stored.supp_q = len(stored.positives)
-        stored.supp_q_bar = len(stored.negatives)
         stored.candidates_examined += partial.candidates_examined
         for rule in self.rules:
             antecedent = (
@@ -510,13 +602,109 @@ class StreamingIdentifier:
             ) | partial.rule_matches.get(rule, set())
             stored.antecedent_sets[rule] = antecedent
             stored.rule_matches[rule] = matches
+        self._recount(stored)
+
+    def _recount(self, stored: _FragmentReport) -> None:
+        """Recompute every derived count of a stored report from its sets."""
+        stored.supp_q = len(stored.positives)
+        stored.supp_q_bar = len(stored.negatives)
+        for rule in self.rules:
+            antecedent = stored.antecedent_sets.get(rule, set())
             stored.antecedent_counts[rule] = len(antecedent)
             stored.qbar_counts[rule] = len(antecedent & stored.negatives)
 
     # ------------------------------------------------------------------
+    # durable state: checkpoint → restart
+    # ------------------------------------------------------------------
+    def save_state(self, path: Path | str | None = None) -> Path:
+        """Write a durable, self-contained checkpoint of the computation.
+
+        The pickle holds the authoritative graph, Σ, both configs, the
+        manager's full lifecycle state (ownership, refcounted balls, slice
+        logs, compaction bases — on-disk bases are inlined) and the
+        maintained per-fragment reports.  :meth:`restore` resumes from it
+        with byte-identical answers, on any backend.
+        """
+        if self.graph.version != self._graph_version:
+            raise StreamError(
+                "the graph was mutated outside StreamingIdentifier.apply(); "
+                "refusing to checkpoint an inconsistent state"
+            )
+        if path is None:
+            if self.stream_config.state_dir is None:
+                raise StreamError(
+                    "save_state needs an explicit path or a configured state_dir"
+                )
+            path = Path(self.stream_config.state_dir) / "stream-state.pkl"
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        state = {
+            "format": 1,
+            "graph": self.graph,
+            "rules": self.rules,
+            "config": self.config,
+            "stream_config": self.stream_config,
+            "algorithm": self.algorithm,
+            "manager": self.manager.state_dict(),
+            "reports": self._reports,
+            "batches_applied": self.batches_applied,
+        }
+        with open(path, "wb") as handle:
+            pickle.dump(state, handle)
+        return path
+
+    @classmethod
+    def restore(
+        cls,
+        path: Path | str,
+        backend: str | None = None,
+        executor_workers: int | None = None,
+    ) -> "StreamingIdentifier":
+        """Resume a checkpointed identifier (optionally on another backend).
+
+        Fragments are re-materialised from the saved lifecycle state at the
+        saved sequence — no re-verification runs; the restored
+        :attr:`result` is byte-identical to the one checkpointed, and later
+        :meth:`apply` calls continue exactly as the original would have.
+        """
+        with open(Path(path), "rb") as handle:
+            state = pickle.load(handle)
+        if state.get("format") != 1:
+            raise StreamError(f"unsupported stream-state format in {path}")
+        config = state["config"]
+        if backend is not None:
+            config = replace(config, backend=backend)
+        if executor_workers is not None:
+            config = replace(config, executor_workers=executor_workers)
+        identifier = cls.__new__(cls)
+        identifier.graph = state["graph"]
+        identifier.rules = state["rules"]
+        identifier.config = config
+        identifier.algorithm = state["algorithm"]
+        identifier.stream_config = state["stream_config"]
+        identifier._prepare_rules()
+        identifier.manager = FragmentManager.from_state(
+            identifier.graph, state["manager"], identifier.stream_config
+        )
+        identifier.fragments = identifier.manager.fragments
+        identifier.batches_applied = state["batches_applied"]
+        identifier._start_runtime()
+        identifier._reports = state["reports"]
+        identifier._graph_version = identifier.graph.version
+        identifier._result = identifier._assemble()
+        return identifier
+
+    # ------------------------------------------------------------------
     def recompute(self) -> EIPResult:
         """From-scratch answer on the current graph (the repair-vs-recompute
-        baseline used by the equivalence gate and the ``stream`` benchmark)."""
+        baseline used by the equivalence gate and the ``stream`` benchmark).
+
+        Caveat: a from-scratch run verifies free nodes of census-maintained
+        antecedents against each *fragment's* label index, so with free-y
+        rules in Σ this baseline is partition-dependent and may differ from
+        the maintained (whole-graph-semantics) answer; compare against
+        direct whole-graph matching instead (see docs/lifecycle.md).
+        """
         from repro.identification.eip import identify_entities
 
         return identify_entities(

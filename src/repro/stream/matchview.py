@@ -42,11 +42,24 @@ class MaintainedMatchView:
         to exercise the repair path, not the silent-fallback one.
     matcher:
         An enumerating anchored matcher (VF2, guided).
+    config:
+        Optional :class:`repro.stream.StreamConfig`; when given, the
+        graph's bounded delta log is resized to its ``delta_log_size`` so
+        the repair horizon of :meth:`MatchStore.repair` is tunable per run.
     """
 
-    def __init__(self, graph: Graph, patterns: Sequence[Pattern], matcher) -> None:
+    def __init__(
+        self,
+        graph: Graph,
+        patterns: Sequence[Pattern],
+        matcher,
+        config=None,
+    ) -> None:
         self.graph = graph
         self.matcher = matcher
+        self.config = config
+        if config is not None:
+            config.apply_to_graph(graph)
         self.patterns = list(patterns)
         self.store = MatchStore(graph)
         self._delta = DeltaMatcher(graph, matcher, self.store)

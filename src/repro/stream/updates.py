@@ -153,6 +153,7 @@ def random_update_batch(
     size: int = 8,
     seed: int | None = 0,
     structural_fraction: float = 0.25,
+    deletion_bias: float = 0.0,
 ) -> UpdateBatch:
     """Sample a valid mixed batch against the graph's **current** state.
 
@@ -163,6 +164,13 @@ def random_update_batch(
     social-network update workloads of the paper's applications.  The batch
     is self-consistent: sequential application never references a node or
     edge a previous operation of the same batch invalidated.
+
+    *deletion_bias* skews the workload towards shrinkage: with that
+    probability an operation is forced to be a removal (an existing edge,
+    or — one time in four — a whole node), modelling the deletion-heavy
+    deployments the fragment lifecycle layer (``docs/lifecycle.md``) must
+    keep bounded.  ``0.0`` (the default) leaves the historical sampling
+    byte-identical.
     """
     if size < 1:
         raise StreamError(f"size must be >= 1, got {size}")
@@ -170,6 +178,8 @@ def random_update_batch(
         raise StreamError(
             f"structural_fraction must be in [0, 1], got {structural_fraction}"
         )
+    if not 0.0 <= deletion_bias <= 1.0:
+        raise StreamError(f"deletion_bias must be in [0, 1], got {deletion_bias}")
     rng = ensure_rng(seed)
     nodes = sorted(graph.nodes(), key=str)
     if not nodes:
@@ -196,6 +206,24 @@ def random_update_batch(
                 f"{max_attempts} attempts; the graph is too small for the "
                 "requested batch shape"
             )
+        if deletion_bias > 0.0 and rng.random() < deletion_bias:
+            # Forced removal: an existing edge, or (1 in 4) a whole node.
+            removable = [
+                e for e in sorted(present, key=str) if e[0] in alive and e[1] in alive
+            ]
+            pool = sorted(alive, key=str)
+            if removable and (len(pool) <= 2 or rng.random() < 0.75):
+                edge = removable[rng.randrange(len(removable))]
+                present.discard(edge)
+                ops.append(UpdateOp.remove_edge(*edge))
+                continue
+            if len(pool) > 2:
+                node = rng.choice(pool)
+                alive.discard(node)
+                present = {e for e in present if node not in (e[0], e[1])}
+                ops.append(UpdateOp.remove_node(node))
+                continue
+            continue
         roll = rng.random()
         if roll >= structural_fraction:
             # Edge churn: alternate-ish between removals and insertions.

@@ -1,0 +1,536 @@
+"""Unit tests of the fragment lifecycle subsystem (repro.partition.lifecycle).
+
+Covers the configuration surface (StreamConfig env/constructor overrides,
+per-graph delta-log sizing, per-index rebuild fraction), the checkpoint
+value type (capture/build/install/save/load), the worker catch-up protocol,
+the coordinator-side FragmentManager (refcount shedding, compaction,
+migration planning) and the StreamingIdentifier save/restore round trip.
+The randomized equivalence sweeps stay in tests/test_stream_equivalence.py.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.datasets import generate_gpars, most_frequent_predicates, synthetic_graph
+from repro.exceptions import GraphError, StreamError
+from repro.graph import FragmentIndex, Graph
+from repro.partition import Fragment, partition_graph
+from repro.partition.lifecycle import (
+    APPLIED_SEQUENCE_KEY,
+    FragmentCheckpoint,
+    FragmentLease,
+    FragmentManager,
+    FragmentUpdate,
+    catch_up,
+)
+from repro.parallel.worker import WorkerContext
+from repro.stream import (
+    StreamConfig,
+    StreamingIdentifier,
+    UpdateBatch,
+    UpdateOp,
+    random_update_batch,
+)
+
+
+def toy_graph() -> Graph:
+    g = Graph(name="toy")
+    g.add_node("alice", "cust")
+    g.add_node("bob", "cust")
+    g.add_node("carol", "cust")
+    g.add_node("cafe", "restaurant")
+    g.add_edge("alice", "bob", "friend")
+    g.add_edge("bob", "carol", "friend")
+    g.add_edge("alice", "cafe", "visit")
+    g.add_edge("bob", "cafe", "visit")
+    return g
+
+
+class TestStreamConfig:
+    def test_defaults_match_module_constants(self):
+        from repro.graph.graph import DELTA_LOG_SIZE
+        from repro.graph.index import DELTA_REBUILD_FRACTION
+
+        config = StreamConfig()
+        assert config.delta_log_size == DELTA_LOG_SIZE
+        assert config.delta_rebuild_fraction == DELTA_REBUILD_FRACTION
+        assert config.checkpoint_log_fraction == 0.5
+        assert config.rebalance_skew == 0.6
+        assert config.state_dir is None
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DELTA_LOG_SIZE", "7")
+        monkeypatch.setenv("REPRO_DELTA_REBUILD_FRACTION", "0.5")
+        monkeypatch.setenv("REPRO_CHECKPOINT_LOG_FRACTION", "0.125")
+        monkeypatch.setenv("REPRO_REBALANCE_SKEW", "0.9")
+        monkeypatch.setenv("REPRO_STATE_DIR", "/tmp/somewhere")
+        config = StreamConfig()
+        assert config.delta_log_size == 7
+        assert config.delta_rebuild_fraction == 0.5
+        assert config.checkpoint_log_fraction == 0.125
+        assert config.rebalance_skew == 0.9
+        assert str(config.state_dir) == "/tmp/somewhere"
+        # Constructed graphs pick the env default up too.
+        assert Graph().delta_log_size == 7
+        assert FragmentIndex(toy_graph()).rebuild_fraction == 0.5
+
+    def test_validation(self):
+        with pytest.raises(StreamError):
+            StreamConfig(delta_log_size=0)
+        with pytest.raises(StreamError):
+            StreamConfig(delta_rebuild_fraction=1.5)
+        with pytest.raises(StreamError):
+            StreamConfig(checkpoint_log_fraction=0.0)
+        with pytest.raises(StreamError):
+            StreamConfig(rebalance_skew=-0.1)
+
+    def test_graph_delta_log_configuration(self):
+        g = toy_graph()
+        g.configure_delta_log(3)
+        base = g.version
+        for serial in range(5):
+            g.add_node(f"n{serial}", "cust")
+        assert g.delta_log_size == 3
+        assert g.deltas_since(base) is None  # outran the shrunk log
+        assert g.deltas_since(g.version - 3) is not None
+        # copy() and induced_subgraph() propagate the configured size.
+        assert g.copy().delta_log_size == 3
+        assert g.induced_subgraph(["alice", "bob"]).delta_log_size == 3
+        with pytest.raises(GraphError):
+            g.configure_delta_log(0)
+
+    def test_index_rebuild_fraction_argument(self):
+        g = synthetic_graph(40, 120, num_node_labels=4, num_edge_labels=3, seed=1)
+        eager = FragmentIndex(g, rebuild_fraction=0.0)
+        g.add_node("fresh", "L0")
+        eager.refresh()
+        assert eager.statistics.builds == 2  # fraction 0: always rebuild
+        patient = FragmentIndex(g, rebuild_fraction=1.0)
+        with g.batch_update() as tx:
+            for node in sorted(g.nodes(), key=str)[:30]:
+                tx.relabel_node(node, "L1")
+        patient.refresh()
+        assert patient.statistics.builds == 1  # fraction 1: always patch
+
+
+class TestFragmentCheckpoint:
+    def _manager(self, seed=0, num_fragments=2, config=None):
+        graph = synthetic_graph(80, 240, num_node_labels=4, num_edge_labels=3, seed=seed)
+        label = sorted(graph.node_labels())[0]
+        centers = graph.nodes_with_label(label)
+        fragments = partition_graph(graph, num_fragments, centers=centers, d=2, seed=0)
+        manager = FragmentManager(
+            graph, fragments, 2, label, config or StreamConfig()
+        )
+        return graph, fragments, manager
+
+    def test_capture_matches_resident_fragment(self):
+        graph, fragments, manager = self._manager()
+        fragment = fragments[0]
+        checkpoint = FragmentCheckpoint.capture(
+            graph,
+            set(fragment.graph.nodes()),
+            fragment.owned_centers,
+            fragment.index,
+            sequence=0,
+            name=fragment.graph.name,
+        )
+        rebuilt = checkpoint.build_fragment()
+        assert rebuilt.graph.structure_equal(fragment.graph)
+        assert rebuilt.owned_centers == fragment.owned_centers
+        assert rebuilt.sequence == 0
+
+    def test_save_load_roundtrip(self, tmp_path):
+        graph, fragments, _manager = self._manager()
+        fragment = fragments[0]
+        checkpoint = FragmentCheckpoint.capture(
+            graph,
+            set(fragment.graph.nodes()),
+            fragment.owned_centers,
+            fragment.index,
+            sequence=4,
+            name="ckpt",
+        )
+        path = checkpoint.save(tmp_path / "deep" / "f0.ckpt")
+        loaded = FragmentCheckpoint.load(path)
+        assert loaded == checkpoint
+        bogus = tmp_path / "bogus.ckpt"
+        bogus.write_bytes(pickle.dumps({"not": "a checkpoint"}))
+        with pytest.raises(StreamError):
+            FragmentCheckpoint.load(bogus)
+
+    def test_catch_up_installs_only_when_behind(self):
+        graph, fragments, manager = self._manager()
+        fragment = fragments[0]
+        checkpoint = FragmentCheckpoint.capture(
+            graph,
+            set(fragment.graph.nodes()),
+            fragment.owned_centers,
+            fragment.index,
+            sequence=5,
+            name=fragment.graph.name,
+        )
+        # A context already ahead of the base keeps its graph object.
+        ahead = WorkerContext(fragment)
+        ahead.state[APPLIED_SEQUENCE_KEY] = 9
+        resident = fragment.graph
+        catch_up(ahead, FragmentLease(base_sequence=5, checkpoint=checkpoint))
+        assert fragment.graph is resident
+        # A cold context (applied 0) installs the base: new graph object.
+        cold = WorkerContext(fragment)
+        cold.state.clear()
+        catch_up(cold, FragmentLease(base_sequence=5, checkpoint=checkpoint))
+        assert fragment.graph is not resident
+        assert fragment.graph.structure_equal(resident)
+        assert cold.state[APPLIED_SEQUENCE_KEY] == 5
+
+    def test_catch_up_requires_a_checkpoint_reference(self):
+        _graph, fragments, _manager = self._manager()
+        context = WorkerContext(fragments[0])
+        with pytest.raises(StreamError):
+            catch_up(context, FragmentLease(base_sequence=3))
+
+    def test_catch_up_replays_tail_and_applies_shed(self):
+        g = toy_graph()
+        fragment_graph = g.induced_subgraph(
+            ["alice", "bob", "carol", "cafe"], name="frag"
+        )
+        fragment = Fragment(index=0, graph=fragment_graph, owned_centers={"alice"})
+        context = WorkerContext(fragment)
+        update = FragmentUpdate(
+            sequence=1,
+            remove_edges=(("bob", "carol", "friend"),),
+            shed=("carol",),
+            own_add=("bob",),
+        )
+        catch_up(context, FragmentLease(updates=(update,)))
+        assert not fragment.graph.has_node("carol")
+        assert fragment.owned_centers == {"alice", "bob"}
+        assert context.state[APPLIED_SEQUENCE_KEY] == 1
+        assert update.weight == 2
+        assert update.mutates
+
+
+class TestFragmentManager:
+    def _streaming(self, config=None, seed=3, num_workers=3, **overrides):
+        graph = synthetic_graph(
+            120, 360, num_node_labels=5, num_edge_labels=3, seed=seed
+        )
+        predicate = most_frequent_predicates(graph, top=1)[0]
+        rules = generate_gpars(
+            graph, predicate, count=3, max_pattern_edges=3, d=2, seed=seed
+        )
+        identifier = StreamingIdentifier(
+            graph,
+            rules,
+            eta=0.5,
+            num_workers=num_workers,
+            stream_config=config,
+            **overrides,
+        )
+        return graph, rules, identifier
+
+    def test_initial_membership_equals_refcounted_balls(self):
+        graph, _rules, identifier = self._streaming()
+        with identifier:
+            manager = identifier.manager
+            for fragment in identifier.fragments:
+                assert manager.node_set(fragment.index) == frozenset(
+                    fragment.graph.nodes()
+                )
+                refcounts = manager._refcounts[fragment.index]
+                assert set(refcounts) == set(fragment.graph.nodes())
+                assert all(count > 0 for count in refcounts.values())
+
+    def test_deletion_sheds_resident_nodes_and_index_entries(self):
+        graph, _rules, identifier = self._streaming(
+            config=StreamConfig(rebalance_skew=1.0)
+        )
+        with identifier:
+            shed_total = 0
+            for position in range(6):
+                batch = random_update_batch(
+                    graph, size=9, seed=70 + position, deletion_bias=0.6
+                )
+                report = identifier.apply(batch)
+                shed_total += report.shed_nodes
+                for fragment in identifier.fragments:
+                    members = identifier.manager.node_set(fragment.index)
+                    # Resident copy tracks the managed membership exactly...
+                    assert frozenset(fragment.graph.nodes()) == members
+                    # ...and every member is covered by some owned ball.
+                    refcounts = identifier.manager._refcounts[fragment.index]
+                    assert set(refcounts) == set(members)
+            assert shed_total > 0, "deletion churn must shed uncovered nodes"
+            fresh = identifier.recompute()
+            assert fresh.identified == identifier.result.identified
+            assert fresh.rule_confidences == identifier.result.rule_confidences
+
+    def test_losing_every_centre_empties_the_fragment(self):
+        g = Graph(name="tiny")
+        g.add_node("c1", "cust")
+        g.add_node("m1", "shop")
+        g.add_edge("c1", "m1", "visit")
+        fragments = partition_graph(g, 1, centers={"c1"}, d=1, seed=0)
+        manager = FragmentManager(g, fragments, 1, "cust", StreamConfig())
+        batch = UpdateBatch.of(UpdateOp.relabel_node("c1", "ex-cust"))
+        delta = batch.apply(g)
+        from repro.graph.neighborhood import multi_source_ball
+
+        plan = manager.derive_batch(delta, multi_source_ball(g, delta.touched, 1))
+        update = plan.updates[0]
+        assert update.own_remove == ("c1",)
+        assert set(update.shed) == {"c1", "m1"}  # nobody's ball covers them now
+        assert manager.node_set(0) == frozenset()
+
+    def test_compaction_truncates_log_and_serves_leases(self):
+        config = StreamConfig(checkpoint_log_fraction=0.01, rebalance_skew=1.0)
+        graph, _rules, identifier = self._streaming(config=config)
+        with identifier:
+            compacted = 0
+            for position in range(4):
+                report = identifier.apply(
+                    random_update_batch(graph, size=8, seed=40 + position)
+                )
+                compacted += report.compacted_fragments
+            assert compacted > 0
+            manager = identifier.manager
+            for fragment in identifier.fragments:
+                lease = manager.lease(fragment.index)
+                if lease.base_sequence:
+                    assert lease.checkpoint is not None
+                    assert lease.checkpoint.sequence == lease.base_sequence
+                    assert all(
+                        update.sequence > lease.base_sequence
+                        for update in lease.updates
+                    )
+            fresh = identifier.recompute()
+            assert fresh.identified == identifier.result.identified
+
+    def test_state_dir_checkpoints_go_to_disk(self, tmp_path):
+        config = StreamConfig(
+            checkpoint_log_fraction=0.01,
+            rebalance_skew=1.0,
+            state_dir=tmp_path / "state",
+        )
+        graph, _rules, identifier = self._streaming(config=config)
+        with identifier:
+            for position in range(4):
+                identifier.apply(random_update_batch(graph, size=8, seed=60 + position))
+            manager = identifier.manager
+            on_disk = [
+                manager.lease(fragment.index).checkpoint_path
+                for fragment in identifier.fragments
+                if manager.lease(fragment.index).base_sequence
+            ]
+            assert on_disk and all(path is not None for path in on_disk)
+            assert list((tmp_path / "state").glob("fragment-*.ckpt"))
+            # Inline payloads stay checkpoint-free (paths travel instead).
+            assert all(
+                manager.lease(fragment.index).checkpoint is None
+                for fragment in identifier.fragments
+            )
+            fresh = identifier.recompute()
+            assert fresh.identified == identifier.result.identified
+
+    def test_migration_splices_without_reverification(self):
+        config = StreamConfig(rebalance_skew=0.3, checkpoint_log_fraction=100.0)
+        graph, _rules, identifier = self._streaming(
+            config=config, seed=5, num_workers=4
+        )
+        with identifier:
+            # Collapse one fragment's ownership: relabel all but one of its
+            # centres away, so the remaining fragments' loads tower over it
+            # and the next batches must migrate quiescent centres into it.
+            manager = identifier.manager
+            victim = identifier.fragments[0].index
+            doomed = sorted(manager.owned_centers(victim), key=str)[1:]
+            identifier.apply(
+                UpdateBatch.of(
+                    *(UpdateOp.relabel_node(center, "retired") for center in doomed)
+                )
+            )
+            # Batches touching only a far-away fresh node keep every centre
+            # quiescent (the affected region is just that node), so the
+            # skew-triggered migration fires deterministically regardless of
+            # hash seed; random churn batches then exercise the mixed case.
+            migrated = 0
+            for position in range(4):
+                report = identifier.apply(
+                    UpdateBatch.of(UpdateOp.add_node(f"far-{position}", "offside"))
+                )
+                migrated += report.migrated_centers
+                fresh = identifier.recompute()
+                assert fresh.identified == identifier.result.identified
+                assert fresh.rule_confidences == identifier.result.rule_confidences
+            assert migrated > 0, "collapsed ownership must trigger migration"
+            for position in range(3):
+                identifier.apply(
+                    random_update_batch(
+                        graph, size=6, seed=300 + position, deletion_bias=0.3
+                    )
+                )
+                fresh = identifier.recompute()
+                assert fresh.identified == identifier.result.identified
+                assert fresh.rule_confidences == identifier.result.rule_confidences
+            # Ownership stayed disjoint and complete.
+            owned = [
+                identifier.manager.owned_centers(fragment.index)
+                for fragment in identifier.fragments
+            ]
+            for i, left in enumerate(owned):
+                for right in owned[i + 1 :]:
+                    assert not (left & right)
+            assert set.union(*owned) == set(identifier.manager._owner)
+
+    def test_rebalance_disabled_at_skew_one(self):
+        config = StreamConfig(rebalance_skew=1.0)
+        graph, _rules, identifier = self._streaming(config=config, seed=5, num_workers=4)
+        with identifier:
+            for position in range(4):
+                report = identifier.apply(
+                    random_update_batch(graph, size=10, seed=300 + position)
+                )
+                assert report.migrated_centers == 0
+
+
+class TestSaveRestore:
+    def _identifier(self, **overrides):
+        graph = synthetic_graph(100, 300, num_node_labels=5, num_edge_labels=3, seed=8)
+        predicate = most_frequent_predicates(graph, top=1)[0]
+        rules = generate_gpars(graph, predicate, count=3, max_pattern_edges=3, d=2, seed=8)
+        return graph, StreamingIdentifier(
+            graph, rules, eta=0.5, num_workers=2, **overrides
+        )
+
+    @staticmethod
+    def _fingerprint(result):
+        return (
+            sorted(map(str, result.identified)),
+            sorted(
+                (rule.name, confidence)
+                for rule, confidence in result.rule_confidences.items()
+            ),
+        )
+
+    def test_roundtrip_is_byte_identical_and_resumable(self, tmp_path):
+        graph, identifier = self._identifier(
+            stream_config=StreamConfig(checkpoint_log_fraction=0.05)
+        )
+        with identifier:
+            for position in range(4):
+                identifier.apply(random_update_batch(graph, size=7, seed=position))
+            expected = self._fingerprint(identifier.result)
+            path = identifier.save_state(tmp_path / "state.pkl")
+        with StreamingIdentifier.restore(path) as restored:
+            assert self._fingerprint(restored.result) == expected
+            restored.apply(random_update_batch(restored.graph, size=7, seed=99))
+            fresh = restored.recompute()
+            assert self._fingerprint(restored.result) == self._fingerprint(fresh)
+
+    def test_restore_onto_other_backends(self, tmp_path):
+        graph, identifier = self._identifier()
+        with identifier:
+            identifier.apply(random_update_batch(graph, size=7, seed=1))
+            expected = self._fingerprint(identifier.result)
+            path = identifier.save_state(tmp_path / "state.pkl")
+        for backend in ("threads", "processes"):
+            with StreamingIdentifier.restore(
+                path, backend=backend, executor_workers=2
+            ) as restored:
+                assert restored.config.backend == backend
+                assert self._fingerprint(restored.result) == expected
+                restored.apply(random_update_batch(restored.graph, size=7, seed=55))
+                fresh = restored.recompute()
+                assert self._fingerprint(restored.result) == self._fingerprint(fresh)
+
+    def test_save_state_needs_a_destination(self):
+        _graph, identifier = self._identifier()
+        with identifier:
+            with pytest.raises(StreamError):
+                identifier.save_state()  # no path, no state_dir
+
+    def test_process_backend_exports_stream_config_env(self, monkeypatch):
+        import os
+
+        monkeypatch.delenv("REPRO_DELTA_REBUILD_FRACTION", raising=False)
+        monkeypatch.delenv("REPRO_DELTA_LOG_SIZE", raising=False)
+        graph, identifier = self._identifier(
+            backend="processes",
+            executor_workers=2,
+            stream_config=StreamConfig(delta_rebuild_fraction=0.9, delta_log_size=48),
+        )
+        with identifier:
+            # Pool workers resolve their index thresholds from the
+            # environment; a programmatic override must land there before
+            # the pool starts.
+            assert os.environ["REPRO_DELTA_REBUILD_FRACTION"] == "0.9"
+            assert os.environ["REPRO_DELTA_LOG_SIZE"] == "48"
+            identifier.apply(random_update_batch(graph, size=5, seed=2))
+            fresh = identifier.recompute()
+            assert fresh.identified == identifier.result.identified
+
+    def test_restore_keeps_serving_on_disk_bases_and_reclaims_them(self, tmp_path):
+        state_dir = tmp_path / "state"
+        config = StreamConfig(
+            checkpoint_log_fraction=0.01, rebalance_skew=1.0, state_dir=state_dir
+        )
+        graph, identifier = self._identifier(stream_config=config)
+        with identifier:
+            for position in range(3):
+                identifier.apply(random_update_batch(graph, size=8, seed=position))
+            path = identifier.save_state(tmp_path / "run.pkl")
+        before_files = set(state_dir.glob("fragment-*.ckpt"))
+        assert before_files
+        with StreamingIdentifier.restore(path) as restored:
+            manager = restored.manager
+            # Existing on-disk bases keep serving leases after a restore...
+            assert any(
+                manager.lease(fragment.index).checkpoint_path is not None
+                for fragment in restored.fragments
+            )
+            for position in range(3):
+                restored.apply(
+                    random_update_batch(restored.graph, size=8, seed=50 + position)
+                )
+            fresh = restored.recompute()
+            assert fresh.identified == restored.result.identified
+        # ...and later compactions reclaim the pre-restore generation
+        # instead of orphaning it.
+        after_files = set(state_dir.glob("fragment-*.ckpt"))
+        assert after_files != before_files
+        assert len(after_files) <= len(before_files) + len(restored.fragments)
+        assert before_files - after_files, "old checkpoint files were never unlinked"
+
+    def test_save_state_defaults_to_state_dir(self, tmp_path):
+        graph, identifier = self._identifier(
+            stream_config=StreamConfig(state_dir=tmp_path)
+        )
+        with identifier:
+            path = identifier.save_state()
+        assert path == tmp_path / "stream-state.pkl"
+        with StreamingIdentifier.restore(path) as restored:
+            restored.result
+
+
+class TestDeletionBiasSampling:
+    def test_bias_zero_is_byte_identical_to_historical_sampler(self):
+        for seed in range(5):
+            g1 = synthetic_graph(60, 180, num_node_labels=4, num_edge_labels=3, seed=seed)
+            g2 = g1.copy()
+            plain = random_update_batch(g1, size=7, seed=seed)
+            biased = random_update_batch(g2, size=7, seed=seed, deletion_bias=0.0)
+            assert plain == biased
+
+    def test_bias_one_only_removes(self):
+        g = synthetic_graph(60, 180, num_node_labels=4, num_edge_labels=3, seed=2)
+        batch = random_update_batch(g, size=10, seed=3, deletion_bias=1.0)
+        assert all(op.kind in ("remove_edge", "remove_node") for op in batch)
+        batch.apply(g)  # applies cleanly
+
+    def test_bias_validation(self):
+        with pytest.raises(StreamError):
+            random_update_batch(toy_graph(), size=2, deletion_bias=1.5)

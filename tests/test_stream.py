@@ -348,10 +348,33 @@ class TestStreamingIdentifierLifecycle:
         rules = generate_gpars(graph, predicate, count=3, max_pattern_edges=3, d=2, seed=seed)
         return graph, rules
 
-    def test_rejects_unknown_algorithm_and_free_y_rules(self):
+    def test_rejects_unknown_algorithm_and_edged_free_components(self):
         graph, rules = self._workload()
         with pytest.raises(StreamError):
             StreamingIdentifier(graph, rules, algorithm="disvf2")
+        from repro.pattern.pattern import Pattern
+        from repro.pattern.gpar import GPAR
+
+        predicate = most_frequent_predicates(graph, top=1)[0]
+        x_label = predicate.label(predicate.x)
+        y_label = predicate.label(predicate.y)
+        # A disconnected part that carries an edge cannot be verified by a
+        # bounded ball or the label census: still rejected up front.
+        edged_free = GPAR(
+            Pattern(
+                nodes={"x": x_label, "y": y_label, "v1": x_label, "v2": y_label},
+                edges=[("x", "v1", "e0"), ("y", "v2", "e0")],
+                x="x",
+                y="y",
+            ),
+            consequent_label=predicate.edges()[0].label,
+            validate=False,
+        )
+        with pytest.raises(StreamError):
+            StreamingIdentifier(graph, [edged_free], eta=0.5, num_workers=2)
+
+    def test_free_y_rule_is_maintained_via_census(self):
+        graph, _rules = self._workload()
         from repro.pattern.pattern import Pattern
         from repro.pattern.gpar import GPAR
 
@@ -368,8 +391,10 @@ class TestStreamingIdentifierLifecycle:
             consequent_label=predicate.edges()[0].label,
             validate=False,
         )
-        with pytest.raises(StreamError):
-            StreamingIdentifier(graph, [free_y], eta=0.5, num_workers=2)
+        with StreamingIdentifier(graph, [free_y], eta=0.5, num_workers=2) as identifier:
+            assert free_y in identifier._census_parts
+            identifier.apply(random_update_batch(graph, size=5, seed=3))
+            identifier.result  # maintained without StreamError
 
     def test_external_mutation_is_detected(self):
         graph, rules = self._workload()

@@ -276,6 +276,184 @@ def _dmine_fingerprint(result):
     )
 
 
+# ----------------------------------------------------------------------
+# free-y (census-maintained) rules: whole-graph matching semantics
+# ----------------------------------------------------------------------
+def _census_oracle_check(identifier, rules):
+    """Maintained antecedent verdicts == whole-graph VF2 on the full pattern.
+
+    The oracle matches each rule's *full* antecedent (free y included)
+    against the whole graph — the semantics the census decomposition claims
+    to reproduce, injectivity coupling and all.
+    """
+    from repro.stream.identifier import census_feasible
+
+    graph = identifier.graph
+    oracle = VF2Matcher(use_index=False)
+    counts = graph.node_label_counts()
+    for rule in rules:
+        expected = {
+            center
+            for center in graph.nodes_with_label(rule.x_label)
+            if oracle.exists_match_at(graph, rule.antecedent, center)
+        }
+        maintained = set().union(
+            *(
+                report.antecedent_sets.get(rule, set())
+                for report in identifier._reports.values()
+            )
+        )
+        requirements = identifier._census_requirements.get(rule)
+        if requirements is not None and not census_feasible(requirements, counts):
+            maintained = set()
+        assert maintained == expected, rule.name
+
+
+def _free_y_rules(graph, predicate, count=3):
+    """Mine Σ with DMine and keep the free-y rules (the ROADMAP's shape)."""
+    from repro.exceptions import PatternError
+    from repro.pattern.radius import pattern_radius
+    from repro.stream import split_free_pattern
+
+    config = DMineConfig(
+        k=6,
+        d=2,
+        sigma=1,
+        num_workers=2,
+        max_edges=2,
+        max_extensions_per_rule=6,
+        max_rules_per_round=10,
+    )
+    result = dmine(graph, predicate, config)
+    free = []
+    for rule in sorted(result.all_rules, key=lambda r: r.name):
+        try:
+            pattern_radius(rule.antecedent, rule.antecedent.x)
+        except PatternError:
+            if split_free_pattern(rule.antecedent) is not None:
+                free.append(rule)
+    return free[:count]
+
+
+@pytest.mark.parametrize("seed", range(0, 50, 10))
+def test_census_maintained_free_y_rules_equal_whole_graph_matching(seed):
+    """Mined free-y Σ is maintained under updates with global semantics."""
+    graph = _workload_graph(seed)
+    predicate = most_frequent_predicates(graph, top=1)[0]
+    rules = _free_y_rules(graph, predicate)
+    if not rules:
+        pytest.skip("this seed mined no free-y rules")
+    with StreamingIdentifier(
+        graph, rules, eta=0.5, num_workers=2 + seed % 3, seed=0
+    ) as identifier:
+        assert identifier._census_parts, "mined free-y rules must census-split"
+        _census_oracle_check(identifier, rules)
+        for position in range(3):
+            batch = random_update_batch(graph, size=7, seed=seed * 100 + position)
+            identifier.apply(batch)
+            _census_oracle_check(identifier, rules)
+
+
+def test_census_injectivity_couples_free_and_anchored_labels():
+    """A free node sharing the x label needs a *second* node of that label."""
+    from repro.graph import Graph
+    from repro.pattern.gpar import GPAR
+    from repro.pattern.pattern import Pattern
+    from repro.stream import UpdateBatch, UpdateOp
+
+    graph = Graph(name="census-toy")
+    graph.add_node("c1", "cust")
+    graph.add_node("m1", "shop")
+    graph.add_edge("c1", "m1", "visit")
+    antecedent = Pattern(
+        nodes={"x": "cust", "v1": "shop", "y": "cust"},
+        edges=[("x", "v1", "visit")],
+        x="x",
+        y="y",
+    )
+    rule = GPAR(antecedent, consequent_label="buys", validate=False)
+    oracle = VF2Matcher(use_index=False)
+    with StreamingIdentifier(graph, [rule], eta=0.5, num_workers=1) as identifier:
+        # One cust total: the x-part matches at c1, but the isolated free y
+        # (also cust-labelled) has no injective completion.
+        assert not oracle.exists_match_at(graph, antecedent, "c1")
+        assert identifier._infeasible_rules() == [rule]
+        _census_oracle_check(identifier, [rule])
+        identifier.apply(UpdateBatch.of(UpdateOp.add_node("c2", "cust")))
+        assert oracle.exists_match_at(graph, antecedent, "c1")
+        assert identifier._infeasible_rules() == []
+        _census_oracle_check(identifier, [rule])
+        # ...and dropping the second cust flips it back.
+        identifier.apply(UpdateBatch.of(UpdateOp.remove_node("c2")))
+        assert identifier._infeasible_rules() == [rule]
+        _census_oracle_check(identifier, [rule])
+
+
+def test_census_rule_with_extra_isolated_free_node():
+    """Free nodes beyond y census-split too — PR included (disconnected PR)."""
+    from repro.graph import Graph
+    from repro.pattern.gpar import GPAR
+    from repro.pattern.pattern import Pattern
+    from repro.stream import UpdateBatch, UpdateOp
+
+    graph = Graph(name="census-extra")
+    graph.add_node("c1", "cust")
+    graph.add_node("m1", "shop")
+    graph.add_node("pz1", "prize")
+    graph.add_node("p1", "promo")
+    graph.add_edge("c1", "m1", "visit")
+    graph.add_edge("c1", "pz1", "wins")
+    antecedent = Pattern(
+        nodes={"x": "cust", "v1": "shop", "y": "prize", "z": "promo"},
+        edges=[("x", "v1", "visit")],
+        x="x",
+        y="y",  # y AND z are isolated: PR (with the wins edge) stays disconnected
+    )
+    rule = GPAR(antecedent, consequent_label="wins", validate=False)
+    oracle = VF2Matcher(use_index=False)
+    with StreamingIdentifier(graph, [rule], eta=0.5, num_workers=1) as identifier:
+        assert rule in identifier._census_pr_requirements
+        assert oracle.exists_match_at(graph, antecedent, "c1")
+        assert oracle.exists_match_at(graph, rule.pr_pattern(), "c1")
+        _census_oracle_check(identifier, [rule])
+        assert identifier.result.rule_matches[rule] == frozenset({"c1"})
+        # Removing the only promo node starves both censuses: the rule
+        # matches nowhere, exactly as whole-graph matching says.
+        identifier.apply(UpdateBatch.of(UpdateOp.remove_node("p1")))
+        assert not oracle.exists_match_at(graph, antecedent, "c1")
+        assert not oracle.exists_match_at(graph, rule.pr_pattern(), "c1")
+        assert identifier._infeasible_rules() == [rule]
+        assert identifier._pr_infeasible_rules() == [rule]
+        _census_oracle_check(identifier, [rule])
+        assert identifier.result.rule_matches[rule] == frozenset()
+        # ...and a new promo node restores it without any recheck nearby.
+        identifier.apply(UpdateBatch.of(UpdateOp.add_node("p2", "promo")))
+        assert identifier.result.rule_matches[rule] == frozenset({"c1"})
+        _census_oracle_check(identifier, [rule])
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_census_rules_agree_across_backends(backend):
+    """Free-y maintenance is backend-independent (census lives coordinator-side)."""
+    base = _workload_graph(0)  # seed 0 is known to mine free-y rules
+    predicate = most_frequent_predicates(base, top=1)[0]
+    rules = _free_y_rules(base, predicate)
+    assert rules, "seed 0 must mine free-y rules (workload drifted?)"
+    graph = base.copy()
+    with StreamingIdentifier(
+        graph,
+        rules,
+        eta=0.5,
+        num_workers=3,
+        seed=0,
+        backend=backend,
+        executor_workers=2,
+    ) as identifier:
+        for position in range(2):
+            identifier.apply(random_update_batch(graph, size=7, seed=600 + position))
+        _census_oracle_check(identifier, rules)
+
+
 @pytest.mark.parametrize("backend", BACKENDS)
 def test_dmine_on_repaired_state_equals_pristine(backend):
     """Mining after streaming repairs == mining a pristine mutated copy.

@@ -27,7 +27,7 @@ from typing import Iterable, Sequence
 from repro.bench.reporting import wall_speedups
 from repro.graph.graph import Graph
 from repro.graph.index import discard_index
-from repro.identification import identify_entities
+from repro.identification import EIPConfig, identify_entities
 from repro.matching import GuidedMatcher, VF2Matcher
 from repro.mining import DMine, DMineConfig
 from repro.pattern.canonical import canonical_code
@@ -733,11 +733,13 @@ def run_eip_stream_comparison(
         with StreamingIdentifier(
             stream_graph,
             rules,
-            eta=eta,
-            num_workers=num_workers,
+            config=EIPConfig(
+                eta=eta,
+                num_workers=num_workers,
+                backend=backend,
+                executor_workers=executor_workers,
+            ),
             algorithm=algorithm,
-            backend=backend,
-            executor_workers=executor_workers,
         ) as identifier:
             for batch in batches:
                 update_report = identifier.apply(batch)
@@ -852,8 +854,7 @@ def run_stream_churn(
     with StreamingIdentifier(
         live,
         rules,
-        eta=eta,
-        num_workers=num_workers,
+        config=EIPConfig(eta=eta, num_workers=num_workers),
         algorithm=algorithm,
         stream_config=stream_config,
     ) as identifier:
@@ -934,11 +935,13 @@ def run_lifecycle_roundtrip(
             with StreamingIdentifier(
                 stream_graph,
                 rules,
-                eta=eta,
-                num_workers=num_workers,
+                config=EIPConfig(
+                    eta=eta,
+                    num_workers=num_workers,
+                    backend=backend,
+                    executor_workers=executor_workers,
+                ),
                 algorithm=algorithm,
-                backend=backend,
-                executor_workers=executor_workers,
             ) as identifier:
                 for batch in batches[:num_batches]:
                     identifier.apply(batch)
@@ -1014,6 +1017,236 @@ def run_lifecycle_roundtrip(
     if before != after:
         raise AssertionError("maintained match view diverged across a round-trip")
     return rows
+
+
+# ----------------------------------------------------------------------
+# serving: concurrent readers under update pressure, over real HTTP
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ServeRow:
+    """One measured serve-load run (the ``serve`` smoke family).
+
+    *clients* reader threads paginate ``GET /answer`` in a loop while one
+    writer POSTs the sampled update sequence; the run gates **in-line** on
+    the serving contract — every pagination pass sees exactly one
+    ``graph_version`` (``torn_reads`` must be 0), every update response's
+    delta and the subscription replay are byte-identical to the
+    set-difference of fresh recomputes on a mirror graph — and reports the
+    read-latency distribution and tick throughput as the trajectory.
+    """
+
+    dataset: str
+    parameter: str
+    value: object
+    clients: int
+    batches: int
+    reads: int
+    read_p50_ms: float
+    read_p99_ms: float
+    ticks_per_sec: float
+    torn_reads: int
+    wall_time: float
+    backend: str = "http"
+    fingerprint: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "dataset": self.dataset,
+            self.parameter: self.value,
+            "backend": self.backend,
+            "clients": self.clients,
+            "batches": self.batches,
+            "reads": self.reads,
+            "read_p50_ms": round(self.read_p50_ms, 2),
+            "read_p99_ms": round(self.read_p99_ms, 2),
+            "ticks_per_sec": round(self.ticks_per_sec, 2),
+            "torn_reads": self.torn_reads,
+            "wall_s": round(self.wall_time, 3),
+            "fingerprint": self.fingerprint,
+        }
+
+
+def _http_json(method: str, url: str, body: dict | None = None, timeout: float = 120.0):
+    """One JSON request against the bench's loopback server."""
+    import json
+    import urllib.request
+
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    request = urllib.request.Request(url, data=data, method=method)
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def run_serve_load(
+    dataset: str,
+    graph: Graph,
+    rules: tuple[GPAR, ...],
+    session_request: dict,
+    clients: int = 8,
+    num_batches: int = 3,
+    batch_size: int = 8,
+    seed: int = 0,
+    page_limit: int = 50,
+) -> list[ServeRow]:
+    """Concurrent readers × update pressure against a real ``repro.serve``.
+
+    Starts a loopback :class:`repro.serve.BackgroundServer`, creates one
+    session from *session_request* (whose rule-generation parameters must
+    reproduce *rules* — checked by name), then runs *clients* reader
+    threads paginating the answer while a writer applies the sampled
+    update sequence over HTTP.  Raises ``AssertionError`` if any pagination
+    pass mixes graph versions (a torn read), if any update's delta differs
+    from the set-difference of fresh recomputes on a mirror graph, or if
+    the subscription replay of the whole run is not byte-identical to
+    those recomputed deltas.
+    """
+    import json
+    import threading
+
+    from repro import api
+    from repro.graph.io import graph_to_dict
+    from repro.serve import BackgroundServer
+
+    batches = sample_update_batches(graph, num_batches, batch_size, seed=seed)
+    mirror_config = EIPConfig(
+        eta=session_request.get("eta", 1.0),
+        num_workers=session_request.get("workers", 4),
+        seed=session_request.get("seed", 0),
+    )
+
+    latencies: list[float] = []
+    torn_passes = [0]
+    reads = [0]
+    reader_errors: list[BaseException] = []
+    record_lock = threading.Lock()
+    stop = threading.Event()
+    run_started = time.perf_counter()
+
+    with BackgroundServer(executor_workers=clients + 4) as server:
+        created = _http_json(
+            "POST",
+            f"{server.base_url}/sessions",
+            {**session_request, "graph": graph_to_dict(graph)},
+        )
+        if created["rules"] != [rule.name for rule in rules]:
+            raise AssertionError(
+                f"server regenerated a different rule set: {created['rules']} "
+                f"!= {[rule.name for rule in rules]}"
+            )
+        session_url = f"{server.base_url}/sessions/{created['session']}"
+
+        def read_loop() -> None:
+            # One iteration = one full pagination pass; the pass must see a
+            # single graph_version even while update ticks land.
+            try:
+                while not stop.is_set():
+                    pinned_version = None
+                    cursor = None
+                    while True:
+                        query = f"?limit={page_limit}"
+                        if cursor is not None:
+                            query += f"&cursor={cursor}"
+                        started = time.perf_counter()
+                        page = _http_json("GET", f"{session_url}/answer{query}")
+                        elapsed_ms = (time.perf_counter() - started) * 1000.0
+                        with record_lock:
+                            latencies.append(elapsed_ms)
+                            reads[0] += 1
+                        if pinned_version is None:
+                            pinned_version = page["graph_version"]
+                        elif page["graph_version"] != pinned_version:
+                            with record_lock:
+                                torn_passes[0] += 1
+                        cursor = page.get("next_cursor")
+                        if not cursor:
+                            break
+            except BaseException as exc:  # surfaced after join
+                reader_errors.append(exc)
+
+        readers = [
+            threading.Thread(target=read_loop, name=f"serve-reader-{index}", daemon=True)
+            for index in range(clients)
+        ]
+        for thread in readers:
+            thread.start()
+
+        # Writer: apply the sequence over HTTP while mirroring each tick
+        # with a fresh recompute; every delta must be the recomputes'
+        # set-difference, byte for byte.
+        mirror = graph.copy()
+        fresh_before = api.identify(mirror, rules, mirror_config)
+        baseline_version = _http_json("GET", f"{session_url}/subscribe")["resume_from"]
+        expected_deltas: list[dict] = []
+        tick_wall = 0.0
+        try:
+            for position, batch in enumerate(batches):
+                started = time.perf_counter()
+                response = _http_json(
+                    "POST",
+                    f"{session_url}/updates",
+                    {"ops": [op.as_dict() for op in batch.ops]},
+                )
+                tick_wall += time.perf_counter() - started
+                batch.apply(mirror)
+                fresh_after = api.identify(mirror, rules, mirror_config)
+                expected = api.diff_results(
+                    fresh_before,
+                    fresh_after,
+                    response["base_version"],
+                    response["graph_version"],
+                ).as_dict()
+                if json.dumps(response["delta"], sort_keys=True) != json.dumps(
+                    expected, sort_keys=True
+                ):
+                    raise AssertionError(
+                        f"batch {position + 1}: served delta diverged from the "
+                        f"fresh-recompute set-difference:\n  served   "
+                        f"{json.dumps(response['delta'], sort_keys=True)}\n  expected "
+                        f"{json.dumps(expected, sort_keys=True)}"
+                    )
+                expected_deltas.append(expected)
+                fresh_before = fresh_after
+
+            replayed = _http_json(
+                "GET", f"{session_url}/subscribe?since={baseline_version}&timeout=5"
+            )
+            if json.dumps(replayed["deltas"], sort_keys=True) != json.dumps(
+                expected_deltas, sort_keys=True
+            ):
+                raise AssertionError(
+                    "subscription replay diverged from the per-tick recompute deltas"
+                )
+        finally:
+            stop.set()
+            for thread in readers:
+                thread.join(timeout=30)
+
+    if reader_errors:
+        raise AssertionError(f"concurrent reader failed: {reader_errors[0]!r}") from (
+            reader_errors[0]
+        )
+    if torn_passes[0]:
+        raise AssertionError(
+            f"{torn_passes[0]} pagination passes observed a torn (mixed-version) answer"
+        )
+    if not latencies:
+        raise AssertionError("readers recorded no requests — load never ran")
+    ordered = sorted(latencies)
+    row = ServeRow(
+        dataset=dataset,
+        parameter="clients",
+        value=clients,
+        clients=clients,
+        batches=len(batches),
+        reads=reads[0],
+        read_p50_ms=ordered[int(0.50 * (len(ordered) - 1))],
+        read_p99_ms=ordered[int(0.99 * (len(ordered) - 1))],
+        ticks_per_sec=len(batches) / tick_wall if tick_wall else float("inf"),
+        torn_reads=torn_passes[0],
+        wall_time=time.perf_counter() - run_started,
+        fingerprint=_eip_result_fingerprint(fresh_before),
+    )
+    return [row]
 
 
 def run_matchview_stream_comparison(

@@ -47,6 +47,15 @@ The ``lifecycle`` family is the checkpoint→restart gate: per backend, a
 maintained run is ``save_state``d, ``restore``d and required byte-identical
 before and after, including one further batch against a fresh recompute.
 
+The ``serve`` family is the serving-contract gate of :mod:`repro.serve`:
+a loopback HTTP server hosts one session on the dense workload while 8
+reader threads paginate ``GET /answer`` and a writer POSTs update batches.
+The run fails if any pagination pass mixes graph versions (a torn read) or
+if any served delta — per-tick response and subscription replay alike —
+is not byte-identical to the set-difference of fresh recomputes; the
+trajectory rows report p50/p99 read latency and ticks/sec
+(``BENCH_serve.json``).
+
 ``--profile`` wraps the whole family in :mod:`cProfile` and prints the top
 25 functions by cumulative time — the first stop when a trajectory row
 regresses.
@@ -71,6 +80,7 @@ from repro.bench.harness import (
     run_lifecycle_roundtrip,
     run_matching_index_comparison,
     run_matchview_stream_comparison,
+    run_serve_load,
     run_stream_churn,
 )
 from repro.bench.reporting import format_rows, rows_as_json, wall_speedups
@@ -83,7 +93,7 @@ from repro.bench.workloads import (
 )
 from repro.parallel.executor import BACKENDS
 
-FAMILIES = ("dmine", "match", "index", "incremental", "stream", "lifecycle")
+FAMILIES = ("dmine", "match", "index", "incremental", "stream", "lifecycle", "serve")
 
 # Tiny-but-nontrivial smoke scales: seconds per family, not minutes.
 SMOKE_SCALE = 400
@@ -125,6 +135,14 @@ CHURN_BATCH_SIZE = 16
 LIFECYCLE_BATCHES = 3
 LIFECYCLE_BATCH_SIZE = 8
 
+# The serve family runs N concurrent HTTP readers against a hosted session
+# on the dense workload while updates tick, gating on the serving contract
+# (no torn reads, deltas byte-identical to fresh recomputes) and reporting
+# the read-latency distribution and tick throughput.
+SERVE_CLIENTS = 8
+SERVE_BATCHES = 3
+SERVE_BATCH_SIZE = 8
+
 
 def run_smoke(
     family: str,
@@ -149,11 +167,11 @@ def run_smoke(
             scale = INDEX_SCALE
         elif family == "incremental":
             scale = INCREMENTAL_SCALE
-        elif family in ("stream", "lifecycle"):
+        elif family in ("stream", "lifecycle", "serve"):
             scale = STREAM_SCALE
         else:
             scale = SMOKE_SCALE
-    if family not in ("index", "incremental", "stream", "lifecycle") and backend is None:
+    if family not in ("index", "incremental", "stream", "lifecycle", "serve") and backend is None:
         backend = "processes"
     if family == "dmine":
         graph, predicate = mining_workload("synthetic", scale)
@@ -306,6 +324,34 @@ def run_smoke(
             )
         )
         return rows
+    if family == "serve":
+        # Σ is regenerated server-side from the same (predicate, params) the
+        # stream_workload uses, so the bench's mirror rules match the hosted
+        # session's rules exactly (run_serve_load checks this by name).
+        graph, rules = stream_workload(scale, STREAM_RULES)
+        _, predicate = dense_mining_workload(scale)
+        edge = predicate.edges()[0]
+        session_request = {
+            "predicate": (
+                f"{predicate.label(predicate.x)}:{edge.label}:{predicate.label(predicate.y)}"
+            ),
+            "rules": STREAM_RULES,
+            "max_edges": 3,
+            "d": 2,
+            "seed": 11,
+            "eta": 0.5,
+            "workers": workers,
+            "algorithm": "match",
+        }
+        return run_serve_load(
+            "synthetic-dense",
+            graph,
+            rules,
+            session_request,
+            clients=SERVE_CLIENTS,
+            num_batches=SERVE_BATCHES,
+            batch_size=SERVE_BATCH_SIZE,
+        )
     raise ValueError(f"unknown family {family!r}; expected one of {FAMILIES}")
 
 
@@ -489,6 +535,17 @@ def _report_family(family: str, backend: str | None, workers: int, rows) -> None
         for name, speedup in sorted(_stream_speedups(rows).items()):
             print(f"repair speedup ({name}): {speedup:.2f}x")
         _check_stream_gate(rows)
+    elif family == "serve":
+        row = rows[0]
+        title = f"smoke serve (clients={row.clients}, batches={row.batches})"
+        print(f"== {title} ==")
+        print("-- HTTP serving under update pressure (contract gated in-run) --")
+        print(format_rows(rows))
+        print(
+            f"read latency p50 {row.read_p50_ms:.1f}ms / p99 {row.read_p99_ms:.1f}ms "
+            f"over {row.reads} reads x {row.clients} clients; "
+            f"{row.ticks_per_sec:.2f} ticks/s; torn reads: {row.torn_reads}"
+        )
     else:
         _check_equivalence(rows)
         title = f"smoke {family} (n={workers}, backend={backend})"
@@ -547,7 +604,13 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     backend = args.backend
-    if backend is None and args.family not in ("index", "incremental", "stream", "lifecycle"):
+    if backend is None and args.family not in (
+        "index",
+        "incremental",
+        "stream",
+        "lifecycle",
+        "serve",
+    ):
         backend = "processes"
     if args.deletion_bias is not None and args.family != "stream":
         raise SystemExit("--deletion-bias only applies to the stream family")

@@ -15,6 +15,12 @@ Three subcommands cover the common workflows end to end:
     Maintain the EIP answer across random update batches with the
     streaming subsystem (:mod:`repro.stream`), measuring repaired
     maintenance against a from-scratch recompute per batch.
+``serve``
+    Run the EIP HTTP service (:mod:`repro.serve`): resident sessions with
+    paginated answers, update ticks and delta subscriptions.
+
+Every subcommand is a thin client of the :mod:`repro.api` facade — the
+same layer the HTTP service is built on.
 
 Example
 -------
@@ -32,28 +38,21 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro import api
 from repro.datasets import generate_gpars, googleplus_like, pokec_like, synthetic_graph
 from repro.graph.io import load_graph_json, save_graph_json
-from repro.identification import identify_entities
-from repro.mining import DMineConfig, dmine
+from repro.identification import EIPConfig
+from repro.mining import DMineConfig
 from repro.parallel.executor import BACKENDS
-from repro.pattern.pattern import Pattern, PatternEdge
+from repro.pattern.pattern import Pattern
 
 
 def _parse_predicate(text: str) -> Pattern:
     """Parse ``X_LABEL:EDGE_LABEL:Y_LABEL`` into a single-edge predicate."""
-    parts = text.split(":")
-    if len(parts) != 3 or not all(parts):
-        raise argparse.ArgumentTypeError(
-            f"predicate must look like 'x_label:edge_label:y_label', got {text!r}"
-        )
-    x_label, edge_label, y_label = parts
-    return Pattern(
-        nodes={"x": x_label, "y": y_label},
-        edges=[PatternEdge("x", "y", edge_label)],
-        x="x",
-        y="y",
-    )
+    try:
+        return api.parse_predicate(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -82,7 +81,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         use_index=not args.no_index,
         use_incremental=not args.no_incremental,
     )
-    result = dmine(graph, args.predicate, config)
+    result = api.mine(graph, args.predicate, config)
     print(
         f"mined {result.num_rules_discovered} rules "
         f"({result.candidates_generated} candidates) in "
@@ -97,6 +96,19 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     return 0
 
 
+def _eip_config_from_args(args: argparse.Namespace, seed: int = 0) -> EIPConfig:
+    """Build the explicit EIP config the :mod:`repro.api` layer consumes."""
+    return EIPConfig(
+        eta=args.eta,
+        num_workers=args.workers,
+        seed=seed,
+        backend=args.backend,
+        executor_workers=args.pool_size,
+        use_index=not args.no_index,
+        use_incremental=not args.no_incremental,
+    )
+
+
 def _cmd_identify(args: argparse.Namespace) -> int:
     graph = load_graph_json(args.graph)
     rules = generate_gpars(
@@ -107,17 +119,8 @@ def _cmd_identify(args: argparse.Namespace) -> int:
         d=args.d,
         seed=args.seed,
     )
-    result = identify_entities(
-        graph,
-        rules,
-        eta=args.eta,
-        num_workers=args.workers,
-        algorithm=args.algorithm,
-        backend=args.backend,
-        executor_workers=args.pool_size,
-        use_index=not args.no_index,
-        use_incremental=not args.no_incremental,
-    )
+    config = _eip_config_from_args(args)
+    result = api.identify(graph, rules, config, algorithm=args.algorithm)
     print(result.summary())
     preview = sorted(map(str, result.identified))[: args.show]
     print(f"first identified entities: {preview}")
@@ -153,7 +156,7 @@ def _stream_config_from_args(args: argparse.Namespace):
 def _cmd_stream(args: argparse.Namespace) -> int:
     import time
 
-    from repro.stream import StreamingIdentifier, random_update_batch
+    from repro.stream import random_update_batch
 
     graph = load_graph_json(args.graph)
     rules = generate_gpars(
@@ -167,25 +170,19 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     stream_config = _stream_config_from_args(args)
     repair_wall = 0.0
     recompute_wall = 0.0
-    with StreamingIdentifier(
+    with api.open_session(
         graph,
         rules,
-        eta=args.eta,
-        num_workers=args.workers,
+        config=_eip_config_from_args(args, seed=args.seed),
         algorithm=args.algorithm,
-        seed=args.seed,
-        backend=args.backend,
-        executor_workers=args.pool_size,
-        use_index=not args.no_index,
-        use_incremental=not args.no_incremental,
         stream_config=stream_config,
-    ) as identifier:
+    ) as session:
         print(
             f"streaming {args.algorithm} over {graph.num_nodes} nodes / "
-            f"{graph.num_edges} edges, |Σ|={len(rules)}, d={identifier.max_radius} "
+            f"{graph.num_edges} edges, |Σ|={len(rules)}, d={session.max_radius} "
             f"[backend={args.backend}]"
         )
-        print(f"initial: {identifier.result.summary().splitlines()[0]}")
+        print(f"initial: {session.result.summary().splitlines()[0]}")
         for position in range(args.updates):
             batch = random_update_batch(
                 graph,
@@ -193,16 +190,16 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                 seed=args.seed * 1000 + position,
                 deletion_bias=args.deletion_bias,
             )
-            update_report = identifier.apply(batch)
+            update_report, _delta = session.apply(batch)
             repair_wall += update_report.wall_time
             line = f"batch {position + 1}: {batch.describe()} -> {update_report.as_row()}"
             if args.verify:
                 started = time.perf_counter()
-                fresh = identifier.recompute()
+                fresh = session.recompute()
                 recompute_wall += time.perf_counter() - started
                 agree = (
-                    fresh.identified == identifier.result.identified
-                    and fresh.rule_confidences == identifier.result.rule_confidences
+                    fresh.identified == session.result.identified
+                    and fresh.rule_confidences == session.result.rule_confidences
                 )
                 if not agree:
                     print(line)
@@ -211,9 +208,9 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                 line += f" [recompute {recompute_wall:.3f}s cumulative, identical]"
             print(line)
         if args.save_state is not None:
-            saved = identifier.save_state(args.save_state)
+            saved = session.save_state(args.save_state)
             print(f"saved stream state to {saved}")
-        result = identifier.result
+        result = session.result
     print(result.summary())
     print(f"repair wall over {args.updates} batches: {repair_wall:.3f}s")
     if args.verify and repair_wall:
@@ -222,6 +219,12 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             f"(repair speedup {recompute_wall / repair_wall:.2f}x)"
         )
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import run_foreground
+
+    return run_foreground(args.host, args.port, executor_workers=args.executor_workers)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -355,6 +358,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_backend_arguments(stream)
     stream.set_defaults(handler=_cmd_stream)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the EIP HTTP service (sessions, paginated answers, "
+        "update ticks, delta subscriptions — see docs/serving.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8337)
+    serve.add_argument(
+        "--executor-workers",
+        type=int,
+        default=8,
+        dest="executor_workers",
+        help="thread pool size for blocking session work",
+    )
+    serve.set_defaults(handler=_cmd_serve)
     return parser
 
 

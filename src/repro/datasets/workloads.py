@@ -157,7 +157,14 @@ def _sample_rule(
     while len(pattern_edges) < target_edges and frontier and guard < 200:
         guard += 1
         data_node = rng.choice(frontier)
-        incident = list(graph.out_edges(data_node)) + list(graph.in_edges(data_node))
+        # Sorted so the draw depends only on graph *content* and the seed —
+        # never on adjacency-set iteration order (hash seed / insertion
+        # order), which must not change which Σ a (graph, seed) pair yields
+        # (repro.serve regenerates Σ from a serialized graph document).
+        incident = sorted(
+            list(graph.out_edges(data_node)) + list(graph.in_edges(data_node)),
+            key=lambda e: (str(e.source), e.label, str(e.target)),
+        )
         if not incident:
             frontier.remove(data_node)
             continue
@@ -205,7 +212,9 @@ def _sample_rule(
         # the antecedent stays connected (keeps the parallel and sequential
         # evaluations exactly comparable); give up on this sample otherwise.
         tied = False
-        for edge in graph.in_edges(chosen):
+        for edge in sorted(
+            graph.in_edges(chosen), key=lambda e: (str(e.source), e.label, str(e.target))
+        ):
             if edge.source in node_map and edge.source != center:
                 pattern_edges.append(
                     PatternEdge(node_map[edge.source], y_assigned, edge.label)

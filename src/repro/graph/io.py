@@ -10,16 +10,25 @@ from repro.graph.graph import Graph
 
 
 def graph_to_dict(graph: Graph) -> dict[str, Any]:
-    """Convert *graph* to a JSON-serialisable dict."""
+    """Convert *graph* to a JSON-serialisable dict.
+
+    Nodes and edges are emitted in sorted order so equal graphs produce
+    identical documents no matter how (or in which process) they were
+    built — edge iteration follows adjacency-*set* order, which varies
+    with the hash seed, and the serve/wire layer relies on document
+    identity (same graph document + seed ⇒ same generated Σ).
+    """
     return {
         "name": graph.name,
         "nodes": [
             {"id": node, "label": label, "attrs": graph.node_attrs(node) or None}
-            for node, label in graph.node_items()
+            for node, label in sorted(graph.node_items(), key=lambda item: str(item[0]))
         ],
         "edges": [
             {"source": edge.source, "target": edge.target, "label": edge.label}
-            for edge in graph.edges()
+            for edge in sorted(
+                graph.edges(), key=lambda e: (str(e.source), e.label, str(e.target))
+            )
         ],
     }
 

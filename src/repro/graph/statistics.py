@@ -73,7 +73,11 @@ def most_frequent_edge_patterns(graph: Graph, top: int = 20) -> list[tuple[str, 
             graph.node_label(edge.target),
         )
         counter[key] += 1
+    # Ties break on the label triple, not Counter insertion order, so the
+    # ranking depends only on graph content (edge iteration order follows
+    # adjacency-set hash order, which varies across processes).
+    ranked = sorted(counter.items(), key=lambda item: (-item[1], item[0]))[:top]
     return [
         (source_label, edge_label, target_label, count)
-        for (source_label, edge_label, target_label), count in counter.most_common(top)
+        for (source_label, edge_label, target_label), count in ranked
     ]

@@ -23,13 +23,21 @@ Algorithms
     Single-machine reference implementation used as the test oracle.
 """
 
-from repro.identification.eip import EIPConfig, EIPResult, identify_entities
+from repro.identification.eip import (
+    AnswerEntry,
+    AnswerPage,
+    EIPConfig,
+    EIPResult,
+    identify_entities,
+)
 from repro.identification.matchc import MatchC
 from repro.identification.match import Match
 from repro.identification.disvf2 import DisVF2
 from repro.identification.sequential import identify_sequential
 
 __all__ = [
+    "AnswerEntry",
+    "AnswerPage",
     "EIPConfig",
     "EIPResult",
     "identify_entities",

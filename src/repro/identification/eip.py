@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import base64
+import binascii
+import json
 import math
 from dataclasses import dataclass, field
 from typing import Hashable, Sequence
@@ -73,6 +76,63 @@ class EIPConfig:
             )
 
 
+@dataclass(frozen=True)
+class AnswerEntry:
+    """One (entity, rule) pair of a paginated EIP answer.
+
+    ``rule_index`` is the rule's position in Σ (the order the rules were
+    given to the run), so two runs over the same Σ enumerate entries in the
+    same total order regardless of set iteration order.
+    """
+
+    entity: NodeId
+    rule_index: int
+    rule_name: str
+    confidence: float
+
+    def as_dict(self) -> dict:
+        """JSON-friendly form (entity rendered as a string)."""
+        confidence = self.confidence
+        return {
+            "entity": str(self.entity),
+            "rule_index": self.rule_index,
+            "rule": self.rule_name,
+            "confidence": "inf" if math.isinf(confidence) else round(confidence, 9),
+        }
+
+
+@dataclass(frozen=True)
+class AnswerPage:
+    """One page of a paginated EIP answer (see :meth:`EIPResult.pages`)."""
+
+    entries: tuple[AnswerEntry, ...]
+    next_cursor: str | None
+    total: int
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def _encode_cursor(payload: list) -> str:
+    """Opaque, URL-safe cursor encoding (stable across processes)."""
+    raw = json.dumps(payload, sort_keys=True, default=str).encode("utf-8")
+    return base64.urlsafe_b64encode(raw).decode("ascii")
+
+
+def _decode_cursor(cursor: str) -> list:
+    try:
+        raw = base64.urlsafe_b64decode(cursor.encode("ascii"))
+        payload = json.loads(raw.decode("utf-8"))
+    except (ValueError, binascii.Error, UnicodeDecodeError) as exc:
+        raise IdentificationError(f"malformed answer cursor {cursor!r}") from exc
+    if not isinstance(payload, list) or len(payload) != 2:
+        raise IdentificationError(f"malformed answer cursor {cursor!r}")
+    return payload
+
+
 @dataclass
 class EIPResult:
     """Output of an EIP run."""
@@ -87,6 +147,62 @@ class EIPResult:
     def confidence_of(self, rule: GPAR) -> float:
         """Global confidence computed for *rule* (KeyError if unknown)."""
         return self.rule_confidences[rule]
+
+    # ------------------------------------------------------------------
+    # pagination
+    # ------------------------------------------------------------------
+    def answer_entries(self) -> list[AnswerEntry]:
+        """Every (entity, accepted rule) pair in the deterministic total order.
+
+        The order is ``(str(entity id), rule index in Σ)``; set iteration
+        order never leaks into it, so two byte-identical results enumerate
+        byte-identical entry sequences (the property the paginated serving
+        layer and its consistency tests rely on).
+        """
+        order = {rule: index for index, rule in enumerate(self.rule_confidences)}
+        entries = [
+            AnswerEntry(
+                entity=entity,
+                rule_index=order[rule],
+                rule_name=rule.name,
+                confidence=self.rule_confidences[rule],
+            )
+            for rule in self.accepted_rules
+            for entity in self.rule_matches.get(rule, frozenset())
+        ]
+        entries.sort(key=lambda entry: (str(entry.entity), entry.rule_index))
+        return entries
+
+    def pages(self, cursor: str | None = None, limit: int = 100) -> AnswerPage:
+        """One page of the answer, resuming after an opaque *cursor*.
+
+        Entries are the ``(entity, rule)`` pairs of every accepted rule's
+        match set, in the deterministic ``(entity id, rule index)`` order of
+        :meth:`answer_entries`.  The returned ``next_cursor`` encodes the
+        last entry's sort key (not an offset), so a page sequence is stable
+        under re-enumeration; ``None`` marks the final page.  Raises
+        :class:`IdentificationError` on a malformed cursor.
+        """
+        if limit < 1:
+            raise IdentificationError(f"page limit must be >= 1, got {limit}")
+        entries = self.answer_entries()
+        start = 0
+        if cursor is not None:
+            last_entity, last_index = _decode_cursor(cursor)
+            key = (str(last_entity), int(last_index))
+            # First entry strictly after the cursor's key (bisection would
+            # need a parallel key list; answers are small enough to scan).
+            while start < len(entries):
+                entry = entries[start]
+                if (str(entry.entity), entry.rule_index) > key:
+                    break
+                start += 1
+        page = tuple(entries[start : start + limit])
+        next_cursor = None
+        if start + limit < len(entries) and page:
+            tail = page[-1]
+            next_cursor = _encode_cursor([str(tail.entity), tail.rule_index])
+        return AnswerPage(entries=page, next_cursor=next_cursor, total=len(entries))
 
     def summary(self) -> str:
         """Human-readable run summary used by examples."""

@@ -1,0 +1,474 @@
+"""EIP-as-a-service: the HTTP application over :mod:`repro.api` sessions.
+
+Endpoints (full contract in ``docs/serving.md``):
+
+========  =================================  =========================================
+method    path                               purpose
+========  =================================  =========================================
+POST      ``/sessions``                      load graph + Σ, start a resident session
+GET       ``/sessions``                      list live sessions
+GET       ``/sessions/{id}``                 one session's status
+GET       ``/sessions/{id}/answer``          paginated answer pinned to one version
+POST      ``/sessions/{id}/updates``         apply an UpdateBatch as one tick
+GET       ``/sessions/{id}/subscribe``       long-poll per-rule match-set deltas
+DELETE    ``/sessions/{id}``                 close a session
+GET       ``/healthz``                       liveness
+========  =================================  =========================================
+
+Concurrency model: the event loop only parses/serializes HTTP; every
+blocking operation (session construction, ``apply``, pagination, long-poll
+waits) runs on a thread pool via ``run_in_executor``.  Updates to one
+session serialize on a per-session ``asyncio.Lock`` (and
+:meth:`repro.api.Session.apply` serializes again underneath); reads go
+straight to the session's immutable snapshots and never wait on a writer —
+every response body carries the ``graph_version`` it reflects.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro import api
+from repro.exceptions import ReproError, StreamError
+from repro.datasets import generate_gpars
+from repro.graph.io import graph_from_dict, load_graph_json
+from repro.identification.eip import EIPConfig
+from repro.serve.http import (
+    ProtocolError,
+    Request,
+    Response,
+    RouteError,
+    Router,
+    read_request,
+)
+from repro.stream.config import StreamConfig
+from repro.stream.updates import OP_KINDS, UpdateBatch, UpdateOp
+
+DEFAULT_SUBSCRIBE_TIMEOUT = 30.0
+MAX_SUBSCRIBE_TIMEOUT = 120.0
+DEFAULT_PAGE_LIMIT = 100
+
+
+def ops_from_json(documents: list) -> UpdateBatch:
+    """Decode a JSON ops array into an :class:`UpdateBatch`.
+
+    Each op document is ``{"kind": <kind>, ...}`` with the fields of the
+    matching :class:`UpdateOp` constructor — ``node``/``label``/``attrs``
+    for node ops, ``source``/``target``/``label`` for edge ops.
+    """
+    if not isinstance(documents, list):
+        raise StreamError(f"'ops' must be a list of op objects, got {type(documents).__name__}")
+    ops = []
+    for position, doc in enumerate(documents):
+        if not isinstance(doc, dict):
+            raise StreamError(f"ops[{position}] must be an object, got {type(doc).__name__}")
+        kind = doc.get("kind")
+        try:
+            if kind == "add_node":
+                ops.append(UpdateOp.add_node(doc["node"], doc["label"], doc.get("attrs")))
+            elif kind == "remove_node":
+                ops.append(UpdateOp.remove_node(doc["node"]))
+            elif kind == "relabel_node":
+                ops.append(UpdateOp.relabel_node(doc["node"], doc["label"]))
+            elif kind == "add_edge":
+                ops.append(UpdateOp.add_edge(doc["source"], doc["target"], doc["label"]))
+            elif kind == "remove_edge":
+                ops.append(UpdateOp.remove_edge(doc["source"], doc["target"], doc["label"]))
+            else:
+                raise StreamError(
+                    f"ops[{position}]: unknown kind {kind!r}; expected one of {sorted(OP_KINDS)}"
+                )
+        except KeyError as exc:
+            raise StreamError(f"ops[{position}] ({kind}) is missing field {exc.args[0]!r}") from None
+    return UpdateBatch.of(*ops)
+
+
+@dataclass
+class SessionHandle:
+    """One hosted session plus its serving bookkeeping."""
+
+    session: api.Session
+    name: str
+    algorithm: str
+    update_lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+    batches_applied: int = 0
+
+    def info(self, session_id: str) -> dict:
+        result = self.session.result
+        return {
+            "session": session_id,
+            "graph": self.name,
+            "algorithm": self.algorithm,
+            "graph_version": self.session.graph_version,
+            "rules": [rule.name for rule in self.session.rules],
+            "identified": len(result.identified),
+            "accepted_rules": len(result.accepted_rules),
+            "batches_applied": self.batches_applied,
+        }
+
+
+class ReproService:
+    """The application: routes, session registry and executor."""
+
+    def __init__(self, executor_workers: int = 8) -> None:
+        self._sessions: dict[str, SessionHandle] = {}
+        self._ids = itertools.count(1)
+        self._executor = ThreadPoolExecutor(
+            max_workers=executor_workers, thread_name_prefix="repro-serve"
+        )
+        self.router = Router()
+        self.router.add("GET", "/healthz", self._healthz)
+        self.router.add("POST", "/sessions", self._create_session)
+        self.router.add("GET", "/sessions", self._list_sessions)
+        self.router.add("GET", "/sessions/{session_id}", self._session_info)
+        self.router.add("DELETE", "/sessions/{session_id}", self._delete_session)
+        self.router.add("GET", "/sessions/{session_id}/answer", self._answer)
+        self.router.add("POST", "/sessions/{session_id}/updates", self._updates)
+        self.router.add("GET", "/sessions/{session_id}/subscribe", self._subscribe)
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    async def _offload(self, fn, *args):
+        return await asyncio.get_running_loop().run_in_executor(self._executor, fn, *args)
+
+    def _handle(self, session_id: str) -> SessionHandle:
+        handle = self._sessions.get(session_id)
+        if handle is None:
+            raise RouteError(404, f"no session {session_id!r}")
+        return handle
+
+    async def dispatch(self, request: Request) -> Response:
+        """Route one request, mapping library errors onto statuses."""
+        try:
+            handler, params = self.router.resolve(request.method, request.path)
+            return await handler(request, **params)
+        except RouteError as exc:
+            return Response(exc.status, {"error": str(exc)})
+        except api.SnapshotExpired as exc:
+            return Response(
+                410,
+                {
+                    "error": str(exc),
+                    "resync": True,
+                    "oldest_retained": exc.oldest_retained,
+                },
+            )
+        except ProtocolError as exc:
+            return Response(400, {"error": str(exc)})
+        except (ReproError, ValueError, KeyError, TypeError) as exc:
+            return Response(400, {"error": f"{type(exc).__name__}: {exc}"})
+
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One request → one response → close (the server's protocol unit)."""
+        try:
+            try:
+                request = await read_request(reader)
+            except ProtocolError as exc:
+                writer.write(Response(400, {"error": str(exc)}).encode())
+                return
+            if request is None:
+                return
+            response = await self.dispatch(request)
+            writer.write(response.encode())
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Server shutdown mid-request: end the task cleanly (a cancelled
+            # connection task trips a noisy asyncio-streams done-callback).
+            pass
+        finally:
+            writer.close()
+            try:
+                await asyncio.shield(writer.wait_closed())
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    def shutdown(self) -> None:
+        """Close every hosted session and the executor."""
+        for handle in list(self._sessions.values()):
+            handle.session.close()
+        self._sessions.clear()
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    # handlers
+    # ------------------------------------------------------------------
+    async def _healthz(self, request: Request) -> Response:
+        return Response(200, {"ok": True, "sessions": len(self._sessions)})
+
+    async def _create_session(self, request: Request) -> Response:
+        body = request.json()
+        if not isinstance(body, dict):
+            raise ProtocolError("POST /sessions expects a JSON object body")
+        if ("graph" in body) == ("graph_path" in body):
+            raise ProtocolError("provide exactly one of 'graph' (inline document) or 'graph_path'")
+        if "predicate" not in body:
+            raise ProtocolError("'predicate' (x_label:edge_label:y_label) is required")
+
+        def build() -> tuple[str, SessionHandle]:
+            if "graph" in body:
+                graph = graph_from_dict(body["graph"])
+            else:
+                graph = load_graph_json(body["graph_path"])
+            predicate = api.parse_predicate(body["predicate"])
+            rules = generate_gpars(
+                graph,
+                predicate,
+                count=int(body.get("rules", 6)),
+                max_pattern_edges=int(body.get("max_edges", 4)),
+                d=int(body.get("d", 2)),
+                seed=int(body.get("seed", 0)),
+            )
+            config = EIPConfig(
+                eta=float(body.get("eta", 1.0)),
+                num_workers=int(body.get("workers", 4)),
+                seed=int(body.get("seed", 0)),
+                backend=body.get("backend", "sequential"),
+                executor_workers=body.get("pool_size"),
+                use_index=bool(body.get("use_index", True)),
+                use_incremental=bool(body.get("use_incremental", True)),
+            )
+            stream_config = StreamConfig(**body.get("stream", {}))
+            algorithm = body.get("algorithm", "match")
+            session = api.open_session(
+                graph,
+                rules,
+                config=config,
+                algorithm=algorithm,
+                stream_config=stream_config,
+                history_limit=int(body.get("history_limit", api.SESSION_HISTORY_LIMIT)),
+            )
+            return graph.name, SessionHandle(session=session, name=graph.name, algorithm=algorithm)
+
+        _name, handle = await self._offload(build)
+        session_id = f"s{next(self._ids)}"
+        self._sessions[session_id] = handle
+        return Response(201, handle.info(session_id))
+
+    async def _list_sessions(self, request: Request) -> Response:
+        return Response(
+            200,
+            {"sessions": [handle.info(sid) for sid, handle in sorted(self._sessions.items())]},
+        )
+
+    async def _session_info(self, request: Request, session_id: str) -> Response:
+        return Response(200, self._handle(session_id).info(session_id))
+
+    async def _delete_session(self, request: Request, session_id: str) -> Response:
+        handle = self._handle(session_id)
+        async with handle.update_lock:  # let an in-flight tick finish first
+            del self._sessions[session_id]
+            await self._offload(handle.session.close)
+        return Response(200, {"closed": session_id})
+
+    async def _answer(self, request: Request, session_id: str) -> Response:
+        handle = self._handle(session_id)
+        cursor = request.query.get("cursor")
+        limit = request.query_int("limit", DEFAULT_PAGE_LIMIT)
+        page, version = await self._offload(handle.session.answer, cursor, limit)
+        return Response(
+            200,
+            {
+                "graph_version": version,
+                "total": page.total,
+                "entries": [entry.as_dict() for entry in page.entries],
+                "next_cursor": page.next_cursor,
+            },
+        )
+
+    async def _updates(self, request: Request, session_id: str) -> Response:
+        handle = self._handle(session_id)
+        body = request.json()
+        if not isinstance(body, dict) or "ops" not in body:
+            raise ProtocolError("POST .../updates expects {'ops': [...]}")
+        batch = ops_from_json(body["ops"])
+        async with handle.update_lock:
+            report, delta = await self._offload(handle.session.apply, batch)
+            handle.batches_applied += 1
+        return Response(
+            200,
+            {
+                "graph_version": delta.version,
+                "base_version": delta.base_version,
+                "report": {
+                    "rechecked_centers": report.rechecked_centers,
+                    "entered_nodes": report.entered_nodes,
+                    "shed_nodes": report.shed_nodes,
+                    "migrated_centers": report.migrated_centers,
+                    "wall_time": round(report.wall_time, 6),
+                },
+                "delta": delta.as_dict(),
+            },
+        )
+
+    async def _subscribe(self, request: Request, session_id: str) -> Response:
+        handle = self._handle(session_id)
+        rule = request.query.get("rule")
+        if rule is not None and rule not in {r.name for r in handle.session.rules}:
+            raise RouteError(404, f"session {session_id} has no rule {rule!r}")
+        since = request.query_int("since")
+        current = handle.session.graph_version
+        if since is None:
+            # First contact: hand the subscriber its baseline version.
+            return Response(200, {"graph_version": current, "deltas": [], "resume_from": current})
+        timeout = min(
+            request.query_float("timeout", DEFAULT_SUBSCRIBE_TIMEOUT), MAX_SUBSCRIBE_TIMEOUT
+        )
+        if since >= current:
+            ticked = await self._offload(handle.session.wait_for_version, since, timeout)
+            if not ticked:
+                return Response(
+                    200,
+                    {"graph_version": handle.session.graph_version, "deltas": [], "resume_from": since},
+                )
+        deltas = handle.session.deltas(since)  # raises SnapshotExpired → 410
+        documents = []
+        for delta in deltas:
+            doc = delta.as_dict()
+            if rule is not None:
+                doc["rules"] = {name: diff for name, diff in doc["rules"].items() if name == rule}
+            documents.append(doc)
+        resume_from = deltas[-1].version if deltas else since
+        return Response(
+            200,
+            {
+                "graph_version": handle.session.graph_version,
+                "deltas": documents,
+                "resume_from": resume_from,
+            },
+        )
+
+
+class BackgroundServer:
+    """The service on a daemon thread with its own event loop.
+
+    Used by the tests, the serve bench family and ``repro serve`` alike:
+    ``start()`` binds (port 0 → an ephemeral port), ``base_url`` is where
+    clients point, ``stop()`` tears everything down.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, executor_workers: int = 8):
+        self._host = host
+        self._port = port
+        self._executor_workers = executor_workers
+        self.service: ReproService | None = None
+        self.port: int | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    @property
+    def base_url(self) -> str:
+        if self.port is None:
+            raise StreamError("server is not running (call start() first)")
+        return f"http://{self._host}:{self.port}"
+
+    def start(self) -> "BackgroundServer":
+        if self._thread is not None:
+            raise StreamError("server already started")
+        self._thread = threading.Thread(target=self._run, name="repro-serve", daemon=True)
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._startup_error is not None:
+            raise StreamError(f"server failed to start: {self._startup_error}")
+        if self.port is None:
+            raise StreamError("server did not come up within 30s")
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        self.service = ReproService(executor_workers=self._executor_workers)
+
+        async def serve() -> None:
+            server = await asyncio.start_server(
+                self.service.handle_connection, self._host, self._port
+            )
+            self.port = server.sockets[0].getsockname()[1]
+            self._ready.set()
+            async with server:
+                await server.serve_forever()
+
+        try:
+            loop.run_until_complete(serve())
+        except asyncio.CancelledError:
+            pass
+        except BaseException as exc:  # surface bind failures to start()
+            self._startup_error = exc
+            self._ready.set()
+        finally:
+            self.service.shutdown()
+            loop.close()
+
+    def stop(self) -> None:
+        if self._loop is None or self._thread is None:
+            return
+        loop = self._loop
+
+        def cancel_everything() -> None:
+            for task in asyncio.all_tasks(loop):
+                task.cancel()
+
+        loop.call_soon_threadsafe(cancel_everything)
+        self._thread.join(timeout=10)
+        self._loop = None
+        self._thread = None
+        self.port = None
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+
+def run_foreground(host: str = "127.0.0.1", port: int = 8337, executor_workers: int = 8) -> int:
+    """Run the service until interrupted (``repro serve`` / ``repro-serve``)."""
+    server = BackgroundServer(host, port, executor_workers=executor_workers)
+    server.start()
+    print(f"serving EIP sessions on {server.base_url} (Ctrl-C to stop)")
+    try:
+        while server._thread is not None and server._thread.is_alive():
+            server._thread.join(timeout=1)
+        return 1
+    except KeyboardInterrupt:
+        print("stopping")
+        server.stop()
+        return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone ``repro-serve`` entry point."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro-serve", description="EIP-as-a-service over the streaming core"
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8337)
+    parser.add_argument(
+        "--executor-workers",
+        type=int,
+        default=8,
+        dest="executor_workers",
+        help="thread pool size for blocking session work",
+    )
+    args = parser.parse_args(argv)
+    return run_foreground(args.host, args.port, executor_workers=args.executor_workers)
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

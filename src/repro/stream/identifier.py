@@ -40,7 +40,9 @@ see ``docs/lifecycle.md``.
 from __future__ import annotations
 
 import pickle
+import threading
 import time
+import warnings
 from collections import Counter
 from dataclasses import dataclass, replace
 from pathlib import Path
@@ -300,6 +302,20 @@ class StreamingIdentifier:
         stream_config: StreamConfig | None = None,
         **config_overrides,
     ) -> None:
+        if config_overrides:
+            if config is not None:
+                raise StreamError(
+                    "pass either an explicit EIPConfig or keyword overrides, "
+                    f"not both (got config and {sorted(config_overrides)})"
+                )
+            warnings.warn(
+                "passing EIPConfig fields as keyword arguments to "
+                "StreamingIdentifier is deprecated and will be removed in the "
+                "next release; build an explicit EIPConfig (or use "
+                "repro.api.open_session, which owns config construction)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.graph = graph
         self.rules = tuple(rules)
         self.config = config if config is not None else EIPConfig(**config_overrides)
@@ -420,6 +436,12 @@ class StreamingIdentifier:
             if resident is not None:
                 resident.rebuild_fraction = self.stream_config.delta_rebuild_fraction
         self._closed = False
+        # apply() is not re-entrant: it mutates the authoritative graph, the
+        # lifecycle manager and the stored reports in sequence, so a second
+        # concurrent call would interleave half-applied ticks.  The guard is
+        # non-blocking — concurrent writers are a caller bug (serialize
+        # through repro.api.Session.apply), not something to silently queue.
+        self._apply_guard = threading.Lock()
 
     def _payload(self, index: int, recheck: tuple | None) -> StreamVerifyPayload:
         return StreamVerifyPayload(
@@ -504,7 +526,24 @@ class StreamingIdentifier:
 
     # ------------------------------------------------------------------
     def apply(self, batch: UpdateBatch) -> StreamUpdateReport:
-        """Apply *batch* to the graph and repair the maintained answer."""
+        """Apply *batch* to the graph and repair the maintained answer.
+
+        Not re-entrant: a second concurrent call (another thread driving the
+        same identifier) raises :class:`StreamError` instead of interleaving
+        ticks.  Serialize writers through :class:`repro.api.Session`.
+        """
+        if not self._apply_guard.acquire(blocking=False):
+            raise StreamError(
+                "another apply() is already in progress on this "
+                "StreamingIdentifier; updates must be serialized (use "
+                "repro.api.Session.apply, which queues writers)"
+            )
+        try:
+            return self._apply_locked(batch)
+        finally:
+            self._apply_guard.release()
+
+    def _apply_locked(self, batch: UpdateBatch) -> StreamUpdateReport:
         if self._closed:
             raise StreamError("this StreamingIdentifier is closed")
         if self.graph.version != self._graph_version:

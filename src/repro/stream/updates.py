@@ -73,6 +73,23 @@ class UpdateOp:
         """Change the label of *node* to *label*."""
         return cls(kind="relabel_node", node=node, label=label)
 
+    # -- serialization -----------------------------------------------------
+    def as_dict(self) -> dict:
+        """JSON wire form consumed by ``POST /sessions/{id}/updates``
+        (:func:`repro.serve.ops_from_json` is the inverse)."""
+        doc: dict = {"kind": self.kind}
+        if self.kind in ("add_node", "remove_node", "relabel_node"):
+            doc["node"] = self.node
+            if self.kind != "remove_node":
+                doc["label"] = self.label
+            if self.kind == "add_node" and self.attrs:
+                doc["attrs"] = dict(self.attrs)
+        else:
+            doc["source"] = self.source
+            doc["target"] = self.target
+            doc["label"] = self.label
+        return doc
+
     # -- application -------------------------------------------------------
     def apply(self, graph_like) -> None:
         """Apply the operation to a :class:`Graph` or ``GraphBatch`` proxy."""

@@ -1,0 +1,290 @@
+"""The :mod:`repro.serve` HTTP boundary, end to end over a loopback socket.
+
+Exercises the serving contract of docs/serving.md with a real
+:class:`~repro.serve.BackgroundServer`:
+
+* session lifecycle (create from an inline graph document, list, info,
+  delete) and error mapping (400/404/405/410);
+* paginated ``/answer`` reads pinned to one ``Graph.version`` while
+  ``/updates`` ticks land between pages;
+* ``/subscribe`` deltas byte-identical to the set-difference of fresh
+  recomputes on a mirror graph, plus the 410-resync path once the bounded
+  history evicts the subscriber's version.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import api
+from repro.datasets import generate_gpars, most_frequent_predicates, synthetic_graph
+from repro.exceptions import StreamError
+from repro.graph.io import graph_to_dict
+from repro.identification import EIPConfig
+from repro.serve import BackgroundServer, RouteError, Router, ops_from_json
+from repro.stream import UpdateBatch, UpdateOp, random_update_batch
+
+RULES = 5
+SEED = 3
+
+
+def _call(method: str, url: str, body: dict | None = None):
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    request = urllib.request.Request(url, data=data, method=method)
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode("utf-8"))
+
+
+def _workload(seed: int = SEED):
+    graph = synthetic_graph(60, 200, num_node_labels=4, num_edge_labels=3, seed=seed)
+    predicate = most_frequent_predicates(graph, top=1)[0]
+    rules = generate_gpars(graph, predicate, count=RULES, max_pattern_edges=4, d=2, seed=seed)
+    edge = predicate.edges()[0]
+    predicate_text = (
+        f"{predicate.label(predicate.x)}:{edge.label}:{predicate.label(predicate.y)}"
+    )
+    return graph, rules, predicate_text
+
+
+def _session_body(graph, predicate_text, **extra):
+    body = {
+        "graph": graph_to_dict(graph),
+        "predicate": predicate_text,
+        "rules": RULES,
+        "max_edges": 4,
+        "d": 2,
+        "seed": SEED,
+        "eta": 0.1,
+        "workers": 2,
+    }
+    body.update(extra)
+    return body
+
+
+@pytest.fixture(scope="module")
+def server():
+    with BackgroundServer() as running:
+        yield running
+
+
+class TestWireFormats:
+    def test_ops_round_trip_through_json(self):
+        batch = UpdateBatch.of(
+            UpdateOp.add_node("n", "person", {"age": 3}),
+            UpdateOp.relabel_node("n", "vip"),
+            UpdateOp.add_edge("n", "m", "knows"),
+            UpdateOp.remove_edge("n", "m", "knows"),
+            UpdateOp.remove_node("n"),
+        )
+        documents = json.loads(json.dumps([op.as_dict() for op in batch.ops]))
+        assert ops_from_json(documents).ops == batch.ops
+
+    def test_ops_from_json_rejects_malformed(self):
+        with pytest.raises(StreamError, match="must be a list"):
+            ops_from_json({"kind": "add_node"})
+        with pytest.raises(StreamError, match="unknown kind"):
+            ops_from_json([{"kind": "explode"}])
+        with pytest.raises(StreamError, match="missing field"):
+            ops_from_json([{"kind": "add_edge", "source": "a"}])
+
+    def test_router_params_and_errors(self):
+        async def handler(request, **params):  # pragma: no cover - never awaited
+            return params
+
+        router = Router()
+        router.add("GET", "/sessions/{session_id}/answer", handler)
+        resolved, params = router.resolve("GET", "/sessions/s7/answer")
+        assert resolved is handler and params == {"session_id": "s7"}
+        with pytest.raises(RouteError) as not_found:
+            router.resolve("GET", "/nowhere")
+        assert not_found.value.status == 404
+        with pytest.raises(RouteError) as wrong_method:
+            router.resolve("POST", "/sessions/s7/answer")
+        assert wrong_method.value.status == 405
+
+
+class TestSessionLifecycle:
+    def test_create_info_list_delete(self, server):
+        graph, rules, predicate_text = _workload()
+        status, created = _call(
+            "POST", f"{server.base_url}/sessions", _session_body(graph, predicate_text)
+        )
+        assert status == 201
+        assert created["rules"] == [rule.name for rule in rules]
+        sid = created["session"]
+        status, info = _call("GET", f"{server.base_url}/sessions/{sid}")
+        assert status == 200 and info["graph_version"] == created["graph_version"]
+        status, listing = _call("GET", f"{server.base_url}/sessions")
+        assert status == 200
+        assert sid in [entry["session"] for entry in listing["sessions"]]
+        status, closed = _call("DELETE", f"{server.base_url}/sessions/{sid}")
+        assert status == 200 and closed == {"closed": sid}
+        status, _ = _call("GET", f"{server.base_url}/sessions/{sid}")
+        assert status == 404
+
+    def test_error_mapping(self, server):
+        base = server.base_url
+        assert _call("GET", f"{base}/healthz")[0] == 200
+        assert _call("GET", f"{base}/nowhere")[0] == 404
+        assert _call("DELETE", f"{base}/healthz")[0] == 405
+        # Malformed bodies and parameters map to 400 with a JSON error.
+        status, doc = _call("POST", f"{base}/sessions", {"predicate": "a:b:c"})
+        assert status == 400 and "graph" in doc["error"]
+        graph, _rules, predicate_text = _workload()
+        status, doc = _call(
+            "POST", f"{base}/sessions", _session_body(graph, predicate_text, eta=-1)
+        )
+        assert status == 400 and "eta" in doc["error"]
+        status, doc = _call(
+            "POST", f"{base}/sessions", _session_body(graph, "not-a-predicate")
+        )
+        assert status == 400
+
+    def test_malformed_http_gets_400(self, server):
+        with socket.create_connection(("127.0.0.1", server.port), timeout=10) as raw:
+            raw.sendall(b"GIBBERISH\r\n\r\n")
+            response = raw.recv(4096)
+        assert response.startswith(b"HTTP/1.1 400")
+
+
+class TestAnswerAndUpdates:
+    def test_pagination_pinned_while_updates_tick(self, server):
+        graph, _rules, predicate_text = _workload(seed=4)
+        status, created = _call(
+            "POST", f"{server.base_url}/sessions", _session_body(graph, predicate_text, seed=4)
+        )
+        assert status == 201
+        url = f"{server.base_url}/sessions/{created['session']}"
+
+        status, first = _call("GET", f"{url}/answer?limit=1")
+        assert status == 200
+        assert first["total"] >= 2, "workload must produce a multi-page answer"
+        pinned = first["graph_version"]
+        collected = list(first["entries"])
+        cursor = first["next_cursor"]
+        live = graph.copy()
+        position = 0
+        while cursor is not None:
+            # Tick the graph between every page; the open pagination must
+            # keep seeing the pinned version.
+            batch = random_update_batch(live, size=3, seed=500 + position)
+            status, tick = _call(
+                "POST", f"{url}/updates", {"ops": [op.as_dict() for op in batch.ops]}
+            )
+            assert status == 200 and tick["graph_version"] > pinned
+            batch.apply(live)
+            position += 1
+            status, page = _call("GET", f"{url}/answer?cursor={cursor}&limit=1")
+            assert status == 200
+            assert page["graph_version"] == pinned
+            collected.extend(page["entries"])
+            cursor = page["next_cursor"]
+        assert len(collected) == first["total"]
+        keys = [(entry["entity"], entry["rule_index"]) for entry in collected]
+        assert keys == sorted(keys)
+        # A fresh read reflects the ticks.
+        status, head = _call("GET", f"{url}/answer?limit=1")
+        assert head["graph_version"] > pinned
+        _call("DELETE", url)
+
+    def test_bad_cursor_and_bad_ops(self, server):
+        graph, _rules, predicate_text = _workload(seed=12)
+        _status, created = _call(
+            "POST", f"{server.base_url}/sessions", _session_body(graph, predicate_text)
+        )
+        url = f"{server.base_url}/sessions/{created['session']}"
+        assert _call("GET", f"{url}/answer?cursor=@@@")[0] == 400
+        assert _call("GET", f"{url}/answer?limit=zero")[0] == 400
+        assert _call("POST", f"{url}/updates", {"ops": [{"kind": "explode"}]})[0] == 400
+        assert _call("POST", f"{url}/updates", {"not_ops": []})[0] == 400
+        _call("DELETE", url)
+
+
+class TestSubscriptions:
+    def test_deltas_match_fresh_recomputes(self, server):
+        graph, rules, predicate_text = _workload(seed=13)
+        _status, created = _call(
+            "POST", f"{server.base_url}/sessions", _session_body(graph, predicate_text, seed=13)
+        )
+        url = f"{server.base_url}/sessions/{created['session']}"
+        assert created["rules"] == [rule.name for rule in rules]
+        status, baseline = _call("GET", f"{url}/subscribe")
+        assert status == 200 and baseline["deltas"] == []
+        since = baseline["resume_from"]
+
+        config = EIPConfig(eta=0.1, num_workers=2, seed=13)
+        mirror = graph.copy()
+        fresh_before = api.identify(mirror, rules, config)
+        expected = []
+        live = graph.copy()
+        for position in range(3):
+            batch = random_update_batch(live, size=6, seed=1300 + position)
+            status, tick = _call(
+                "POST", f"{url}/updates", {"ops": [op.as_dict() for op in batch.ops]}
+            )
+            assert status == 200
+            batch.apply(live)
+            batch.apply(mirror)
+            fresh_after = api.identify(mirror, rules, config)
+            expected.append(
+                api.diff_results(
+                    fresh_before, fresh_after, tick["base_version"], tick["graph_version"]
+                ).as_dict()
+            )
+            fresh_before = fresh_after
+
+        status, replay = _call("GET", f"{url}/subscribe?since={since}&timeout=5")
+        assert status == 200
+        assert replay["deltas"] == expected
+        assert replay["resume_from"] == expected[-1]["version"]
+        # Incremental consumption: resuming from the last seen version
+        # yields nothing new (after the long-poll window).
+        status, quiet = _call(
+            "GET", f"{url}/subscribe?since={replay['resume_from']}&timeout=0.2"
+        )
+        assert status == 200 and quiet["deltas"] == []
+        # Per-rule filter keeps only that rule's diff per tick.
+        rule_name = created["rules"][0]
+        status, filtered = _call(
+            "GET", f"{url}/subscribe?since={since}&timeout=5&rule={rule_name}"
+        )
+        assert status == 200
+        for doc, full in zip(filtered["deltas"], expected):
+            assert set(doc["rules"]) <= {rule_name}
+            assert doc["rules"] == {
+                name: diff for name, diff in full["rules"].items() if name == rule_name
+            }
+        assert _call("GET", f"{url}/subscribe?since={since}&rule=missing")[0] == 404
+        _call("DELETE", url)
+
+    def test_evicted_history_maps_to_410_resync(self, server):
+        graph, _rules, predicate_text = _workload(seed=14)
+        _status, created = _call(
+            "POST",
+            f"{server.base_url}/sessions",
+            _session_body(graph, predicate_text, seed=14, history_limit=1),
+        )
+        url = f"{server.base_url}/sessions/{created['session']}"
+        since = created["graph_version"]
+        live = graph.copy()
+        for position in range(3):
+            batch = random_update_batch(live, size=4, seed=1400 + position)
+            assert (
+                _call(
+                    "POST", f"{url}/updates", {"ops": [op.as_dict() for op in batch.ops]}
+                )[0]
+                == 200
+            )
+            batch.apply(live)
+        status, gone = _call("GET", f"{url}/subscribe?since={since}&timeout=1")
+        assert status == 410
+        assert gone["resync"] is True
+        _call("DELETE", url)

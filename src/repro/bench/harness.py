@@ -125,6 +125,10 @@ class EIPRow:
     index_speedup: float | None = None
     use_incremental: bool = True
     incremental_speedup: float | None = None
+    # Prefix-trie pool applications summed over all fragments; the
+    # incremental smoke gate requires > 0 on incremental-on rows (proof the
+    # shared-prefix path ran, census-split rules included).
+    prefix_pool_hits: int = 0
     # Content hash of the identified entities + per-rule confidences.
     fingerprint: str = ""
 
@@ -140,6 +144,7 @@ class EIPRow:
             "wall_s": round(self.wall_time, 3),
             "identified": self.identified,
             "checks": self.candidates_examined,
+            "prefix_hits": self.prefix_pool_hits,
             "fingerprint": self.fingerprint,
         }
         if self.wall_speedup is not None:
@@ -250,6 +255,7 @@ def run_eip_config(
         backend=backend,
         use_index=use_index,
         use_incremental=use_incremental,
+        prefix_pool_hits=result.prefix_pool_hits,
         fingerprint=_eip_result_fingerprint(result),
     )
 
@@ -1339,4 +1345,148 @@ def run_matchview_stream_comparison(
                 f"{repair_row.fingerprint} != {rows[-1].fingerprint}"
             )
         rows.append(repair_row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# adversarial storm suite (differential oracle + distillation)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StormRow:
+    """One storm family replayed through the differential oracle.
+
+    ``divergences`` counts first-divergences across the backend grid for
+    this family (the smoke gate fails on any non-zero value);
+    ``shrunk_ops`` is the total op count of the distilled counterexamples
+    and ``deduped`` how many were dropped as MinHash near-duplicates of
+    already-known regression cases.
+    """
+
+    dataset: str
+    storm: str
+    backend: str
+    batches: int
+    ops: int
+    checks: int
+    wall_time: float
+    divergences: int = 0
+    shrunk_ops: int = 0
+    deduped: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "dataset": self.dataset,
+            "storm": self.storm,
+            "backend": self.backend,
+            "batches": self.batches,
+            "ops": self.ops,
+            "checks": self.checks,
+            "wall_s": round(self.wall_time, 3),
+            "checks_per_s": (
+                round(self.checks / self.wall_time, 1) if self.wall_time else 0.0
+            ),
+            "divergences": self.divergences,
+            "shrunk_ops": self.shrunk_ops,
+            "deduped": self.deduped,
+        }
+
+
+def run_storm_suite(
+    dataset: str,
+    graph: Graph,
+    rules: Sequence[GPAR],
+    num_workers: int,
+    backends: Sequence[str] = ("sequential", "threads", "processes"),
+    num_batches: int = 3,
+    batch_size: int = 6,
+    eta: float = 0.5,
+    algorithm: str = "match",
+    seed: int = 0,
+    cases_dir: str | None = None,
+) -> list["StormRow"]:
+    """Every storm family × backend through the differential oracle.
+
+    Each family samples its batch sequence once (against a scratch copy, so
+    every backend replays identical ops), then a single-backend
+    :class:`repro.testing.DifferentialOracle` checks the maintained
+    streaming state against fresh recomputes after every batch.  Any
+    divergence is distilled to a minimal counterexample and — unless MinHash
+    flags it as a near-duplicate of a known case — written to *cases_dir*
+    (default ``tests/regressions/``) for the pytest collector to replay
+    forever.  The smoke gate downstream fails on any non-zero
+    ``divergences`` column.
+    """
+    from repro.testing import (
+        CASES_DIR,
+        STORM_FAMILIES,
+        DifferentialOracle,
+        distill,
+        from_distilled,
+        is_duplicate,
+        write_case,
+    )
+    from repro.testing.cases import known_signatures
+
+    target_dir = CASES_DIR if cases_dir is None else cases_dir
+    rows: list[StormRow] = []
+    for storm in sorted(STORM_FAMILIES):
+        sampler = STORM_FAMILIES[storm]
+        scratch = graph.copy()
+        batches = []
+        for position in range(num_batches):
+            batch = sampler(scratch, size=batch_size, seed=seed * 1000 + position)
+            batch.apply(scratch)
+            batches.append(batch)
+        total_ops = sum(len(batch) for batch in batches)
+        for backend in backends:
+            oracle = DifferentialOracle(
+                rules,
+                algorithm=algorithm,
+                eta=eta,
+                num_workers=num_workers,
+                seed=seed,
+                backends=(backend,),
+                index_modes=(True,),
+            )
+            report = oracle.run(graph, batches)
+            shrunk_ops = 0
+            deduped = 0
+            known = known_signatures(target_dir)
+            for position, divergence in enumerate(report.divergences):
+                distilled = distill(graph, batches, oracle.checker_for(divergence))
+                shrunk_ops += distilled.num_ops
+                if is_duplicate(distilled.signature, known):
+                    deduped += 1
+                    continue
+                known.append(distilled.signature)
+                case = from_distilled(
+                    f"storm-{dataset}-{storm}-{backend}-{position}",
+                    f"storm harness: {storm} family diverged on {backend} "
+                    f"({divergence.describe()})",
+                    distilled,
+                    rules,
+                    config={
+                        "algorithm": algorithm,
+                        "eta": eta,
+                        "num_workers": num_workers,
+                        "seed": seed,
+                        "backend": backend,
+                        "use_index": True,
+                    },
+                )
+                write_case(case, target_dir)
+            rows.append(
+                StormRow(
+                    dataset=dataset,
+                    storm=storm,
+                    backend=backend,
+                    batches=len(batches),
+                    ops=total_ops,
+                    checks=report.checks,
+                    wall_time=report.wall_time,
+                    divergences=len(report.divergences),
+                    shrunk_ops=shrunk_ops,
+                    deduped=deduped,
+                )
+            )
     return rows

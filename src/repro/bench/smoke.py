@@ -81,6 +81,7 @@ from repro.bench.harness import (
     run_matching_index_comparison,
     run_matchview_stream_comparison,
     run_serve_load,
+    run_storm_suite,
     run_stream_churn,
 )
 from repro.bench.reporting import format_rows, rows_as_json, wall_speedups
@@ -89,11 +90,12 @@ from repro.bench.workloads import (
     dense_mining_workload,
     eip_workload,
     mining_workload,
+    storm_workload,
     stream_workload,
 )
 from repro.parallel.executor import BACKENDS
 
-FAMILIES = ("dmine", "match", "index", "incremental", "stream", "lifecycle", "serve")
+FAMILIES = ("dmine", "match", "index", "incremental", "stream", "lifecycle", "serve", "storm")
 
 # Tiny-but-nontrivial smoke scales: seconds per family, not minutes.
 SMOKE_SCALE = 400
@@ -143,6 +145,17 @@ SERVE_CLIENTS = 8
 SERVE_BATCHES = 3
 SERVE_BATCH_SIZE = 8
 
+# The storm family replays every adversarial churn generator (correlated
+# deletions, label flips, hub churn, ball bursts, plus uniform random)
+# through the differential oracle on every backend: maintained streaming
+# state vs a fresh recompute after every batch, divergences distilled to
+# minimal regression cases.  Scale is SMOKE-tier — the oracle's fresh
+# recompute per (batch, backend) dominates, not the maintenance itself.
+STORM_SCALE = 400
+STORM_RULES = 3
+STORM_BATCHES = 3
+STORM_BATCH_SIZE = 6
+
 
 def run_smoke(
     family: str,
@@ -169,9 +182,11 @@ def run_smoke(
             scale = INCREMENTAL_SCALE
         elif family in ("stream", "lifecycle", "serve"):
             scale = STREAM_SCALE
+        elif family == "storm":
+            scale = STORM_SCALE
         else:
             scale = SMOKE_SCALE
-    if family not in ("index", "incremental", "stream", "lifecycle", "serve") and backend is None:
+    if family not in ("index", "incremental", "stream", "lifecycle", "serve", "storm") and backend is None:
         backend = "processes"
     if family == "dmine":
         graph, predicate = mining_workload("synthetic", scale)
@@ -324,6 +339,24 @@ def run_smoke(
             )
         )
         return rows
+    if family == "storm":
+        backends = (
+            BACKENDS
+            if backend is None
+            else tuple(dict.fromkeys(("sequential", backend)))
+        )
+        graph, rules = storm_workload(scale, STORM_RULES)
+        return run_storm_suite(
+            "synthetic",
+            graph,
+            rules,
+            num_workers=workers,
+            backends=backends,
+            num_batches=STORM_BATCHES,
+            batch_size=STORM_BATCH_SIZE,
+            eta=0.5,
+            algorithm="match",
+        )
     if family == "serve":
         # Σ is regenerated server-side from the same (predicate, params) the
         # stream_workload uses, so the bench's mirror rules match the hosted
@@ -471,6 +504,41 @@ def _check_incremental_gate(rows) -> None:
                 f"incremental regression: sequential {row.algorithm} "
                 f"incremental_speedup {speedup:.2f} < 1.0"
             )
+    # The EIP half of the family must actually take the prefix-trie path —
+    # including for the census-split rule in Σ (an isolated free node whose
+    # x-part is matched through CensusMatcher substitution).  Zero pool
+    # applications on an incremental-on row means trie sharing silently
+    # died (e.g. a pattern rewrite broke chain prefixes).
+    for row in rows:
+        if not hasattr(row, "prefix_pool_hits") or not row.use_incremental:
+            continue
+        if row.incremental_speedup is None:
+            continue  # the "off" twin of a comparison pair
+        if row.prefix_pool_hits == 0:
+            raise SystemExit(
+                f"incremental regression: EIP row ({row.backend}) ran with "
+                "use_incremental=True but recorded zero prefix-trie pool hits"
+            )
+
+
+def _check_storm_gate(rows) -> None:
+    """Regression gate: no storm may leave a surviving divergence.
+
+    Every divergence has already been distilled and (if novel) written to
+    ``tests/regressions/`` by the suite runner — the artifact JSON records
+    how many; this gate turns any non-zero count into a failed run so CI
+    both fails loudly *and* leaves the shrunk counterexample behind.
+    """
+    if not rows:
+        raise SystemExit("storm run produced no rows")
+    for row in rows:
+        if row.divergences:
+            raise SystemExit(
+                f"storm regression: {row.storm} storm on backend "
+                f"{row.backend} diverged {row.divergences} time(s) "
+                f"(distilled to {row.shrunk_ops} ops, {row.deduped} known "
+                "duplicates) — see tests/regressions/"
+            )
 
 
 def _report_family(family: str, backend: str | None, workers: int, rows) -> None:
@@ -535,6 +603,20 @@ def _report_family(family: str, backend: str | None, workers: int, rows) -> None
         for name, speedup in sorted(_stream_speedups(rows).items()):
             print(f"repair speedup ({name}): {speedup:.2f}x")
         _check_stream_gate(rows)
+    elif family == "storm":
+        shown = "/".join(BACKENDS) if backend is None else f"sequential/{backend}"
+        title = f"smoke storm (n={workers}, backends={shown})"
+        print(f"== {title} ==")
+        print("-- adversarial churn x differential oracle (gated on zero divergences) --")
+        print(format_rows(rows))
+        checks = sum(row.checks for row in rows)
+        wall = sum(row.wall_time for row in rows)
+        rate = f"{checks / wall:.1f}/s" if wall else "n/a"
+        print(
+            f"storms {len({row.storm for row in rows})}, combos {len(rows)}, "
+            f"oracle checks {checks} ({rate})"
+        )
+        _check_storm_gate(rows)
     elif family == "serve":
         row = rows[0]
         title = f"smoke serve (clients={row.clients}, batches={row.batches})"
@@ -610,6 +692,7 @@ def main(argv: list[str] | None = None) -> int:
         "stream",
         "lifecycle",
         "serve",
+        "storm",
     ):
         backend = "processes"
     if args.deletion_bias is not None and args.family != "stream":

@@ -101,7 +101,83 @@ def dense_eip_workload(
     ranked = sorted(
         result.all_rules.items(), key=lambda item: (-item[1].support, item[0].name)
     )
-    return graph, tuple(rule for rule, _info in ranked[:num_rules])
+    rules = [rule for rule, _info in ranked[:num_rules]]
+    return graph, tuple(rules + [_census_split_variant(rules[0], predicate)])
+
+
+@lru_cache(maxsize=None)
+def storm_workload(scale: int = 400, num_rules: int = 3) -> tuple[Graph, tuple[GPAR, ...]]:
+    """Graph + census-mixed Σ for the adversarial ``storm`` smoke family.
+
+    Σ is *num_rules* generated connected rules over the graph's most
+    frequent predicate, plus a free-node variant and an edge-carrying
+    component variant of the first rule — one rule set that exercises the
+    ball-local, label-census and component-census maintenance paths under
+    every storm at once.
+    """
+    graph = synthetic_graph(
+        scale, scale * 3, num_node_labels=6, num_edge_labels=4, seed=11
+    )
+    predicate = most_frequent_predicates(graph, top=1)[0]
+    rules = generate_gpars(
+        graph, predicate, count=num_rules, max_pattern_edges=2, d=2, seed=3
+    )
+    base = rules[0]
+    return graph, tuple(
+        rules
+        + [_census_split_variant(base, predicate), _edge_component_variant(base, predicate)]
+    )
+
+
+def _edge_component_variant(base: GPAR, predicate: Pattern) -> GPAR:
+    """A twin of *base* whose antecedent gains a disconnected q-shaped
+    component (two fresh nodes joined by the predicate's edge label) —
+    maintained via the coordinator's component census."""
+    expanded = base.antecedent.expanded()
+    q_edge = predicate.edges()[0]
+    antecedent = Pattern(
+        nodes={
+            **{node: expanded.label(node) for node in expanded.nodes()},
+            "census_f1": predicate.label(predicate.x),
+            "census_f2": predicate.label(predicate.y),
+        },
+        edges=list(expanded.edges()) + [("census_f1", "census_f2", q_edge.label)],
+        x=expanded.x,
+        y=expanded.y,
+    )
+    return GPAR(
+        antecedent,
+        consequent_label=base.consequent_label,
+        name=f"{base.name}+component",
+        validate=False,
+    )
+
+
+def _census_split_variant(base: GPAR, predicate: Pattern) -> GPAR:
+    """A census-split twin of *base*: same antecedent plus an isolated node.
+
+    The extra free node carries the predicate's y-label, so the antecedent
+    splits into the (shared) connected-from-x part plus a global label
+    census.  Its chain prefixes are exactly *base*'s, which keeps the
+    prefix-trie sharing of ``MultiPatternMatcher`` live under census
+    substitution — the ``incremental`` smoke gate asserts that via
+    ``prefix_pool_hits``.
+    """
+    expanded = base.antecedent.expanded()
+    free = "census_free"
+    antecedent = Pattern(
+        nodes={**{node: expanded.label(node) for node in expanded.nodes()},
+               free: predicate.label(predicate.y)},
+        edges=list(expanded.edges()),
+        x=expanded.x,
+        y=expanded.y,
+    )
+    return GPAR(
+        antecedent,
+        consequent_label=base.consequent_label,
+        name=f"{base.name}+census",
+        validate=False,
+    )
 
 
 @lru_cache(maxsize=None)

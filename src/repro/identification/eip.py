@@ -143,6 +143,10 @@ class EIPResult:
     accepted_rules: list[GPAR] = field(default_factory=list)
     timings: RunTimings = field(default_factory=RunTimings)
     candidates_examined: int = 0
+    #: Prefix-trie pool applications across all fragments; > 0 proves the
+    #: shared-prefix path actually ran (the ``incremental`` bench family
+    #: gates on this for census-split Σ).
+    prefix_pool_hits: int = 0
 
     def confidence_of(self, rule: GPAR) -> float:
         """Global confidence computed for *rule* (KeyError if unknown)."""

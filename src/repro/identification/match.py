@@ -152,6 +152,7 @@ class Match(MatchC):
             {rule: rule.pr_pattern() for rule in rules},
             candidates=owned & local_positives,
         )
+        report.prefix_pool_hits = multi.statistics.prefix_pool_hits
         for rule in rules:
             antecedent_matches = antecedent_sets[rule]
             report.rule_matches[rule] = pr_sets[rule]

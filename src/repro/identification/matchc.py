@@ -23,6 +23,12 @@ from repro.matching.locality import LocalityMatcher
 from repro.matching.vf2 import VF2Matcher
 from repro.metrics.confidence import bayes_factor_confidence
 from repro.metrics.lcwa import predicate_stats_over
+from repro.identification.census import (
+    CensusMatcher,
+    apply_census,
+    max_verification_radius,
+    plan_census,
+)
 from repro.identification.eip import EIPConfig, EIPResult, _shared_predicate
 from repro.parallel.executor import make_executor
 from repro.parallel.runtime import BSPRuntime
@@ -41,6 +47,10 @@ class VerifyPayload:
     Ships the solver *class* (picklable by reference) plus its config so a
     worker process can rebuild the solver — and through it the right matcher
     — deterministically; the fragment itself never travels with the round.
+    ``census`` maps census-split patterns to their x-components (see
+    :class:`repro.identification.census.CensusMatcher`): workers verify the
+    ball-local x-component, the coordinator applies the global half at
+    assembly time, so free-pattern verdicts never depend on the partitioning.
     """
 
     solver_cls: type
@@ -48,6 +58,7 @@ class VerifyPayload:
     rules: tuple[GPAR, ...]
     max_radius: int
     predicate: object
+    census: tuple = ()  # ((pattern, x_part), ...)
 
 
 def verify_worker(context: WorkerContext, payload: VerifyPayload) -> "_FragmentReport":
@@ -57,6 +68,8 @@ def verify_worker(context: WorkerContext, payload: VerifyPayload) -> "_FragmentR
         ("eip-matcher", payload.solver_cls, payload.config, payload.max_radius),
         lambda: solver._make_matcher(payload.max_radius),
     )
+    if payload.census:
+        matcher = CensusMatcher(matcher, dict(payload.census))
     return solver._verify_fragment(
         context.fragment, payload.rules, matcher, payload.predicate
     )
@@ -78,6 +91,7 @@ class _FragmentReport:
     supp_q: int = 0
     supp_q_bar: int = 0
     candidates_examined: int = 0
+    prefix_pool_hits: int = 0
     rule_matches: dict[GPAR, set] = field(default_factory=dict)
     antecedent_counts: dict[GPAR, int] = field(default_factory=dict)
     qbar_counts: dict[GPAR, int] = field(default_factory=dict)
@@ -152,9 +166,14 @@ class MatchC:
         """Compute ``Σ(x, G, η)`` on *graph*."""
         representative = _shared_predicate(rules)
         predicate = representative.q_pattern()
+        # Disconnected rules split: workers verify the connected x-component
+        # inside its ball, the coordinator resolves the free part globally
+        # (apply_census below) so the answer matches whole-graph semantics
+        # regardless of how G was fragmented.
+        census_plan = plan_census(rules)
         # Fragments must preserve a ball large enough to verify both PR and
         # the antecedent Q at every owned candidate.
-        max_radius = max(rule.verification_radius for rule in rules)
+        max_radius = max_verification_radius(rules, census_plan)
         centers = graph.nodes_with_label(representative.x_label)
 
         fragments = partition_graph(
@@ -178,11 +197,13 @@ class MatchC:
             rules=tuple(rules),
             max_radius=max_radius,
             predicate=predicate,
+            census=census_plan.substitutions,
         )
         try:
             reports = runtime.run_round(
                 verify_worker, [payload] * len(fragments)
             )
+            reports = apply_census(graph, rules, reports, census_plan)
             # Assemble inside the timed window so wall_time keeps covering
             # the coordinator's assembling phase, as it always has.
             result = self._assemble(rules, reports)
@@ -196,6 +217,7 @@ class MatchC:
         supp_q_bar = sum(report.supp_q_bar for report in reports)
         result = EIPResult()
         result.candidates_examined = sum(report.candidates_examined for report in reports)
+        result.prefix_pool_hits = sum(report.prefix_pool_hits for report in reports)
         for rule in rules:
             supp_r = sum(len(report.rule_matches.get(rule, ())) for report in reports)
             supp_q_qbar = sum(report.qbar_counts.get(rule, 0) for report in reports)

@@ -30,6 +30,7 @@ class MatchStatistics:
     matches_found: int = 0
     sketch_prunes: int = 0
     profile_prunes: int = 0
+    prefix_pool_hits: int = 0
 
     def merge(self, other: "MatchStatistics") -> None:
         """Accumulate counters from another statistics object."""
@@ -39,6 +40,7 @@ class MatchStatistics:
         self.matches_found += other.matches_found
         self.sketch_prunes += other.sketch_prunes
         self.profile_prunes += other.profile_prunes
+        self.prefix_pool_hits += other.prefix_pool_hits
 
 
 @dataclass

@@ -162,6 +162,7 @@ class MultiPatternMatcher:
                     )
                     pool_cache[prefix] = cached
                 pool = cached
+                self.statistics.prefix_pool_hits += 1
             if self.use_profile_filter and pool is not None:
                 expanded = pattern.expanded()
                 needed = required_profile(expanded, expanded.x)

@@ -27,14 +27,19 @@ recomputing:
   all times exactly what a from-scratch run on the current graph would
   return.
 
-Rules whose antecedent carries a *free* (disconnected, isolated) ``y`` node
-— the usual shape of DMine-mined rules — are maintained too: the connected
-x-component is verified ball-locally as usual, and the free nodes are
-checked against a coordinator-maintained **global label census** (the
-feasibility condition ``count(L) >= #antecedent nodes labelled L`` for each
-free label, which is exact for injective label-equality matching).  The
-maintained answer for such rules follows whole-graph matching semantics;
-see ``docs/lifecycle.md``.
+Rules whose antecedent is disconnected — the usual shape of DMine-mined
+rules — are maintained too: the connected x-component is verified
+ball-locally as usual, and the free part is checked by the coordinator
+against the authoritative graph.  Isolated free nodes (the mined free-``y``
+shape) use the **global label census** (the feasibility condition
+``count(L) >= #antecedent nodes labelled L`` for each free label, exact for
+injective label-equality matching); free components that carry edges use
+the **component census** — per-shape embedding enumeration with an exact
+per-centre fallback (see :mod:`repro.identification.census`).  The
+maintained answer for such rules follows whole-graph matching semantics and
+agrees with :func:`repro.identification.eip.identify_entities`, which
+routes through the same census; see ``docs/lifecycle.md`` and
+``docs/adversarial.md``.
 """
 
 from __future__ import annotations
@@ -43,15 +48,22 @@ import pickle
 import threading
 import time
 import warnings
-from collections import Counter
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Hashable, Mapping, Sequence
+from typing import Hashable, Sequence
 
-from repro.exceptions import PatternError, StreamError
+from repro.exceptions import StreamError
 from repro.graph.graph import Graph, GraphDelta
 from repro.graph.index import registered_index
-from repro.graph.neighborhood import eccentricity, multi_source_ball
+from repro.graph.neighborhood import multi_source_ball
+from repro.identification.census import (
+    CensusMatcher,
+    apply_census,
+    census_feasible,
+    max_verification_radius,
+    plan_census,
+    split_free_pattern,
+)
 from repro.identification.eip import EIPConfig, EIPResult, _shared_predicate
 from repro.identification.match import Match
 from repro.identification.matchc import MatchC, _FragmentReport
@@ -68,7 +80,6 @@ from repro.partition.lifecycle import (
 from repro.partition.partitioner import partition_graph
 from repro.pattern.gpar import GPAR
 from repro.pattern.pattern import Pattern
-from repro.pattern.radius import pattern_radius
 from repro.stream.config import StreamConfig
 from repro.stream.updates import UpdateBatch
 
@@ -88,88 +99,6 @@ NodeId = Hashable
 #: Solvers the streaming layer can drive (disVF2 enumerates whole fragments,
 #: which is not ball-local, so it stays batch-only).
 STREAM_ALGORITHMS = {"match": Match, "matchc": MatchC}
-
-
-# ----------------------------------------------------------------------
-# free-y antecedents: global label census
-# ----------------------------------------------------------------------
-def split_free_pattern(pattern: Pattern):
-    """Split *pattern* into its x-component and free-label requirements.
-
-    Returns ``(x_part, requirements)`` when every node disconnected from
-    ``x`` is *isolated* (carries no edges) — ``x_part`` is the connected
-    component of ``x`` (with ``y`` kept only if it lies inside) and
-    ``requirements`` the sorted ``(label, needed)`` pairs such that the
-    whole pattern matches at a centre iff the x-component matches there and
-    every free label's global node count reaches ``needed``.  Exact for
-    injective, label-equality matchers (VF2/guided): any x-component
-    embedding uses exactly the component's label multiset, so an injective
-    completion over the isolated free nodes exists iff each label's count
-    covers the whole pattern's demand.
-
-    Returns ``None`` when the disconnected part has edges (no bounded ball
-    *or* census can decide it) or the pattern is connected (nothing to do).
-    """
-    expanded = pattern.expanded()
-    component: set = {expanded.x}
-    frontier = [expanded.x]
-    while frontier:
-        current = frontier.pop()
-        for neighbor in expanded.neighbors(current):
-            if neighbor not in component:
-                component.add(neighbor)
-                frontier.append(neighbor)
-    free = set(expanded.nodes()) - component
-    if not free:
-        return None
-    for edge in expanded.edges():
-        if edge.source in free or edge.target in free:
-            return None
-    x_part = Pattern(
-        nodes={node: expanded.label(node) for node in component},
-        edges=list(expanded.edges()),
-        x=expanded.x,
-        y=expanded.y if expanded.y in component else None,
-    )
-    totals = Counter(expanded.label(node) for node in expanded.nodes())
-    requirements = tuple(
-        sorted((label, totals[label]) for label in {expanded.label(node) for node in free})
-    )
-    return x_part, requirements
-
-
-def census_feasible(requirements, label_counts: Mapping) -> bool:
-    """Whether the global label census covers the free-node requirements."""
-    return all(label_counts.get(label, 0) >= needed for label, needed in requirements)
-
-
-class CensusMatcher:
-    """Substitute census-split antecedents' x-components before matching.
-
-    Workers never see the whole graph, so a free node matched against a
-    *fragment's* label index would make the verdict partition-dependent.
-    This wrapper reroutes every probe of a census-split antecedent to its
-    connected x-component (ball-local, hence exact on the fragment); the
-    coordinator applies the global feasibility half at assembly time.
-    Everything else — PR patterns, the predicate — passes through.
-    """
-
-    __slots__ = ("_inner", "_substitutions")
-
-    def __init__(self, inner, substitutions: Mapping[Pattern, Pattern]) -> None:
-        self._inner = inner
-        self._substitutions = dict(substitutions)
-
-    def exists_match_at(self, graph: Graph, pattern: Pattern, anchor_value) -> bool:
-        resolved = self._substitutions.get(pattern, pattern)
-        return self._inner.exists_match_at(graph, resolved, anchor_value)
-
-    def find_match_at(self, graph: Graph, pattern: Pattern, anchor_value):
-        resolved = self._substitutions.get(pattern, pattern)
-        return self._inner.find_match_at(graph, resolved, anchor_value)
-
-    def __getattr__(self, name):
-        return getattr(self._inner, name)
 
 
 # ----------------------------------------------------------------------
@@ -245,10 +174,6 @@ def stream_update_worker(
         index.refresh()
 
     config = payload.config
-    if payload.census:
-        # The prefix-trie path matches antecedents without consulting the
-        # matcher wrapper; census rules take the rule-at-a-time path.
-        config = replace(config, use_incremental=False)
     solver = payload.solver_cls(config)
     matcher = context.cached(
         ("eip-matcher", payload.solver_cls, config, payload.max_radius),
@@ -280,7 +205,9 @@ class StreamingIdentifier:
         The rule set Σ.  Connected antecedents are maintained ball-locally;
         antecedents whose only disconnection is isolated free nodes (the
         mined free-``y`` shape) are maintained via the global label census;
-        anything else raises :class:`StreamError`.
+        disconnected components that carry edges are maintained via the
+        coordinator-held component census (exact, whole-graph semantics —
+        see :mod:`repro.identification.census`).
     config:
         Standard :class:`~repro.identification.eip.EIPConfig`; the backend
         and its worker pool stay up between batches.
@@ -369,50 +296,29 @@ class StreamingIdentifier:
         representative = _shared_predicate(list(self.rules))
         self.predicate = representative.q_pattern()
         self.x_label = representative.x_label
-        self._census_parts: dict[GPAR, Pattern] = {}
-        self._census_requirements: dict[GPAR, tuple] = {}
-        self._census_pr_requirements: dict[GPAR, tuple] = {}
-        census_pairs: list[tuple[Pattern, Pattern]] = []
-        radii: list[int] = []
-        for rule in self.rules:
-            try:
-                pattern_radius(rule.antecedent, rule.antecedent.x)
-                radii.append(rule.verification_radius)
-                continue
-            except PatternError:
-                pass
-            split = split_free_pattern(rule.antecedent)
-            if split is None:
-                raise StreamError(
-                    f"rule {rule.name} cannot be maintained incrementally: "
-                    "its antecedent's disconnected part carries edges, so "
-                    "neither a bounded ball nor the label census can "
-                    "verify it"
-                )
-            x_part, requirements = split
-            self._census_parts[rule] = x_part
-            self._census_requirements[rule] = requirements
-            census_pairs.append((rule.antecedent, x_part))
-            # PR = antecedent + the q(x, y) edge.  With a free y it becomes
-            # connected; any *other* isolated free node stays free, so PR
-            # census-splits too (its free set is a subset of the
-            # antecedent's) and rule.verification_radius — which needs a
-            # connected PR — is replaced by the x-reachable depths of both
-            # patterns (eccentricity only walks x's component).
-            pr_pattern = rule.pr_pattern()
-            pr_split = split_free_pattern(pr_pattern)
-            if pr_split is not None:
-                pr_part, pr_requirements = pr_split
-                self._census_pr_requirements[rule] = pr_requirements
-                census_pairs.append((pr_pattern, pr_part))
-                pr_depth = eccentricity(pr_part.to_graph(), rule.x)
-            else:
-                pr_depth = pattern_radius(pr_pattern, rule.x)
-            radii.append(
-                max(pr_depth, eccentricity(self._census_parts[rule].to_graph(), rule.x))
-            )
-        self.max_radius = max(radii)
-        self._census_pairs = tuple(census_pairs)
+        # One census plan shared (by construction) with the static solvers:
+        # workers verify x-components via CensusMatcher substitution, the
+        # coordinator applies the global half at assembly time.  PR = the
+        # antecedent + the q(x, y) edge, so a free y reattaches in PR while
+        # any other free part census-splits PR too; rule.verification_radius
+        # — which needs a connected PR — is replaced by the x-reachable
+        # depths of both x-components (RuleCensus.depth).
+        self._census_plan = plan_census(self.rules)
+        self._census_parts: dict[GPAR, Pattern] = {
+            entry.rule: entry.part for entry in self._census_plan.entries
+        }
+        self._census_requirements: dict[GPAR, tuple] = {
+            entry.rule: entry.requirements
+            for entry in self._census_plan.entries
+            if entry.requirements
+        }
+        self._census_pr_requirements: dict[GPAR, tuple] = {
+            entry.rule: entry.pr_requirements
+            for entry in self._census_plan.entries
+            if entry.pr_requirements
+        }
+        self._census_pairs = self._census_plan.substitutions
+        self.max_radius = max_verification_radius(self.rules, self._census_plan)
 
     def _start_runtime(self) -> None:
         solver_cls = type(self._solver)
@@ -480,36 +386,10 @@ class StreamingIdentifier:
 
     def _assemble(self) -> EIPResult:
         reports = [self._reports[fragment.index] for fragment in self.fragments]
-        infeasible = self._infeasible_rules()
-        pr_infeasible = self._pr_infeasible_rules()
-        if infeasible or pr_infeasible:
-            # A census rule whose free labels the graph cannot cover matches
-            # nowhere: zero its antecedent-side numbers (and, for a PR whose
-            # own free part the census cannot cover, its match set) without
-            # touching the maintained x-part sets — the census may become
-            # feasible again.
-            adjusted = []
-            for stored in reports:
-                qbar = dict(stored.qbar_counts)
-                antecedent_counts = dict(stored.antecedent_counts)
-                antecedent_sets = dict(stored.antecedent_sets)
-                rule_matches = dict(stored.rule_matches)
-                for rule in infeasible:
-                    qbar[rule] = 0
-                    antecedent_counts[rule] = 0
-                    antecedent_sets[rule] = set()
-                for rule in pr_infeasible:
-                    rule_matches[rule] = set()
-                adjusted.append(
-                    replace(
-                        stored,
-                        qbar_counts=qbar,
-                        antecedent_counts=antecedent_counts,
-                        antecedent_sets=antecedent_sets,
-                        rule_matches=rule_matches,
-                    )
-                )
-            reports = adjusted
+        # The maintained reports hold x-part verdicts; the census rewrites
+        # them to whole-graph verdicts on *copies*, so a census that becomes
+        # satisfiable again on a later tick re-reads the intact x-part sets.
+        reports = apply_census(self.graph, self.rules, reports, self._census_plan)
         result = self._solver._assemble(list(self.rules), reports)
         result.timings = self.runtime.timings
         return result
@@ -632,6 +512,7 @@ class StreamingIdentifier:
         stored.positives = (stored.positives - invalidated) | partial.positives
         stored.negatives = (stored.negatives - invalidated) | partial.negatives
         stored.candidates_examined += partial.candidates_examined
+        stored.prefix_pool_hits += partial.prefix_pool_hits
         for rule in self.rules:
             antecedent = (
                 stored.antecedent_sets.get(rule, set()) - invalidated
@@ -738,11 +619,10 @@ class StreamingIdentifier:
         """From-scratch answer on the current graph (the repair-vs-recompute
         baseline used by the equivalence gate and the ``stream`` benchmark).
 
-        Caveat: a from-scratch run verifies free nodes of census-maintained
-        antecedents against each *fragment's* label index, so with free-y
-        rules in Σ this baseline is partition-dependent and may differ from
-        the maintained (whole-graph-semantics) answer; compare against
-        direct whole-graph matching instead (see docs/lifecycle.md).
+        The batch solvers route disconnected rules through the same global
+        census as the maintained path (:mod:`repro.identification.census`),
+        so this baseline is partition-independent and byte-comparable to
+        :attr:`result` for every Σ, free-pattern rules included.
         """
         from repro.identification.eip import identify_entities
 

@@ -1,0 +1,265 @@
+"""Counterexample distillation: shrink a failing churn run to its essence.
+
+A storm run that diverges hands the harness a ``(graph, batches)`` pair far
+too big to debug or to keep as a regression case.  :func:`distill` applies
+greedy delta debugging against a caller-supplied failure predicate
+(typically :meth:`DifferentialOracle.check` narrowed to the failing
+combination):
+
+1. **drop whole batches** — greedy one-at-a-time passes to a fixpoint;
+2. **shrink within batches** — ddmin-style chunk removal over each
+   surviving batch's operation list (halving granularity, which subsumes
+   "split the batch and keep one half");
+3. **peel the seed graph** — first restrict to the ball around the nodes
+   the remaining ops touch, then greedily peel chunks of the untouched
+   remainder.
+
+Every candidate reduction is re-validated against the predicate, so the
+result provably still fails and is usually a handful of ops on a few dozen
+nodes.  :func:`minhash_signature` fingerprints the distilled op stream so
+near-duplicate counterexamples (the same bug found through different
+storms) are deduplicated before anything is written to
+``tests/regressions/``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, Hashable, Sequence
+
+from repro.graph.graph import Graph
+from repro.graph.neighborhood import multi_source_ball
+from repro.stream.updates import UpdateBatch, UpdateOp
+
+NodeId = Hashable
+
+#: Hash functions per MinHash signature; 48 keeps the Jaccard estimate
+#: within ~0.15 at the 0.8 similarity threshold.
+MINHASH_HASHES = 48
+#: Estimated-Jaccard threshold above which two cases count as duplicates.
+DUPLICATE_THRESHOLD = 0.8
+
+FailurePredicate = Callable[[Graph, Sequence[UpdateBatch]], object]
+
+
+@dataclass(frozen=True)
+class DistilledCase:
+    """A minimal reproducing counterexample."""
+
+    graph: Graph
+    batches: tuple[UpdateBatch, ...]
+    divergence: object  #: the predicate's verdict on the distilled run
+    signature: tuple[int, ...]  #: MinHash over the op stream (dedup key)
+
+    @property
+    def num_ops(self) -> int:
+        return sum(len(batch) for batch in self.batches)
+
+
+# ----------------------------------------------------------------------
+# MinHash over op streams
+# ----------------------------------------------------------------------
+def op_token(op: UpdateOp) -> str:
+    """Canonical token for one operation (stable across processes)."""
+    return "|".join(
+        str(part)
+        for part in (op.kind, op.node, op.source, op.target, op.label, op.attrs)
+    )
+
+
+def minhash_signature(
+    batches: Sequence[UpdateBatch], num_hashes: int = MINHASH_HASHES
+) -> tuple[int, ...]:
+    """MinHash signature of the batches' operation token set.
+
+    Uses ``blake2b`` with the hash index as key, so signatures are
+    deterministic across interpreter runs (unlike builtin ``hash``) and two
+    runs sharing most of their ops get mostly-equal minima.
+    """
+    tokens = {op_token(op) for batch in batches for op in batch}
+    if not tokens:
+        return tuple([0] * num_hashes)
+    signature = []
+    for index in range(num_hashes):
+        key = index.to_bytes(8, "little")
+        signature.append(
+            min(
+                int.from_bytes(
+                    hashlib.blake2b(token.encode(), digest_size=8, key=key).digest(),
+                    "little",
+                )
+                for token in tokens
+            )
+        )
+    return tuple(signature)
+
+
+def estimated_similarity(a: Sequence[int], b: Sequence[int]) -> float:
+    """MinHash estimate of the Jaccard similarity of two op streams."""
+    if not a or len(a) != len(b):
+        return 0.0
+    return sum(1 for x, y in zip(a, b) if x == y) / len(a)
+
+
+def is_duplicate(
+    signature: Sequence[int],
+    seen: Sequence[Sequence[int]],
+    threshold: float = DUPLICATE_THRESHOLD,
+) -> bool:
+    """Whether *signature* is a near-duplicate of any signature in *seen*."""
+    return any(estimated_similarity(signature, other) >= threshold for other in seen)
+
+
+# ----------------------------------------------------------------------
+# greedy delta debugging
+# ----------------------------------------------------------------------
+def _still_fails(check: FailurePredicate, graph: Graph, batches) -> object:
+    return check(graph, list(batches))
+
+
+def _drop_batches(check, graph, batches: list[UpdateBatch], verdict):
+    """Greedy batch dropping to a fixpoint."""
+    changed = True
+    while changed and len(batches) > 0:
+        changed = False
+        index = 0
+        while index < len(batches):
+            candidate = batches[:index] + batches[index + 1 :]
+            result = _still_fails(check, graph, candidate)
+            if result is not None:
+                batches, verdict = candidate, result
+                changed = True
+            else:
+                index += 1
+    return batches, verdict
+
+
+def _shrink_batch_ops(check, graph, batches: list[UpdateBatch], verdict):
+    """ddmin-style chunk removal inside each surviving batch."""
+    for position in range(len(batches)):
+        ops = list(batches[position].ops)
+        chunk = max(1, len(ops) // 2)
+        while chunk >= 1 and len(ops) > 1:
+            shrunk = False
+            start = 0
+            while start < len(ops):
+                candidate_ops = ops[:start] + ops[start + chunk :]
+                candidate = list(batches)
+                if candidate_ops:
+                    candidate[position] = UpdateBatch(ops=tuple(candidate_ops))
+                else:
+                    candidate = candidate[:position] + candidate[position + 1 :]
+                result = _still_fails(check, graph, candidate)
+                if result is not None:
+                    ops = candidate_ops
+                    batches, verdict = candidate, result
+                    shrunk = True
+                    if not candidate_ops:
+                        return _shrink_batch_ops(check, graph, batches, verdict)
+                else:
+                    start += chunk
+            if not shrunk:
+                chunk //= 2
+    return batches, verdict
+
+
+def _touched_nodes(batches) -> set:
+    touched = set()
+    for batch in batches:
+        for op in batch:
+            for node in (op.node, op.source, op.target):
+                if node is not None:
+                    touched.add(node)
+    return touched
+
+
+def _induced_subgraph(graph: Graph, keep: set) -> Graph:
+    peeled = Graph(name=f"{graph.name}-peeled")
+    for node, label in sorted(graph.node_items(), key=lambda item: str(item[0])):
+        if node in keep:
+            peeled.add_node(node, label, graph.node_attrs(node) or None)
+    for edge in sorted(
+        graph.edges(), key=lambda e: (str(e.source), e.label, str(e.target))
+    ):
+        if edge.source in keep and edge.target in keep:
+            peeled.add_edge(edge.source, edge.target, edge.label)
+    return peeled
+
+
+def _peel_graph(check, graph: Graph, batches, verdict, radius: int):
+    """Shrink the seed graph while the reduced run still fails.
+
+    First tries one cut down to the ball around the ops' touched nodes
+    (radius + 1 hops keeps every region any maintained layer could consult
+    about them), then greedily peels chunks of the remaining untouched
+    nodes with halving chunk sizes.
+    """
+    touched = _touched_nodes(batches) & set(graph.nodes())
+    if touched:
+        keep = multi_source_ball(graph, sorted(touched, key=str), radius + 1)
+        if len(keep) < graph.num_nodes:
+            candidate = _induced_subgraph(graph, set(keep))
+            result = _still_fails(check, candidate, batches)
+            if result is not None:
+                graph, verdict = candidate, result
+    removable = sorted(set(graph.nodes()) - _touched_nodes(batches), key=str)
+    chunk = max(1, len(removable) // 2)
+    while chunk >= 1 and removable:
+        peeled_any = False
+        start = 0
+        while start < len(removable):
+            drop = set(removable[start : start + chunk])
+            candidate = _induced_subgraph(graph, set(graph.nodes()) - drop)
+            result = _still_fails(check, candidate, batches)
+            if result is not None:
+                graph, verdict = candidate, result
+                removable = removable[:start] + removable[start + chunk :]
+                peeled_any = True
+            else:
+                start += chunk
+        if not peeled_any:
+            chunk //= 2
+    return graph, verdict
+
+
+def distill(
+    graph: Graph,
+    batches: Sequence[UpdateBatch],
+    check: FailurePredicate,
+    radius: int = 2,
+) -> DistilledCase:
+    """Shrink ``(graph, batches)`` to a minimal run still failing *check*.
+
+    *check* returns a truthy verdict (e.g. a
+    :class:`~repro.testing.oracle.Divergence`) when the run fails and
+    ``None`` when it passes; the input run must fail.  *radius* bounds the
+    locality any maintained layer consults around a touched node (use the
+    identifier's ``max_radius``).
+    """
+    verdict = _still_fails(check, graph, batches)
+    if verdict is None:
+        raise ValueError("distill() needs a failing run; check() returned None")
+    work = list(batches)
+    work, verdict = _drop_batches(check, graph, work, verdict)
+    work, verdict = _shrink_batch_ops(check, graph, work, verdict)
+    work, verdict = _drop_batches(check, graph, work, verdict)
+    graph, verdict = _peel_graph(check, graph, work, verdict, radius)
+    return DistilledCase(
+        graph=graph,
+        batches=tuple(work),
+        divergence=verdict,
+        signature=minhash_signature(work),
+    )
+
+
+__all__ = [
+    "DistilledCase",
+    "distill",
+    "estimated_similarity",
+    "is_duplicate",
+    "minhash_signature",
+    "op_token",
+    "MINHASH_HASHES",
+    "DUPLICATE_THRESHOLD",
+]

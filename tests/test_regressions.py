@@ -1,0 +1,39 @@
+"""Replay every distilled counterexample in ``tests/regressions/`` forever.
+
+Each ``*.json`` file is a self-contained :class:`repro.testing.RegressionCase`
+— a minimal graph, rule set and batch sequence that once exposed a real
+divergence between maintained streaming state and a fresh recompute (the
+recorded ``divergence`` field documents what it used to fail with).  The
+differential oracle re-runs each case from scratch on every test run; a
+reappearing divergence means the pinned bug regressed.
+
+New cases are added by the storm harness (``repro.testing``) after
+distillation and MinHash dedup — see ``docs/adversarial.md``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.testing.cases import iter_case_paths, load_case
+
+CASES_DIR = Path(__file__).resolve().parent / "regressions"
+CASE_PATHS = list(iter_case_paths(CASES_DIR))
+
+
+def test_corpus_is_present():
+    """The committed corpus must never silently vanish (e.g. a bad glob)."""
+    assert len(CASE_PATHS) >= 2
+
+
+@pytest.mark.parametrize("path", CASE_PATHS, ids=lambda path: path.stem)
+def test_regression_case_replays_clean(path):
+    case = load_case(path)
+    verdict = case.replay()
+    assert verdict is None, (
+        f"regression case {case.name!r} diverged again "
+        f"(originally: {case.divergence.get('detail', 'unknown')}): "
+        f"{verdict.describe()}"
+    )

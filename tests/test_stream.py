@@ -15,6 +15,7 @@ import pytest
 from repro.datasets import generate_gpars, most_frequent_predicates, synthetic_graph
 from repro.exceptions import GraphError, StaleIndexError, StreamError
 from repro.graph import FragmentIndex, Graph, registered_index
+from repro.identification.eip import EIPConfig
 from repro.graph.graph import GraphDelta
 from repro.matching import DeltaMatcher, MatchStore, VF2Matcher
 from repro.stream import (
@@ -348,18 +349,22 @@ class TestStreamingIdentifierLifecycle:
         rules = generate_gpars(graph, predicate, count=3, max_pattern_edges=3, d=2, seed=seed)
         return graph, rules
 
-    def test_rejects_unknown_algorithm_and_edged_free_components(self):
+    def test_rejects_unknown_algorithm(self):
         graph, rules = self._workload()
         with pytest.raises(StreamError):
             StreamingIdentifier(graph, rules, algorithm="disvf2")
+
+    def test_edged_free_component_is_maintained_via_component_census(self):
+        graph, _rules = self._workload()
         from repro.pattern.pattern import Pattern
         from repro.pattern.gpar import GPAR
 
         predicate = most_frequent_predicates(graph, top=1)[0]
         x_label = predicate.label(predicate.x)
         y_label = predicate.label(predicate.y)
-        # A disconnected part that carries an edge cannot be verified by a
-        # bounded ball or the label census: still rejected up front.
+        # A disconnected part that carries an edge has no bounded ball and
+        # no label census — the coordinator-held component census maintains
+        # it against the authoritative graph instead of rejecting it.
         edged_free = GPAR(
             Pattern(
                 nodes={"x": x_label, "y": y_label, "v1": x_label, "v2": y_label},
@@ -370,8 +375,17 @@ class TestStreamingIdentifierLifecycle:
             consequent_label=predicate.edges()[0].label,
             validate=False,
         )
-        with pytest.raises(StreamError):
-            StreamingIdentifier(graph, [edged_free], eta=0.5, num_workers=2)
+        config = EIPConfig(eta=0.5, num_workers=2)
+        with StreamingIdentifier(graph, [edged_free], config=config) as identifier:
+            assert edged_free in identifier._census_parts
+            entry = identifier._census_plan.entries[0]
+            assert entry.components, "edge-carrying free part takes the component route"
+            for _ in range(2):
+                identifier.apply(random_update_batch(graph, size=6, seed=11))
+                maintained = identifier.result
+                fresh = identifier.recompute()
+                assert maintained.identified == fresh.identified
+                assert maintained.rule_confidences == fresh.rule_confidences
 
     def test_free_y_rule_is_maintained_via_census(self):
         graph, _rules = self._workload()

@@ -454,6 +454,102 @@ def test_census_rules_agree_across_backends(backend):
         _census_oracle_check(identifier, rules)
 
 
+def test_static_and_streaming_agree_on_free_pattern_rules():
+    """``identify_entities`` and the streaming path agree on census-split Σ.
+
+    The antecedents' free parts — an isolated prize node, and an
+    edge-carrying promo→prize component — have their only witnesses outside
+    the d-ball of the second customer, so any *per-fragment* resolution of
+    the free part gets ``c2`` wrong.  Both paths must consult the same
+    global census: before the shared ``plan_census``/``apply_census`` route
+    the static solvers resolved free nodes inside each fragment graph
+    (partition-dependent answers; ``c2`` silently dropped with two workers)
+    and the streaming identifier rejected the edged component outright, so
+    this test fails on that code.
+    """
+    from repro.graph import Graph
+    from repro.pattern.gpar import GPAR
+    from repro.pattern.pattern import Pattern
+
+    graph = Graph(name="census-cross-path")
+    for node, label in [
+        ("c1", "cust"),
+        ("c2", "cust"),
+        ("m1", "shop"),
+        ("m2", "shop"),
+        ("pz1", "prize"),
+        ("p1", "promo"),
+    ]:
+        graph.add_node(node, label)
+    graph.add_edge("c1", "m1", "visit")
+    graph.add_edge("c2", "m2", "visit")
+    graph.add_edge("c1", "pz1", "wins")
+    # LCWA-negative: c2 has a wins edge, but not to a prize node.
+    graph.add_edge("c2", "m2", "wins")
+    graph.add_edge("p1", "pz1", "sponsors")
+
+    free_y = GPAR(
+        Pattern(
+            nodes={"x": "cust", "v1": "shop", "y": "prize"},
+            edges=[("x", "v1", "visit")],
+            x="x",
+            y="y",
+        ),
+        consequent_label="wins",
+        validate=False,
+    )
+    edged = GPAR(
+        Pattern(
+            nodes={"x": "cust", "v1": "shop", "y": "prize", "z": "promo"},
+            edges=[("x", "v1", "visit"), ("z", "y", "sponsors")],
+            x="x",
+            y="y",
+        ),
+        consequent_label="wins",
+        validate=False,
+    )
+    rules = [free_y, edged]
+    oracle = VF2Matcher(use_index=False)
+    # Whole-graph truth: both antecedents match at both customers (pz1 and
+    # p1→pz1 are global witnesses), while only c1 carries the consequent.
+    for rule in rules:
+        assert oracle.match_set(graph, rule.antecedent) == {"c1", "c2"}
+        assert oracle.match_set(graph, rule.pr_pattern()) == {"c1"}
+    for algorithm in ("match", "matchc"):
+        static = identify_entities(
+            graph.copy(), rules, eta=0.5, num_workers=2, algorithm=algorithm
+        )
+        for rule in rules:
+            # c2 contributes a global-census q̄-match, so supp(Qq̄) = 1 and
+            # conf = 1·1/(1·1); per-fragment resolution missed it (conf=inf).
+            assert static.rule_matches[rule] == frozenset({"c1"}), algorithm
+            assert static.rule_confidences[rule] == 1.0, algorithm
+        with StreamingIdentifier(
+            graph.copy(), rules, eta=0.5, num_workers=2, algorithm=algorithm
+        ) as identifier:
+            assert _eip_fingerprint(static) == _eip_fingerprint(identifier.result)
+            assert static.rule_confidences == identifier.result.rule_confidences
+
+
+@pytest.mark.parametrize("algorithm", ["match", "matchc"])
+def test_static_and_streaming_agree_on_mined_free_y_workload(algorithm):
+    """Cross-path agreement on a *mined* Σ with splittable free-y rules."""
+    base = _workload_graph(40)  # seed 40 is known to mine splittable free-y rules
+    predicate = most_frequent_predicates(base, top=1)[0]
+    rules = _free_y_rules(base, predicate)
+    assert rules, "seed 40 must mine free-y rules (workload drifted?)"
+    graph = base.copy()
+    with StreamingIdentifier(
+        graph, rules, eta=0.5, num_workers=3, algorithm=algorithm
+    ) as identifier:
+        identifier.apply(random_update_batch(graph, size=7, seed=601))
+        static = identify_entities(
+            graph.copy(), rules, eta=0.5, num_workers=3, algorithm=algorithm
+        )
+        assert _eip_fingerprint(static) == _eip_fingerprint(identifier.result)
+        assert static.rule_confidences == identifier.result.rule_confidences
+
+
 @pytest.mark.parametrize("backend", BACKENDS)
 def test_dmine_on_repaired_state_equals_pristine(backend):
     """Mining after streaming repairs == mining a pristine mutated copy.

@@ -14,7 +14,13 @@ Every row also records whether the run consumed the resident
 output); :func:`run_matching_index_comparison` and
 :func:`run_eip_index_comparison` run the same workload with the index on and
 off and annotate the indexed rows with the measured ``index_speedup``, so
-the index's effect is measured rather than asserted.
+the index's effect is measured rather than asserted.  The columnar kernel
+gets the same treatment: :func:`run_matching_columnar_comparison`,
+:func:`run_eip_columnar_comparison` and :func:`run_dmine_columnar_comparison`
+run with the :class:`repro.graph.columnar.ColumnarFragment` off and on and
+annotate the columnar rows with ``columnar_speedup`` (the index-comparison
+runners pin ``use_columnar=False`` so each optimisation is measured in
+isolation).
 """
 
 from __future__ import annotations
@@ -26,9 +32,10 @@ from typing import Iterable, Sequence
 
 from repro.bench.reporting import wall_speedups
 from repro.graph.graph import Graph
+from repro.graph.columnar import discard_columnar
 from repro.graph.index import discard_index
 from repro.identification import EIPConfig, identify_entities
-from repro.matching import GuidedMatcher, VF2Matcher
+from repro.matching import GuidedMatcher, SimulationMatcher, VF2Matcher
 from repro.mining import DMine, DMineConfig
 from repro.pattern.canonical import canonical_code
 from repro.pattern.gpar import GPAR
@@ -78,6 +85,10 @@ class DMineRow:
     # Incremental wall-clock gain over the matching from-scratch run (only
     # set by the incremental-comparison runners, on the incremental rows).
     incremental_speedup: float | None = None
+    use_columnar: bool = True
+    # Columnar wall-clock gain over the matching dict-path run (only set by
+    # the columnar-comparison runners, on the columnar rows).
+    columnar_speedup: float | None = None
     # Content hash of the mined rule set (structure + support + confidence);
     # two rows with equal fingerprints mined *the same rules*, not merely
     # the same number of rules.
@@ -91,6 +102,7 @@ class DMineRow:
             "backend": self.backend,
             "index": "on" if self.use_index else "off",
             "incremental": "on" if self.use_incremental else "off",
+            "columnar": "on" if self.use_columnar else "off",
             "sim_parallel_s": round(self.simulated_parallel_time, 3),
             "wall_s": round(self.wall_time, 3),
             "rules": self.rules_discovered,
@@ -104,6 +116,8 @@ class DMineRow:
             row["index_speedup"] = round(self.index_speedup, 2)
         if self.incremental_speedup is not None:
             row["incremental_speedup"] = round(self.incremental_speedup, 2)
+        if self.columnar_speedup is not None:
+            row["columnar_speedup"] = round(self.columnar_speedup, 2)
         return row
 
 
@@ -125,6 +139,8 @@ class EIPRow:
     index_speedup: float | None = None
     use_incremental: bool = True
     incremental_speedup: float | None = None
+    use_columnar: bool = True
+    columnar_speedup: float | None = None
     # Prefix-trie pool applications summed over all fragments; the
     # incremental smoke gate requires > 0 on incremental-on rows (proof the
     # shared-prefix path ran, census-split rules included).
@@ -140,6 +156,7 @@ class EIPRow:
             "backend": self.backend,
             "index": "on" if self.use_index else "off",
             "incremental": "on" if self.use_incremental else "off",
+            "columnar": "on" if self.use_columnar else "off",
             "sim_parallel_s": round(self.simulated_parallel_time, 3),
             "wall_s": round(self.wall_time, 3),
             "identified": self.identified,
@@ -153,6 +170,8 @@ class EIPRow:
             row["index_speedup"] = round(self.index_speedup, 2)
         if self.incremental_speedup is not None:
             row["incremental_speedup"] = round(self.incremental_speedup, 2)
+        if self.columnar_speedup is not None:
+            row["columnar_speedup"] = round(self.columnar_speedup, 2)
         return row
 
 
@@ -181,6 +200,7 @@ def run_dmine_config(
     executor_workers: int | None = None,
     use_index: bool = True,
     use_incremental: bool = True,
+    use_columnar: bool = True,
     **overrides,
 ) -> DMineRow:
     """Run one DMine / DMineno configuration and return its measured row."""
@@ -192,6 +212,7 @@ def run_dmine_config(
         executor_workers=executor_workers,
         use_index=use_index,
         use_incremental=use_incremental,
+        use_columnar=use_columnar,
         **settings,
     )
     if not optimized:
@@ -210,6 +231,7 @@ def run_dmine_config(
         backend=config.backend,
         use_index=use_index,
         use_incremental=use_incremental,
+        use_columnar=use_columnar,
         fingerprint=_digest(
             f"{canonical_code(rule.pr_pattern())}|{info.support}|{round(info.confidence, 9)}"
             for rule, info in result.all_rules.items()
@@ -230,6 +252,7 @@ def run_eip_config(
     executor_workers: int | None = None,
     use_index: bool = True,
     use_incremental: bool = True,
+    use_columnar: bool = True,
 ) -> EIPRow:
     """Run one Match / Matchc / disVF2 configuration and return its row."""
     result = identify_entities(
@@ -242,6 +265,7 @@ def run_eip_config(
         executor_workers=executor_workers,
         use_index=use_index,
         use_incremental=use_incremental,
+        use_columnar=use_columnar,
     )
     return EIPRow(
         dataset=dataset,
@@ -255,6 +279,7 @@ def run_eip_config(
         backend=backend,
         use_index=use_index,
         use_incremental=use_incremental,
+        use_columnar=use_columnar,
         prefix_pool_hits=result.prefix_pool_hits,
         fingerprint=_eip_result_fingerprint(result),
     )
@@ -359,6 +384,8 @@ class MatchingRow:
     total_matches: int
     use_index: bool = True
     index_speedup: float | None = None
+    use_columnar: bool = True
+    columnar_speedup: float | None = None
     backend: str = "in-process"
     fingerprint: str = ""
 
@@ -369,6 +396,7 @@ class MatchingRow:
             self.parameter: self.value,
             "backend": self.backend,
             "index": "on" if self.use_index else "off",
+            "columnar": "on" if self.use_columnar else "off",
             "wall_s": round(self.wall_time, 3),
             "patterns": self.patterns_matched,
             "matches": self.total_matches,
@@ -376,15 +404,21 @@ class MatchingRow:
         }
         if self.index_speedup is not None:
             row["index_speedup"] = round(self.index_speedup, 2)
+        if self.columnar_speedup is not None:
+            row["columnar_speedup"] = round(self.columnar_speedup, 2)
         return row
 
 
-def _matcher_for(kind: str, use_index: bool):
+def _matcher_for(kind: str, use_index: bool, use_columnar: bool = True):
     if kind == "guided":
-        return GuidedMatcher(use_index=use_index)
+        return GuidedMatcher(use_index=use_index, use_columnar=use_columnar)
     if kind == "vf2":
-        return VF2Matcher(use_index=use_index)
-    raise ValueError(f"unknown matcher kind {kind!r}; expected 'vf2' or 'guided'")
+        return VF2Matcher(use_index=use_index, use_columnar=use_columnar)
+    if kind == "simulation":
+        return SimulationMatcher(use_index=use_index, use_columnar=use_columnar)
+    raise ValueError(
+        f"unknown matcher kind {kind!r}; expected 'vf2', 'guided' or 'simulation'"
+    )
 
 
 def run_matching_traffic(
@@ -393,25 +427,30 @@ def run_matching_traffic(
     rules: Sequence[GPAR],
     kind: str,
     use_index: bool,
+    use_columnar: bool = True,
     reps: int = 3,
+    parameter: str = "index",
+    value: object = None,
 ) -> MatchingRow:
     """Run *reps* fresh-matcher batches of match-set queries; return one row.
 
     Each batch computes ``Q(x, G)`` for every rule's antecedent and PR
     pattern with a newly constructed matcher, modelling *reps* successive
     algorithm calls against the same resident fragment.  The graph's
-    registered index is dropped first so the indexed run pays its own build.
+    registered index and columnar view are dropped first so each enabled
+    run pays its own build.
     """
     patterns: list[Pattern] = []
     for rule in rules:
         patterns.append(rule.antecedent)
         patterns.append(rule.pr_pattern())
     discard_index(graph)
+    discard_columnar(graph)
     match_counts: list[str] = []
     total_matches = 0
     started = time.perf_counter()
     for _ in range(reps):
-        matcher = _matcher_for(kind, use_index)
+        matcher = _matcher_for(kind, use_index, use_columnar)
         for position, pattern in enumerate(patterns):
             matches = matcher.match_set(graph, pattern)
             total_matches += len(matches)
@@ -419,15 +458,18 @@ def run_matching_traffic(
                 f"{position}|{len(matches)}|{'/'.join(sorted(map(str, matches)))}"
             )
     elapsed = time.perf_counter() - started
+    if value is None:
+        value = "on" if use_index else "off"
     return MatchingRow(
         dataset=dataset,
         algorithm=kind,
-        parameter="index",
-        value="on" if use_index else "off",
+        parameter=parameter,
+        value=value,
         wall_time=elapsed,
         patterns_matched=len(patterns) * reps,
         total_matches=total_matches,
         use_index=use_index,
+        use_columnar=use_columnar,
         fingerprint=_digest(match_counts),
     )
 
@@ -444,11 +486,17 @@ def run_matching_index_comparison(
     Returns two rows per kind (index off, then on); the indexed row carries
     ``index_speedup`` = unindexed wall time / indexed wall time.  Raises
     ``AssertionError`` if any kind's match sets differ between the modes.
+    Both rows run with the columnar kernel off so the index's effect is
+    measured in isolation (the ``columnar`` family measures the kernel's).
     """
     rows: list[MatchingRow] = []
     for kind in kinds:
-        unindexed = run_matching_traffic(dataset, graph, rules, kind, use_index=False, reps=reps)
-        indexed = run_matching_traffic(dataset, graph, rules, kind, use_index=True, reps=reps)
+        unindexed = run_matching_traffic(
+            dataset, graph, rules, kind, use_index=False, use_columnar=False, reps=reps
+        )
+        indexed = run_matching_traffic(
+            dataset, graph, rules, kind, use_index=True, use_columnar=False, reps=reps
+        )
         if indexed.fingerprint != unindexed.fingerprint:
             raise AssertionError(
                 f"indexed {kind} matching diverged from unindexed: "
@@ -457,6 +505,60 @@ def run_matching_index_comparison(
         speedup = unindexed.wall_time / indexed.wall_time if indexed.wall_time else float("inf")
         rows.append(unindexed)
         rows.append(replace(indexed, index_speedup=speedup))
+    return rows
+
+
+def run_matching_columnar_comparison(
+    dataset: str,
+    graph: Graph,
+    rules: Sequence[GPAR],
+    kinds: Sequence[str] = ("vf2", "guided", "simulation"),
+    reps: int = 3,
+) -> list[MatchingRow]:
+    """Columnar-vs-dict matching comparison for each matcher kind.
+
+    Both rows keep the resident index on (the production configuration);
+    only the columnar kernel toggles, so ``columnar_speedup`` on the
+    columnar row isolates what the CSR/profile-matrix path buys on top of
+    the dict-backed index.  Raises ``AssertionError`` if any kind's match
+    sets differ between the modes.
+    """
+    rows: list[MatchingRow] = []
+    for kind in kinds:
+        dict_row = run_matching_traffic(
+            dataset,
+            graph,
+            rules,
+            kind,
+            use_index=True,
+            use_columnar=False,
+            reps=reps,
+            parameter="columnar",
+            value="off",
+        )
+        columnar_row = run_matching_traffic(
+            dataset,
+            graph,
+            rules,
+            kind,
+            use_index=True,
+            use_columnar=True,
+            reps=reps,
+            parameter="columnar",
+            value="on",
+        )
+        if columnar_row.fingerprint != dict_row.fingerprint:
+            raise AssertionError(
+                f"columnar {kind} matching diverged from the dict path: "
+                f"{columnar_row.fingerprint} != {dict_row.fingerprint}"
+            )
+        speedup = (
+            dict_row.wall_time / columnar_row.wall_time
+            if columnar_row.wall_time
+            else float("inf")
+        )
+        rows.append(dict_row)
+        rows.append(replace(columnar_row, columnar_speedup=speedup))
     return rows
 
 
@@ -521,6 +623,83 @@ def run_eip_index_comparison(
         )
 
     return _run_onoff_comparison(run_one, backends, "index_speedup", "EIP (index)")
+
+
+# ----------------------------------------------------------------------
+# columnar-vs-dict comparison
+# ----------------------------------------------------------------------
+def run_eip_columnar_comparison(
+    dataset: str,
+    graph: Graph,
+    rules: tuple[GPAR, ...],
+    num_workers: int,
+    algorithm: str = "match",
+    eta: float = 1.0,
+    backends: Sequence[str] = ("sequential", "threads", "processes"),
+    executor_workers: int | None = None,
+) -> list[EIPRow]:
+    """Run one EIP configuration with the columnar kernel off and on, per backend.
+
+    The cross-backend × cross-mode equivalence gate of the columnar smoke:
+    all ``2 × len(backends)`` rows must carry the same result fingerprint.
+    Columnar rows are annotated with their backend's ``columnar_speedup``.
+    """
+
+    def run_one(backend: str, enabled: bool) -> EIPRow:
+        return run_eip_config(
+            dataset,
+            graph,
+            rules,
+            num_workers,
+            algorithm,
+            eta=eta,
+            parameter="backend",
+            value=backend,
+            backend=backend,
+            executor_workers=executor_workers,
+            use_columnar=enabled,
+        )
+
+    return _run_onoff_comparison(
+        run_one, backends, "columnar_speedup", "EIP (columnar)"
+    )
+
+
+def run_dmine_columnar_comparison(
+    dataset: str,
+    graph: Graph,
+    predicate: Pattern,
+    num_workers: int,
+    sigma: int,
+    backends: Sequence[str] = ("sequential", "threads", "processes"),
+    executor_workers: int | None = None,
+    **overrides,
+) -> list[DMineRow]:
+    """Run one DMine configuration columnar-off and -on, per backend.
+
+    All ``2 × len(backends)`` rows must mine the same rule fingerprint;
+    columnar rows carry ``columnar_speedup`` = dict-path wall time /
+    columnar wall time on their backend.
+    """
+
+    def run_one(backend: str, enabled: bool) -> DMineRow:
+        return run_dmine_config(
+            dataset,
+            graph,
+            predicate,
+            num_workers,
+            sigma,
+            parameter="backend",
+            value=backend,
+            backend=backend,
+            executor_workers=executor_workers,
+            use_columnar=enabled,
+            **overrides,
+        )
+
+    return _run_onoff_comparison(
+        run_one, backends, "columnar_speedup", "DMine (columnar)"
+    )
 
 
 # ----------------------------------------------------------------------

@@ -10,11 +10,23 @@ model with the indexes the mining and matching algorithms need:
 * k-hop label-frequency sketches used by guided search (:mod:`sketch`),
 * the fragment-resident :class:`FragmentIndex` bundling label buckets,
   adjacency profiles and a sketch cache for the matching hot path
-  (:mod:`index`).
+  (:mod:`index`),
+* the frozen columnar kernel — CSR adjacency over interned label ids plus a
+  precomputed profile matrix, vectorized when numpy is available — that the
+  matchers' pool filtering and dual simulation run on (:mod:`columnar`).
 """
 
 from repro.graph.graph import DELTA_LOG_SIZE, Edge, Graph, GraphBatch, GraphDelta
 from repro.graph.builder import GraphBuilder
+from repro.graph.columnar import (
+    ColumnarFragment,
+    ColumnarStatistics,
+    LabelTable,
+    columnar_view,
+    discard_columnar,
+    numpy_active,
+    registered_columnar,
+)
 from repro.graph.index import (
     FragmentIndex,
     IndexStatistics,
@@ -67,6 +79,13 @@ __all__ = [
     "graph_index",
     "discard_index",
     "registered_index",
+    "ColumnarFragment",
+    "ColumnarStatistics",
+    "LabelTable",
+    "columnar_view",
+    "discard_columnar",
+    "registered_columnar",
+    "numpy_active",
     "induced_subgraph",
     "subgraph_from_edges",
     "graph_from_dict",

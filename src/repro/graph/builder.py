@@ -78,7 +78,13 @@ class GraphBuilder:
         return self
 
     def build(self) -> Graph:
-        """Return the constructed graph (the builder must not be reused)."""
+        """Return the constructed graph (the builder must not be reused).
+
+        The shared :class:`repro.graph.columnar.LabelTable` is warmed here so
+        every label present at build time gets its interned id assigned once,
+        before any columnar view or dict-path probe needs it.
+        """
         graph = self._graph
         self._graph = Graph(name=graph.name)
+        graph.label_table
         return graph

@@ -20,6 +20,7 @@ Model (paper Section 2.1)
 from __future__ import annotations
 
 import os
+import sys
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Hashable, Iterable, Iterator
@@ -260,6 +261,7 @@ class Graph:
         "_version",
         "_recorder",
         "_delta_log",
+        "_label_table",
         "__weakref__",
     )
 
@@ -292,6 +294,9 @@ class Graph:
         self._delta_log: deque = deque(
             maxlen=delta_log_size if delta_log_size is not None else default_delta_log_size()
         )
+        # Shared label-interning table (repro.graph.columnar.LabelTable),
+        # created lazily by the label_table property.
+        self._label_table = None
 
     # ------------------------------------------------------------------
     # version ticks and delta recording
@@ -386,6 +391,8 @@ class Graph:
         attrs: dict[str, Any] | None = None,
     ) -> None:
         """Add a node with *label*; re-adding with a different label fails."""
+        if type(label) is str:
+            label = sys.intern(label)
         existing = self._labels.get(node_id)
         if existing is not None:
             if existing != label:
@@ -417,6 +424,8 @@ class Graph:
         new, ``False`` if an identical edge was already present (the graph is
         left unchanged in that case).
         """
+        if type(label) is str:
+            label = sys.intern(label)
         if source not in self._labels:
             raise NodeNotFoundError(source)
         if target not in self._labels:
@@ -495,6 +504,8 @@ class Graph:
 
     def relabel_node(self, node_id: NodeId, label: Label) -> None:
         """Change the label of an existing node (no-op if unchanged)."""
+        if type(label) is str:
+            label = sys.intern(label)
         existing = self._labels.get(node_id)
         if existing is None:
             raise NodeNotFoundError(node_id)
@@ -536,6 +547,26 @@ class Graph:
     def version(self) -> int:
         """Monotonic mutation counter (see :mod:`repro.graph.index`)."""
         return self._version
+
+    @property
+    def label_table(self):
+        """The graph's shared :class:`repro.graph.columnar.LabelTable`.
+
+        Created lazily and topped up with every label currently present on
+        each access (interning an already-known label is a no-op, so the
+        top-up is O(#distinct labels)).  Ids are append-only and therefore
+        stable across mutations; a label that leaves the graph keeps its id.
+        """
+        table = self._label_table
+        if table is None:
+            from repro.graph.columnar import LabelTable
+
+            table = self._label_table = LabelTable()
+        for label in self._nodes_by_label:
+            table.intern(label)
+        for label in self._edge_label_counts:
+            table.intern(label)
+        return table
 
     def __len__(self) -> int:
         return len(self._labels)

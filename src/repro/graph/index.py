@@ -149,6 +149,7 @@ class FragmentIndex:
         "_profiles",
         "_out_frozen",
         "_in_frozen",
+        "_neighbors_frozen",
         "_sketches",
         "__weakref__",
     )
@@ -215,6 +216,9 @@ class FragmentIndex:
         # Layer (c): memoised frozen adjacency views, filled on demand.
         self._out_frozen: dict[tuple[NodeId, Label], frozenset] = {}
         self._in_frozen: dict[tuple[NodeId, Label], frozenset] = {}
+        # Memoised frozen undirected neighbourhoods (Graph.neighbors builds
+        # a fresh set per call; BFS-heavy consumers probe this instead).
+        self._neighbors_frozen: dict[NodeId, frozenset] = {}
         # Layer (d): memoised k-hop sketches, filled on demand.
         self._sketches: dict[tuple[NodeId, int], KHopSketch] = {}
         self._built_version = graph.version
@@ -341,6 +345,11 @@ class FragmentIndex:
             stale_keys = [key for key in frozen if key[0] in touched]
             for key in stale_keys:
                 del frozen[key]
+        # Frozen undirected neighbourhoods: every edge change touches both
+        # endpoints, so dropping the touched keys is exact (a relabel does
+        # not change any neighbour *set*).
+        for node in touched:
+            self._neighbors_frozen.pop(node, None)
         # Layer (d): sketches within the k-hop balls of the touched nodes,
         # computed on the *post-update* graph (exact; docs/streaming.md).
         if self._sketches:
@@ -428,6 +437,24 @@ class FragmentIndex:
                 raise NodeNotFoundError(node)
             view = frozenset(self.graph._in[node].get(label, ()))
             self._in_frozen[key] = view
+        return view
+
+    def neighbors(self, node: NodeId) -> frozenset:
+        """Frozen undirected neighbourhood of *node*, memoised.
+
+        ``Graph.neighbors`` allocates a fresh set (out ∪ in) on every call;
+        ball extraction and the multi-source BFS helpers probe the same nodes
+        over and over, so this view answers repeats with one dict read.
+        Version-pinned like every other layer: a mutation drops exactly the
+        touched entries (:meth:`_patch`) or the whole cache (rebuild).
+        """
+        self._check()
+        view = self._neighbors_frozen.get(node)
+        if view is None:
+            if node not in self._labels:
+                raise NodeNotFoundError(node)
+            view = frozenset(self.graph.neighbors(node))
+            self._neighbors_frozen[node] = view
         return view
 
     # ------------------------------------------------------------------

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import sys
 from pathlib import Path
 from typing import Any
 
@@ -36,10 +37,14 @@ def graph_to_dict(graph: Graph) -> dict[str, Any]:
 def graph_from_dict(document: dict[str, Any]) -> Graph:
     """Reconstruct a graph from :func:`graph_to_dict` output."""
     graph = Graph(name=document.get("name", "graph"))
+    # Intern labels once at load time: every parsed label string collapses to
+    # one shared object, so dict-path comparisons afterwards are pointer
+    # checks and the columnar LabelTable is warm before the first compile.
     for node in document["nodes"]:
-        graph.add_node(node["id"], node["label"], node.get("attrs") or None)
+        graph.add_node(node["id"], sys.intern(node["label"]), node.get("attrs") or None)
     for edge in document["edges"]:
-        graph.add_edge(edge["source"], edge["target"], edge["label"])
+        graph.add_edge(edge["source"], edge["target"], sys.intern(edge["label"]))
+    graph.label_table
     return graph
 
 
@@ -92,7 +97,8 @@ def load_edge_list(path: str | Path, separator: str = "\t", name: str | None = N
                     f"{path}:{line_number}: expected 5 fields, got {len(parts)}"
                 )
             source, source_label, target, target_label, edge_label = parts
-            graph.add_node(source, source_label)
-            graph.add_node(target, target_label)
-            graph.add_edge(source, target, edge_label)
+            graph.add_node(source, sys.intern(source_label))
+            graph.add_node(target, sys.intern(target_label))
+            graph.add_edge(source, target, sys.intern(edge_label))
+    graph.label_table
     return graph

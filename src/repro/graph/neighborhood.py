@@ -22,6 +22,7 @@ def bfs_distances(
     source: NodeId,
     radius: int | None = None,
     directed: bool = False,
+    index=None,
 ) -> dict[NodeId, int]:
     """Map each node within *radius* of *source* to its hop distance.
 
@@ -36,6 +37,10 @@ def bfs_distances(
     directed:
         If ``True`` follow out-edges only; otherwise treat edges as
         undirected (the paper's notion of radius and ``Nr(vx)``).
+    index:
+        Optional resident :class:`repro.graph.index.FragmentIndex` of
+        *graph*; undirected frontiers are then served from its memoised
+        frozen neighbourhood view instead of a fresh set per visited node.
     """
     if not graph.has_node(source):
         raise NodeNotFoundError(source)
@@ -48,6 +53,8 @@ def bfs_distances(
             continue
         if directed:
             frontier = graph.out_neighbors(current)
+        elif index is not None:
+            frontier = index.neighbors(current)
         else:
             frontier = graph.neighbors(current)
         for neighbor in frontier:
@@ -61,6 +68,7 @@ def multi_source_distances(
     graph: Graph,
     sources,
     radius: int,
+    index=None,
 ) -> dict[NodeId, int]:
     """Hop distance to the nearest of *sources*, for nodes within *radius*.
 
@@ -77,10 +85,11 @@ def multi_source_distances(
         source: 0 for source in sources if graph.has_node(source)
     }
     frontier = list(distances)
+    neighbors = graph.neighbors if index is None else index.neighbors
     for hop in range(1, radius + 1):
         next_frontier: list[NodeId] = []
         for node in frontier:
-            for neighbor in graph.neighbors(node):
+            for neighbor in neighbors(node):
                 if neighbor not in distances:
                     distances[neighbor] = hop
                     next_frontier.append(neighbor)
@@ -90,27 +99,29 @@ def multi_source_distances(
     return distances
 
 
-def multi_source_ball(graph: Graph, sources, radius: int) -> set[NodeId]:
+def multi_source_ball(graph: Graph, sources, radius: int, index=None) -> set[NodeId]:
     """Nodes within *radius* hops of any of *sources* (undirected)."""
-    return set(multi_source_distances(graph, sources, radius))
+    return set(multi_source_distances(graph, sources, radius, index=index))
 
 
-def ball(graph: Graph, center: NodeId, radius: int) -> set[NodeId]:
+def ball(graph: Graph, center: NodeId, radius: int, index=None) -> set[NodeId]:
     """``Nr(vx)``: the set of nodes within *radius* hops of *center*.
 
     Includes *center* itself (distance 0).
     """
     if radius < 0:
         raise ValueError(f"radius must be >= 0, got {radius}")
-    return set(bfs_distances(graph, center, radius=radius))
+    return set(bfs_distances(graph, center, radius=radius, index=index))
 
 
-def d_neighborhood(graph: Graph, center: NodeId, d: int, name: str | None = None) -> Graph:
+def d_neighborhood(
+    graph: Graph, center: NodeId, d: int, name: str | None = None, index=None
+) -> Graph:
     """``Gd(vx)``: the subgraph induced by ``Nd(vx)``.
 
     This is the unit of work shipped to a worker in both DMine and Match.
     """
-    nodes = ball(graph, center, d)
+    nodes = ball(graph, center, d, index=index)
     return graph.induced_subgraph(nodes, name=name or f"{graph.name}|G{d}({center})")
 
 

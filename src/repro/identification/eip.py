@@ -44,6 +44,13 @@ class EIPConfig:
         initializer on the process backend).  ``False`` re-derives label
         sets, profiles and sketches per probe; both settings identify
         identical entities (see docs/indexing.md).
+    use_columnar:
+        Serve label-bucket candidate pools and the shared profile filter
+        from each fragment's resident
+        :class:`repro.graph.columnar.ColumnarFragment` (CSR adjacency and
+        interned-label profile matrix, vectorized when numpy is available).
+        ``False`` keeps the dict/per-probe path; both settings identify
+        identical entities (see docs/columnar.md).
     use_incremental:
         Evaluate Σ through the prefix-trie mode of
         :class:`repro.matching.MultiPatternMatcher`: rules with a shared
@@ -59,6 +66,7 @@ class EIPConfig:
     backend: str = "sequential"
     executor_workers: int | None = None
     use_index: bool = True
+    use_columnar: bool = True
     use_incremental: bool = True
 
     def __post_init__(self) -> None:
@@ -249,6 +257,7 @@ def identify_entities(
     backend: str = "sequential",
     executor_workers: int | None = None,
     use_index: bool = True,
+    use_columnar: bool = True,
     use_incremental: bool = True,
 ) -> EIPResult:
     """Solve EIP with the named algorithm (``match``, ``matchc`` or ``disvf2``)."""
@@ -263,6 +272,7 @@ def identify_entities(
         backend=backend,
         executor_workers=executor_workers,
         use_index=use_index,
+        use_columnar=use_columnar,
         use_incremental=use_incremental,
     )
     algorithms = {"match": Match, "matchc": MatchC, "disvf2": DisVF2}

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Hashable, Sequence
 
+from repro.graph.columnar import columnar_view
 from repro.graph.index import graph_index
 from repro.matching.base import Matcher
 from repro.matching.candidates import adjacency_profile, profile_satisfies, required_profile
@@ -38,6 +39,7 @@ class Match(MatchC):
     # worker-initializer index build pays off here (unlike MatchC's
     # ball-restricted search).
     _consumes_resident_index = True
+    _consumes_columnar = True
 
     def __init__(self, config: EIPConfig, sketch_hops: int = 2) -> None:
         super().__init__(config)
@@ -48,7 +50,11 @@ class Match(MatchC):
         # owned candidates' d-balls); running the guided matcher directly on
         # it lets the k-hop sketch cache be shared across all candidates and
         # all rules of Σ instead of being rebuilt per extracted ball.
-        return GuidedMatcher(sketch_hops=self.sketch_hops, use_index=self.config.use_index)
+        return GuidedMatcher(
+            sketch_hops=self.sketch_hops,
+            use_index=self.config.use_index,
+            use_columnar=self.config.use_columnar,
+        )
 
     def _verify_fragment(
         self,
@@ -71,36 +77,66 @@ class Match(MatchC):
         report.supp_q = len(local_positives)
         report.supp_q_bar = len(local_negatives)
 
-        # Required adjacency profiles of x, computed once per rule.
-        antecedent_profiles = {
-            rule: required_profile(rule.antecedent.expanded(), rule.x) for rule in rules
-        }
-        pr_profiles = {
-            rule: required_profile(rule.pr_pattern().expanded(), rule.x) for rule in rules
-        }
-
+        columnar = (
+            columnar_view(graph)
+            if self.config.use_columnar and not graph.in_batch
+            else None
+        )
         rule_matches: dict[GPAR, set[NodeId]] = {rule: set() for rule in rules}
         antecedent_sets: dict[GPAR, set[NodeId]] = {rule: set() for rule in rules}
         qbar_counts = {rule: 0 for rule in rules}
 
-        for candidate in owned:
-            # One adjacency profile per candidate, shared by all rules of Σ.
-            profile = adjacency_profile(graph, candidate, index)
+        if columnar is not None:
+            # The shared profile filter compiles to one interned-id
+            # requirement per rule; domination is checked against the
+            # precomputed profile matrix row of each candidate.  Same
+            # necessary condition, so the witness sets are unchanged.
+            report.candidates_examined = len(owned) * len(rules)
             for rule in rules:
-                report.candidates_examined += 1
-                if not profile_satisfies(profile, antecedent_profiles[rule]):
-                    continue
-                if not matcher.exists_match_at(graph, rule.antecedent, candidate):
-                    continue
-                antecedent_sets[rule].add(candidate)
-                if candidate in local_negatives:
-                    qbar_counts[rule] += 1
-                if candidate not in local_positives:
-                    continue
-                if not profile_satisfies(profile, pr_profiles[rule]):
-                    continue
-                if matcher.exists_match_at(graph, rule.pr_pattern(), candidate):
-                    rule_matches[rule].add(candidate)
+                antecedent = rule.antecedent.expanded()
+                ante_req = columnar.compile_requirement(antecedent, antecedent.x)
+                pr = rule.pr_pattern().expanded()
+                pr_req = columnar.compile_requirement(pr, pr.x)
+                for candidate in columnar.filter_candidates(owned, ante_req):
+                    if not matcher.exists_match_at(graph, rule.antecedent, candidate):
+                        continue
+                    antecedent_sets[rule].add(candidate)
+                    if candidate in local_negatives:
+                        qbar_counts[rule] += 1
+                    if candidate not in local_positives:
+                        continue
+                    if not columnar.dominates(candidate, pr_req):
+                        continue
+                    if matcher.exists_match_at(graph, rule.pr_pattern(), candidate):
+                        rule_matches[rule].add(candidate)
+        else:
+            # Required adjacency profiles of x, computed once per rule.
+            antecedent_profiles = {
+                rule: required_profile(rule.antecedent.expanded(), rule.x)
+                for rule in rules
+            }
+            pr_profiles = {
+                rule: required_profile(rule.pr_pattern().expanded(), rule.x)
+                for rule in rules
+            }
+            for candidate in owned:
+                # One adjacency profile per candidate, shared by all rules of Σ.
+                profile = adjacency_profile(graph, candidate, index)
+                for rule in rules:
+                    report.candidates_examined += 1
+                    if not profile_satisfies(profile, antecedent_profiles[rule]):
+                        continue
+                    if not matcher.exists_match_at(graph, rule.antecedent, candidate):
+                        continue
+                    antecedent_sets[rule].add(candidate)
+                    if candidate in local_negatives:
+                        qbar_counts[rule] += 1
+                    if candidate not in local_positives:
+                        continue
+                    if not profile_satisfies(profile, pr_profiles[rule]):
+                        continue
+                    if matcher.exists_match_at(graph, rule.pr_pattern(), candidate):
+                        rule_matches[rule].add(candidate)
 
         report.rule_matches = rule_matches
         report.antecedent_sets = antecedent_sets
@@ -140,7 +176,10 @@ class Match(MatchC):
         report.candidates_examined = len(owned) * len(rules)
 
         multi = MultiPatternMatcher(
-            matcher, use_index=self.config.use_index, use_prefix_trie=True
+            matcher,
+            use_index=self.config.use_index,
+            use_prefix_trie=True,
+            use_columnar=self.config.use_columnar,
         )
         antecedent_sets = multi.shared_match_sets(
             graph, {rule: rule.antecedent for rule in rules}, candidates=owned

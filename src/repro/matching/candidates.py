@@ -5,13 +5,21 @@ when one is supplied the probe is answered from the resident index (a dict
 lookup) instead of being re-derived from the raw graph (an O(degree) walk).
 The results are identical by construction — the index is a memoisation of
 exactly these quantities.
+
+The pool-level filter (:func:`columnar_filter_candidates`) additionally
+accepts a :class:`repro.graph.columnar.ColumnarFragment`: the label check
+and the profile-domination check then run in interned-id space against the
+precomputed profile matrix — with numpy, as one mask over the whole pool.
+Both checks are necessary conditions for an isomorphism match, so filtering
+never changes a match set, only the work done to compute it.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from typing import Hashable
+from typing import Hashable, Iterable
 
+from repro.graph.columnar import ColumnarFragment
 from repro.graph.graph import Graph
 from repro.graph.index import FragmentIndex
 from repro.pattern.pattern import Pattern
@@ -24,19 +32,41 @@ Profile = dict[tuple[str, str, str], int]
 
 
 def label_candidates(
-    graph: Graph, pattern: Pattern, pattern_node, index: FragmentIndex | None = None
+    graph: Graph,
+    pattern: Pattern,
+    pattern_node,
+    index: FragmentIndex | None = None,
+    columnar: ColumnarFragment | None = None,
 ) -> frozenset | set[NodeId]:
     """Data nodes whose label satisfies the search condition of *pattern_node*.
 
-    With an *index* this returns the index's frozen label bucket **directly**
-    — no per-probe copy; callers that need to mutate the result must copy it
-    themselves (``set(...)``).  Without an index the graph already hands out
-    a fresh mutable set.
+    With an *index* (or a *columnar* view) this returns a frozen label bucket
+    **directly** — no per-probe copy; callers that need to mutate the result
+    must copy it themselves (``set(...)``).  Without either the graph already
+    hands out a fresh mutable set.
     """
     label = pattern.label(pattern_node)
+    if columnar is not None:
+        return columnar.nodes_with_label(label)
     if index is not None:
         return index.nodes_with_label(label)
     return graph.nodes_with_label(label)
+
+
+def columnar_filter_candidates(
+    columnar: ColumnarFragment,
+    pattern: Pattern,
+    pattern_node,
+    pool: Iterable[NodeId],
+) -> list[NodeId]:
+    """Pool members that satisfy *pattern_node*'s label + profile requirement.
+
+    Equivalent to keeping every ``v`` with ``graph.node_label(v) ==
+    pattern.label(pattern_node)`` and ``degree_consistent(graph, v, pattern,
+    pattern_node)``, evaluated against the columnar profile matrix.
+    """
+    requirement = columnar.compile_requirement(pattern, pattern_node)
+    return columnar.filter_candidates(pool, requirement)
 
 
 def required_profile(pattern: Pattern, pattern_node) -> Profile:

@@ -42,9 +42,13 @@ class GuidedMatcher(Matcher):
     """
 
     def __init__(
-        self, sketch_hops: int = 2, use_sketch_pruning: bool = True, use_index: bool = True
+        self,
+        sketch_hops: int = 2,
+        use_sketch_pruning: bool = True,
+        use_index: bool = True,
+        use_columnar: bool = True,
     ) -> None:
-        super().__init__(use_index=use_index)
+        super().__init__(use_index=use_index, use_columnar=use_columnar)
         if sketch_hops < 1:
             raise ValueError(f"sketch_hops must be >= 1, got {sketch_hops}")
         self.sketch_hops = sketch_hops

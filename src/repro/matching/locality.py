@@ -44,10 +44,13 @@ class LocalityMatcher(Matcher):
     """
 
     def __init__(self, inner: Matcher, radius: int | None = None, cache_balls: bool = True) -> None:
-        super().__init__()
+        super().__init__(use_columnar=getattr(inner, "use_columnar", True))
         self.inner = inner
         self.radius = radius
         self.cache_balls = cache_balls
+        # The pool prefilter of match_set must mirror the inner matcher's
+        # semantics (a disVF2 inner must pay the unfiltered search).
+        self._columnar_prefilter = getattr(inner, "_columnar_prefilter", True)
         # Keyed by the graph object itself (identity hash) so cached balls
         # keep their source graph alive and ids are never reused; each entry
         # is pinned to the Graph.version it was extracted at, so a graph
@@ -56,13 +59,17 @@ class LocalityMatcher(Matcher):
         self._ball_cache: dict[tuple[Graph, NodeId, int], tuple[int, Graph]] = {}
 
     def _ball(self, graph: Graph, anchor_value: NodeId, radius: int) -> Graph:
+        # The BFS half of the extraction runs on the resident index's
+        # memoised frozen-neighbourhood view when the index is enabled
+        # (Graph.neighbors allocates a fresh set per visited node).
+        index = None if graph.in_batch else self._index(graph)
         if not self.cache_balls:
-            return d_neighborhood(graph, anchor_value, radius)
+            return d_neighborhood(graph, anchor_value, radius, index=index)
         key = (graph, anchor_value, radius)
         entry = self._ball_cache.get(key)
         if entry is not None and entry[0] == graph.version and not graph.in_batch:
             return entry[1]
-        ball = d_neighborhood(graph, anchor_value, radius)
+        ball = d_neighborhood(graph, anchor_value, radius, index=index)
         if not graph.in_batch:  # never pin a half-applied batch state
             self._ball_cache[key] = (graph.version, ball)
         return ball

@@ -49,6 +49,13 @@ class DMineConfig:
         initializer on the process backend).  ``False`` re-derives label
         sets, profiles and sketches from the raw graph per probe; both
         settings mine identical rules (see docs/indexing.md).
+    use_columnar:
+        Serve label-bucket candidate pools and the shared profile filter
+        from each fragment's resident
+        :class:`repro.graph.columnar.ColumnarFragment` (CSR adjacency and
+        interned-label profile matrix, vectorized when numpy is available).
+        ``False`` keeps the dict/per-probe path; both settings mine
+        identical rules (see docs/columnar.md).
     use_incremental:
         Delta-extend matches across DMine levels: each fragment materializes
         the match sets and witness embeddings of the rules it evaluates in a
@@ -86,6 +93,7 @@ class DMineConfig:
     max_rules_per_round: int = 60
     matcher: str = "vf2"
     use_index: bool = True
+    use_columnar: bool = True
     use_incremental: bool = True
     use_incremental_diversification: bool = True
     use_reduction_rules: bool = True
@@ -141,9 +149,11 @@ class DMineConfig:
             max_rules_per_round=self.max_rules_per_round,
             matcher="vf2",
             use_index=self.use_index,
-            # Incremental materialization is an implementation-level
-            # memoisation like the index, not one of the paper's mining
-            # optimisations — DMineno keeps whatever the caller chose.
+            # The columnar kernel, like the index and the incremental
+            # materialization, is an implementation-level representation
+            # choice, not one of the paper's mining optimisations — DMineno
+            # keeps whatever the caller chose.
+            use_columnar=self.use_columnar,
             use_incremental=self.use_incremental,
             use_incremental_diversification=False,
             use_reduction_rules=False,

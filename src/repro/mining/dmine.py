@@ -118,7 +118,10 @@ class DMine:
             seed=config.seed,
         )
         executor = make_executor(
-            config.backend, config.executor_workers, build_indexes=config.use_index
+            config.backend,
+            config.executor_workers,
+            build_indexes=config.use_index,
+            build_columnar=config.use_columnar,
         )
         runtime = BSPRuntime(fragments, executor)
         runtime.start_run()

@@ -60,11 +60,13 @@ class Executor(ABC):
     fragment's resident :class:`repro.graph.index.FragmentIndex` up front —
     in the worker-pool initializer for the process backend, in-process for
     the sequential/thread backends — so every backend begins its first round
-    with warm fragment indexes.
+    with warm fragment indexes.  ``build_columnar`` does the same for the
+    resident :class:`repro.graph.columnar.ColumnarFragment` views.
     """
 
     name = "abstract"
     build_indexes = True
+    build_columnar = True
     # The process backend builds indexes inside its pool initializer instead
     # of in the coordinator process (where the fragments are never matched).
     _warm_indexes_in_parent = True
@@ -74,11 +76,17 @@ class Executor(ABC):
         self._contexts = {
             fragment.index: WorkerContext(fragment) for fragment in fragments
         }
-        if self.build_indexes and self._warm_indexes_in_parent:
-            from repro.graph.index import graph_index
+        if self._warm_indexes_in_parent:
+            if self.build_indexes:
+                from repro.graph.index import graph_index
 
-            for fragment in fragments:
-                graph_index(fragment.graph)
+                for fragment in fragments:
+                    graph_index(fragment.graph)
+            if self.build_columnar:
+                from repro.graph.columnar import columnar_view
+
+                for fragment in fragments:
+                    columnar_view(fragment.graph)
 
     def shutdown(self) -> None:
         """Release pooled resources; called once after the last round."""
@@ -220,7 +228,7 @@ class ProcessPoolExecutorBackend(Executor):
             max_workers=processes,
             mp_context=context,
             initializer=init_worker,
-            initargs=(fragment_list, self.build_indexes),
+            initargs=(fragment_list, self.build_indexes, self.build_columnar),
         )
 
     def shutdown(self) -> None:
@@ -256,14 +264,19 @@ class ProcessPoolExecutorBackend(Executor):
 
 
 def make_executor(
-    backend: str, max_workers: int | None = None, build_indexes: bool = True
+    backend: str,
+    max_workers: int | None = None,
+    build_indexes: bool = True,
+    build_columnar: bool = True,
 ) -> Executor:
     """Instantiate the execution backend named by a config/CLI string.
 
     *build_indexes* controls whether the backend builds the fragments'
     resident :class:`repro.graph.index.FragmentIndex` at start (see
     :class:`Executor`); algorithm configs pass their ``use_index`` flag here
-    so unindexed baseline runs skip the build entirely.
+    so unindexed baseline runs skip the build entirely.  *build_columnar*
+    does the same for the resident columnar views (the ``use_columnar``
+    flag of the algorithm configs).
     """
     if backend == "sequential":
         executor: Executor = SequentialExecutor()
@@ -274,4 +287,5 @@ def make_executor(
     else:
         raise ExecutorError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
     executor.build_indexes = build_indexes
+    executor.build_columnar = build_columnar
     return executor

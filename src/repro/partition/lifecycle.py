@@ -30,10 +30,16 @@ forever.  :class:`FragmentManager` owns the whole life of a fragment now:
   ahead of it ignores it, so the process pool's arbitrary task routing
   stays deterministic.
 * **churn-driven re-partitioning** — when the per-fragment load skew
-  (sum of owned ball sizes, the partitioner's own balance measure) crosses
-  a threshold, ownership of *quiescent* centres (outside the batch's
-  affected region, so their verdicts are provably unchanged) migrates from
-  the most- to the least-loaded fragment.  The coordinator splices the
+  crosses a threshold, ownership of *quiescent* centres (outside the
+  batch's affected region, so their verdicts are provably unchanged)
+  migrates from the most- to the least-loaded fragment.  Load is the sum
+  of owned ball sizes (the partitioner's own balance measure) weighted by
+  a smoothed per-fragment cost factor learned from the *measured* worker
+  times of past rounds (:meth:`FragmentManager.record_round_timing`), so
+  a fragment whose nodes are disproportionately expensive to verify —
+  denser balls, hotter labels — sheds work even when its node counts look
+  balanced.  Placement-only: verdicts never depend on which fragment
+  verifies a centre.  The coordinator splices the
   migrated centres' stored verdict bits between the fragments' reports —
   no re-verification, no rebuild — and the ball refcounts move with them,
   shrinking the source fragment where the migration left nodes uncovered.
@@ -48,7 +54,7 @@ from __future__ import annotations
 import pickle
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Hashable, Sequence
+from typing import Hashable, Mapping, Sequence
 
 from repro.exceptions import StreamError
 from repro.graph.graph import Graph
@@ -347,6 +353,9 @@ class FragmentManager:
         self._bases: dict[int, FragmentCheckpoint | None] = {}
         self._base_paths: dict[int, str | None] = {}
         self._base_sequences: dict[int, int] = {}
+        # Smoothed relative verification cost per fragment (1.0 = average),
+        # learned from measured round worker times; see record_round_timing.
+        self._cost_factors: dict[int, float] = {}
         self._sequence = 0
         for fragment in self.fragments:
             index = fragment.index
@@ -400,6 +409,56 @@ class FragmentManager:
             if owner == index
         )
 
+    #: Exponential-smoothing weight of the newest measured round in the
+    #: per-fragment cost factors (0 < α ≤ 1; 1 = trust only the last round).
+    COST_SMOOTHING = 0.5
+
+    #: Rounds whose summed worker time is below this carry no usable
+    #: signal — at sub-50ms scale scheduler jitter dominates the per-node
+    #: cost ratios, and letting it through makes migration planning (and
+    #: every test built on the pure node-count policy) nondeterministic.
+    MIN_ROUND_SECONDS = 0.05
+
+    def record_round_timing(self, worker_seconds: Mapping[int, float]) -> None:
+        """Fold one round's measured worker times into the cost factors.
+
+        *worker_seconds* maps fragment index → that round's measured worker
+        time.  Each fragment's cost per ball node is normalized by the round
+        mean — factors are *relative*, so a uniformly fast or slow machine
+        learns no skew — and folded into the stored factor by exponential
+        smoothing.  Rounds shorter than :data:`MIN_ROUND_SECONDS` in total
+        are discarded as noise.  :meth:`_plan_migrations` weighs owned-ball
+        sizes by these factors; the factors influence placement only, never
+        verdicts, so answer determinism is unaffected by timing noise.
+        """
+        per_unit: dict[int, float] = {}
+        measured_total = 0.0
+        for index, seconds in worker_seconds.items():
+            if index not in self._node_sets or seconds < 0:
+                continue
+            measured_total += seconds
+            per_unit[index] = seconds / max(1, self.fragment_load(index))
+        if not per_unit or measured_total < self.MIN_ROUND_SECONDS:
+            return
+        mean = sum(per_unit.values()) / len(per_unit)
+        if mean <= 0:
+            return
+        for index, unit_cost in per_unit.items():
+            observed = unit_cost / mean
+            previous = self._cost_factors.get(index, 1.0)
+            self._cost_factors[index] = (
+                (1.0 - self.COST_SMOOTHING) * previous
+                + self.COST_SMOOTHING * observed
+            )
+
+    def cost_factor(self, index: int) -> float:
+        """Smoothed relative verification cost of fragment *index* (1.0 = average)."""
+        return self._cost_factors.get(index, 1.0)
+
+    def effective_load(self, index: int) -> float:
+        """Owned-ball load weighted by the fragment's observed cost factor."""
+        return self.fragment_load(index) * self.cost_factor(index)
+
     def resident_summary(self) -> dict:
         """Coordinator-side residency metrics (the churn bench's row source)."""
         nodes = sum(len(node_set) for node_set in self._node_sets.values())
@@ -411,6 +470,10 @@ class FragmentManager:
             "log_entries": log_entries,
             "loads": {
                 fragment.index: self.fragment_load(fragment.index)
+                for fragment in self.fragments
+            },
+            "cost_factors": {
+                fragment.index: self.cost_factor(fragment.index)
                 for fragment in self.fragments
             },
         }
@@ -639,7 +702,11 @@ class FragmentManager:
         A migrated centre must lie outside the batch's affected *region*:
         its verdicts are then provably unchanged, so the coordinator can
         splice its stored report bits between fragments instead of
-        re-verifying.  Deterministic: pure function of the manager state.
+        re-verifying.  Loads are owned-ball sizes weighted by the smoothed
+        per-fragment cost factors of :meth:`record_round_timing` (all 1.0
+        until a round has been measured, reproducing the pure node-count
+        policy).  Deterministic given the manager state; the cost factors
+        themselves carry measured timings, which only ever steer placement.
         """
         config = self.config
         if (
@@ -649,7 +716,7 @@ class FragmentManager:
         ):
             return []
         loads = {
-            fragment.index: self.fragment_load(fragment.index)
+            fragment.index: self.effective_load(fragment.index)
             for fragment in self.fragments
         }
         moves: list[tuple] = []
@@ -657,12 +724,14 @@ class FragmentManager:
         for _ in range(config.rebalance_max_moves):
             src = max(loads, key=lambda index: (loads[index], index))
             dst = min(loads, key=lambda index: (loads[index], index))
-            if src == dst or loads[src] == 0:
+            if src == dst or loads[src] <= 0:
                 break
             skew = (loads[src] - loads[dst]) / loads[src]
             if skew <= config.rebalance_skew:
                 break
             gap = loads[src] - loads[dst]
+            factor_src = self.cost_factor(src)
+            factor_dst = self.cost_factor(dst)
             candidates = sorted(
                 (len(self._balls[center]), str(center), center)
                 for center, owner in self._owner.items()
@@ -671,11 +740,13 @@ class FragmentManager:
                 and center not in moved
                 and center in self._balls
             )
-            # Move the largest ball that still shrinks the gap (2·size ≤ gap
-            # guarantees monotone improvement, so migration never oscillates).
+            # Move the largest ball whose load shift still shrinks the gap
+            # (shed + gained ≤ gap guarantees monotone improvement, so
+            # migration never oscillates; with unit factors this is the
+            # classic 2·size ≤ gap rule).
             chosen = None
             for size, _, center in reversed(candidates):
-                if 2 * size <= gap:
+                if size * factor_src + size * factor_dst <= gap:
                     chosen = (center, size)
                     break
             if chosen is None:
@@ -683,8 +754,8 @@ class FragmentManager:
             center, size = chosen
             moves.append((center, src, dst))
             moved.add(center)
-            loads[src] -= size
-            loads[dst] += size
+            loads[src] -= size * factor_src
+            loads[dst] += size * factor_dst
         return moves
 
     # ------------------------------------------------------------------
@@ -771,6 +842,7 @@ class FragmentManager:
             "bases": bases,
             "base_paths": dict(self._base_paths),
             "base_sequences": dict(self._base_sequences),
+            "cost_factors": dict(self._cost_factors),
             "sequence": self._sequence,
         }
 
@@ -809,6 +881,9 @@ class FragmentManager:
             if manager._base_paths[index] is not None:
                 manager._bases[index] = None
         manager._base_sequences = dict(state["base_sequences"])
+        # Older checkpoints predate the measured-cost policy; absent factors
+        # default to the neutral 1.0 (pure node-count balancing).
+        manager._cost_factors = dict(state.get("cost_factors", {}))
         manager._sequence = state["sequence"]
         manager.fragments = []
         for index in sorted(manager._node_sets):

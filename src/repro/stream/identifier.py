@@ -53,6 +53,7 @@ from pathlib import Path
 from typing import Hashable, Sequence
 
 from repro.exceptions import StreamError
+from repro.graph.columnar import registered_columnar
 from repro.graph.graph import Graph, GraphDelta
 from repro.graph.index import registered_index
 from repro.graph.neighborhood import multi_source_ball
@@ -172,6 +173,9 @@ def stream_update_worker(
     index = registered_index(fragment.graph)
     if index is not None and index.is_stale:
         index.refresh()
+    columnar = registered_columnar(fragment.graph)
+    if columnar is not None and columnar.is_stale:
+        columnar.refresh()
 
     config = payload.config
     solver = payload.solver_cls(config)
@@ -331,16 +335,23 @@ class StreamingIdentifier:
             self.config.backend,
             self.config.executor_workers,
             build_indexes=self.config.use_index and solver_cls._consumes_resident_index,
+            build_columnar=self.config.use_columnar and solver_cls._consumes_columnar,
         )
         self.runtime = BSPRuntime(self.fragments, executor)
         self.runtime.start_run()
-        # In-process backends share the coordinator's fragment indexes;
-        # honour the configured rebuild fraction on them directly (process
-        # pools inherit it through the exported environment variable).
+        # In-process backends share the coordinator's fragment indexes and
+        # columnar views; honour the configured rebuild fraction on them
+        # directly (process pools inherit it through the exported
+        # environment variable).
         for fragment in self.fragments:
             resident = registered_index(fragment.graph)
             if resident is not None:
                 resident.rebuild_fraction = self.stream_config.delta_rebuild_fraction
+            resident_columnar = registered_columnar(fragment.graph)
+            if resident_columnar is not None:
+                resident_columnar.rebuild_fraction = (
+                    self.stream_config.delta_rebuild_fraction
+                )
         self._closed = False
         # apply() is not re-entrant: it mutates the authoritative graph, the
         # lifecycle manager and the stored reports in sequence, so a second
@@ -484,6 +495,19 @@ class StreamingIdentifier:
             invalidated[index] = set(update.recheck) | set(update.own_remove)
             payloads.append(self._payload(index, recheck=update.recheck))
         partials = self.runtime.run_round(stream_update_worker, payloads)
+        # Feed the measured per-fragment worker times of this round into the
+        # manager's rebalance policy: migrations then weigh owned-ball sizes
+        # by observed per-node cost, not node counts alone.  Placement-only —
+        # verdicts never depend on which fragment verifies a centre.
+        round_timing = self.runtime.timings.rounds[-1]
+        self.manager.record_round_timing(
+            {
+                fragment.index: elapsed
+                for fragment, elapsed in zip(
+                    self.fragments, round_timing.worker_times
+                )
+            }
+        )
         for partial in partials:
             self._merge(partial, invalidated[partial.fragment_index])
         for center, dst, positive, negative, antecedent_rules, match_rules in splices:
@@ -636,6 +660,7 @@ class StreamingIdentifier:
             backend=self.config.backend,
             executor_workers=self.config.executor_workers,
             use_index=self.config.use_index,
+            use_columnar=self.config.use_columnar,
             use_incremental=self.config.use_incremental,
         )
 

@@ -53,8 +53,9 @@ AUDITED_CACHES = {
 #: their own dedicated suites, noted here so discovery stays exhaustive).
 AUDITED_ELSEWHERE = {
     "MatchStore",  # entry.version pinning: tests/test_stream.py, this file below
-    "FragmentIndex",  # built_version pinning: tests/test_index.py
+    "FragmentIndex",  # built_version pinning: tests/test_index.py, this file below
     "MultiPatternMatcher",  # pattern-keyed chain memo only (immutable keys)
+    "ColumnarFragment",  # built_version pinning: tests/test_columnar.py, below
 }
 
 _CACHE_HINTS = ("cache", "sketch", "memo", "graphs", "store")
@@ -195,3 +196,38 @@ def test_resident_index_never_serves_stale_reads():
     assert fresh_node in index.nodes_with_label(label)
     assert set(index.nodes_with_label(label)) == before | {fresh_node}
     assert registered_index(graph) is index
+
+
+def test_frozen_neighbors_view_never_serves_stale_reads():
+    """FragmentIndex.neighbors memoises frozensets but tracks mutations.
+
+    The memo is version-pinned like every other index probe: a touched
+    node's entry is dropped by the delta patch, an untouched node's entry
+    is reused, and both must equal the graph's live adjacency afterwards.
+    """
+    graph, _patterns = _workload(seed=3)
+    index = graph_index(graph)
+    nodes = sorted(graph.nodes(), key=str)[:10]
+    for node in nodes:  # warm the memo
+        assert index.neighbors(node) == frozenset(graph.neighbors(node))
+    source, target = nodes[0], nodes[-1]
+    graph.add_edge(source, target, "audit-edge")
+    assert target in index.neighbors(source)
+    assert source in index.neighbors(target)
+    for node in nodes:
+        assert index.neighbors(node) == frozenset(graph.neighbors(node))
+
+
+def test_resident_columnar_view_never_serves_stale_reads():
+    """ColumnarFragment's version guard runs on every probe, like the index."""
+    from repro.graph.columnar import columnar_view, registered_columnar
+
+    graph, _patterns = _workload(seed=4)
+    view = columnar_view(graph)
+    label = sorted(graph.node_labels())[0]
+    before = view.nodes_with_label(label)
+    fresh_node = "audit-columnar-fresh"
+    graph.add_node(fresh_node, label)
+    assert view.nodes_with_label(label) == before | {fresh_node}
+    assert view.built_version == graph.version
+    assert registered_columnar(graph) is view

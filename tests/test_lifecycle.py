@@ -534,3 +534,140 @@ class TestDeletionBiasSampling:
     def test_bias_validation(self):
         with pytest.raises(StreamError):
             random_update_batch(toy_graph(), size=2, deletion_bias=1.5)
+
+
+class TestMeasuredCostRebalance:
+    """record_round_timing: measured worker times steer migration planning."""
+
+    def _manager(self, **config_overrides):
+        graph = synthetic_graph(120, 360, num_node_labels=5, num_edge_labels=3, seed=9)
+        label = max(graph.node_label_counts(), key=lambda l: (graph.node_label_counts()[l], l))
+        centers = set(graph.nodes_with_label(label))
+        fragments = partition_graph(graph, 2, centers=centers, d=2, seed=0)
+        manager = FragmentManager(
+            graph, fragments, 2, label, StreamConfig(**config_overrides)
+        )
+        return graph, manager
+
+    def test_factors_default_to_neutral(self):
+        _graph, manager = self._manager()
+        for fragment in manager.fragments:
+            assert manager.cost_factor(fragment.index) == 1.0
+            assert manager.effective_load(fragment.index) == manager.fragment_load(
+                fragment.index
+            )
+
+    def test_uniform_per_node_cost_learns_no_skew(self):
+        _graph, manager = self._manager()
+        # Seconds proportional to load: per-node cost identical everywhere,
+        # so a uniformly fast or slow machine must not tilt placement.
+        manager.record_round_timing(
+            {
+                fragment.index: 0.004 * manager.fragment_load(fragment.index)
+                for fragment in manager.fragments
+            }
+        )
+        for fragment in manager.fragments:
+            assert manager.cost_factor(fragment.index) == pytest.approx(1.0)
+
+    def test_skewed_times_fold_in_with_smoothing(self):
+        _graph, manager = self._manager()
+        slow, fast = (fragment.index for fragment in manager.fragments[:2])
+        seconds = {
+            slow: 0.012 * manager.fragment_load(slow),
+            fast: 0.004 * manager.fragment_load(fast),
+        }
+        manager.record_round_timing(seconds)
+        first = manager.cost_factor(slow)
+        assert first > 1.0 > manager.cost_factor(fast)
+        assert manager.effective_load(slow) == pytest.approx(
+            manager.fragment_load(slow) * first
+        )
+        # A second identical round moves the factor further toward the
+        # observed ratio (exponential smoothing, COST_SMOOTHING=0.5).
+        manager.record_round_timing(seconds)
+        second = manager.cost_factor(slow)
+        observed = 2 * first - 1.0  # first = (1 + observed) / 2
+        assert first < second <= observed + 1e-9
+        # Unknown fragments and negative readings are ignored, not folded.
+        before = manager.cost_factor(slow)
+        manager.record_round_timing({slow: -1.0, 999: 5.0})
+        assert manager.cost_factor(slow) == before
+
+    def test_cost_skew_alone_triggers_migration_planning(self):
+        _graph, manager = self._manager(rebalance_skew=0.3)
+        assert manager._plan_migrations(set()) == []  # node counts balanced
+        slow = max(
+            (fragment.index for fragment in manager.fragments),
+            key=lambda index: (manager.fragment_load(index), index),
+        )
+        for _ in range(6):  # drive the factor far above the skew threshold
+            manager.record_round_timing(
+                {
+                    fragment.index: (0.02 if fragment.index == slow else 0.004)
+                    * manager.fragment_load(fragment.index)
+                    for fragment in manager.fragments
+                }
+            )
+        moves = manager._plan_migrations(set())
+        assert moves, "measured cost skew alone must trigger rebalancing"
+        assert all(src == slow for _center, src, _dst in moves)
+
+    def test_cost_factors_survive_state_roundtrip(self):
+        graph, manager = self._manager()
+        slow = manager.fragments[0].index
+        manager.record_round_timing(
+            {
+                fragment.index: (0.02 if fragment.index == slow else 0.004)
+                * manager.fragment_load(fragment.index)
+                for fragment in manager.fragments
+            }
+        )
+        state = manager.state_dict()
+        assert state["cost_factors"] == manager._cost_factors
+        revived = FragmentManager.from_state(graph, state, manager.config)
+        for fragment in manager.fragments:
+            assert revived.cost_factor(fragment.index) == manager.cost_factor(
+                fragment.index
+            )
+        # Checkpoints that predate the measured-cost policy restore neutral.
+        del state["cost_factors"]
+        legacy = FragmentManager.from_state(graph, state, manager.config)
+        for fragment in manager.fragments:
+            assert legacy.cost_factor(fragment.index) == 1.0
+
+    def test_sub_noise_floor_rounds_are_discarded(self):
+        _graph, manager = self._manager()
+        manager.record_round_timing(
+            {fragment.index: 1e-6 for fragment in manager.fragments}
+        )
+        # Microsecond rounds are scheduler jitter, not signal: factors stay
+        # neutral, so toy-scale runs keep the deterministic node-count policy.
+        assert manager._cost_factors == {}
+        for fragment in manager.fragments:
+            assert manager.cost_factor(fragment.index) == 1.0
+
+    def test_streaming_rounds_feed_the_cost_factors(self, monkeypatch):
+        graph = synthetic_graph(120, 360, num_node_labels=5, num_edge_labels=3, seed=3)
+        predicate = most_frequent_predicates(graph, top=1)[0]
+        rules = generate_gpars(graph, predicate, count=3, max_pattern_edges=3, d=2, seed=3)
+        recorded = []
+        original = FragmentManager.record_round_timing
+        monkeypatch.setattr(
+            FragmentManager,
+            "record_round_timing",
+            lambda self, seconds: (recorded.append(dict(seconds)), original(self, seconds))[1],
+        )
+        with StreamingIdentifier(graph, rules, eta=0.5, num_workers=3) as identifier:
+            identifier.apply(random_update_batch(graph, size=6, seed=11))
+            # Every round reports one measured time per fragment...
+            assert recorded
+            fragment_indexes = {fragment.index for fragment in identifier.fragments}
+            for seconds in recorded:
+                assert set(seconds) == fragment_indexes
+                assert all(value >= 0 for value in seconds.values())
+            # ...but toy rounds sit under the noise floor, so placement
+            # still follows pure node counts here (see the test above).
+            assert all(
+                factor > 0 for factor in identifier.manager._cost_factors.values()
+            )

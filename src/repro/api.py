@@ -283,6 +283,12 @@ class Session:
             return next(reversed(self._snapshots))
 
     @property
+    def oldest_retained_version(self) -> int:
+        """Version of the oldest retained snapshot (the resync horizon)."""
+        with self._state_lock:
+            return next(iter(self._snapshots))
+
+    @property
     def result(self) -> EIPResult:
         """The newest assembled answer (immutable; safe to read concurrently)."""
         with self._state_lock:

@@ -1528,6 +1528,214 @@ def run_matchview_stream_comparison(
 
 
 # ----------------------------------------------------------------------
+# observability: instrumentation overhead + scrape/trace round-trips
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ObsRow:
+    """One half of the instrumented-vs-uninstrumented streaming comparison.
+
+    The ``obs`` smoke family replays the same sampled update sequence
+    through a :class:`~repro.stream.StreamingIdentifier` with observability
+    fully off (the module-level no-op span path) and fully on (an installed
+    :class:`~repro.obs.Tracer` plus ``REPRO_OBS`` statistics collection).
+    The instrumented row carries ``overhead_pct`` — the best-of-reps wall
+    regression the instrumentation itself costs — plus the two round-trip
+    gates: ``trace_ok`` (dump_jsonl → load_trace survives byte-identical and
+    renders a breakdown) and ``scrape_ok`` (a live ``GET /metrics`` parses
+    under the strict Prometheus parser with the expected families present).
+    """
+
+    dataset: str
+    mode: str
+    batches: int
+    reps: int
+    wall_time: float
+    spans: int = 0
+    counter_series: int = 0
+    overhead_pct: float | None = None
+    scrape_ok: bool | None = None
+    trace_ok: bool | None = None
+    backend: str = "sequential"
+    fingerprint: str = ""
+
+    def as_dict(self) -> dict:
+        row = {
+            "dataset": self.dataset,
+            "mode": self.mode,
+            "backend": self.backend,
+            "batches": self.batches,
+            "reps": self.reps,
+            "wall_s": round(self.wall_time, 3),
+            "spans": self.spans,
+            "counter_series": self.counter_series,
+            "fingerprint": self.fingerprint,
+        }
+        if self.overhead_pct is not None:
+            row["overhead_pct"] = round(self.overhead_pct, 2)
+        if self.scrape_ok is not None:
+            row["scrape_ok"] = self.scrape_ok
+        if self.trace_ok is not None:
+            row["trace_ok"] = self.trace_ok
+        return row
+
+
+def run_obs_overhead(
+    dataset: str,
+    graph: Graph,
+    rules: tuple[GPAR, ...],
+    num_workers: int,
+    num_batches: int = 6,
+    batch_size: int = 8,
+    eta: float = 1.0,
+    algorithm: str = "match",
+    seed: int = 0,
+    reps: int = 3,
+) -> list["ObsRow"]:
+    """Instrumented vs uninstrumented streaming maintenance (``obs`` family).
+
+    Interleaves *reps* uninstrumented/instrumented pairs of the same
+    maintenance run and takes the best-of-reps sum of per-tick wall times
+    for each mode, so ``overhead_pct`` measures the instrumentation rather
+    than scheduler noise.  Counters aggregate through the registry's
+    ``snapshot()``/``merge()`` protocol (:mod:`repro.obs.stats`) — not the
+    deprecated field-by-field statistics accumulation — and both modes must
+    produce identical result fingerprints: instrumentation may never change
+    answers.  Raises ``AssertionError`` on a fingerprint divergence; the
+    scrape/trace round-trip outcomes land on the instrumented row for the
+    smoke gate.
+    """
+    import tempfile
+    import urllib.request
+    from pathlib import Path
+
+    from repro.obs import (
+        Tracer,
+        install,
+        load_trace,
+        parse_prometheus,
+        trace_breakdown,
+        uninstall,
+    )
+    from repro.obs.registry import registry
+    from repro.obs.stats import (
+        disable_collection,
+        enable_collection,
+        reset_collection,
+    )
+    from repro.serve import BackgroundServer
+    from repro.stream import StreamingIdentifier
+
+    batches = sample_update_batches(graph, num_batches, batch_size, seed=seed)
+    registry().reset()  # the scrape below should reflect this run alone
+
+    def maintain(instrumented: bool):
+        live = graph.copy()
+        tracer = None
+        if instrumented:
+            tracer = Tracer()
+            reset_collection()  # fresh watermarks: each rep ships full counts
+            enable_collection()
+            install(tracer)
+        try:
+            wall = 0.0
+            with StreamingIdentifier(
+                live,
+                rules,
+                config=EIPConfig(eta=eta, num_workers=num_workers),
+                algorithm=algorithm,
+            ) as identifier:
+                for batch in batches:
+                    wall += identifier.apply(batch).wall_time
+                fingerprint = _eip_result_fingerprint(identifier.result)
+        finally:
+            if instrumented:
+                uninstall()
+                disable_collection()
+        return wall, fingerprint, tracer
+
+    off_walls: list[float] = []
+    on_walls: list[float] = []
+    off_fingerprint = on_fingerprint = ""
+    tracer = None
+    for _ in range(reps):
+        wall, off_fingerprint, _ = maintain(False)
+        off_walls.append(wall)
+        wall, on_fingerprint, tracer = maintain(True)
+        on_walls.append(wall)
+    if off_fingerprint != on_fingerprint:
+        raise AssertionError(
+            f"instrumentation changed the maintained answer: "
+            f"{on_fingerprint} != {off_fingerprint}"
+        )
+    best_off = min(off_walls)
+    best_on = min(on_walls)
+    overhead_pct = (
+        (best_on - best_off) / best_off * 100.0 if best_off else 0.0
+    )
+
+    # Round-trip 1: the final instrumented trace through JSON-lines.
+    records = tracer.records()
+    with tempfile.TemporaryDirectory() as scratch:
+        trace_path = Path(scratch) / "trace.jsonl"
+        tracer.dump_jsonl(trace_path)
+        revived = load_trace(trace_path)
+    trace_ok = (
+        bool(records)
+        and revived == records
+        and "stream.tick" in trace_breakdown(revived)
+    )
+
+    # Round-trip 2: a live scrape of the process-global registry.  The
+    # /healthz request before the scrape seeds the request histogram, so
+    # the exposition must carry the HTTP families alongside the streaming
+    # counters the maintenance runs recorded.  parse_prometheus raises
+    # ValueError on any malformed line — a loud failure, not a False flag.
+    with BackgroundServer() as server:
+        _http_json("GET", f"{server.base_url}/healthz")
+        with urllib.request.urlopen(
+            f"{server.base_url}/metrics", timeout=30
+        ) as response:
+            content_type = response.headers.get("Content-Type", "")
+            text = response.read().decode("utf-8")
+    samples = parse_prometheus(text)
+    ticks = [
+        value for _labels, value in samples.get("repro_stream_ticks_total", [])
+    ]
+    scrape_ok = (
+        content_type.startswith("text/plain")
+        and sum(ticks) >= len(batches)
+        and "repro_stream_tick_seconds_bucket" in samples
+        and "repro_http_requests_total" in samples
+        and "repro_http_request_seconds_bucket" in samples
+    )
+
+    counter_series = len(registry().counters("repro_"))
+    return [
+        ObsRow(
+            dataset=dataset,
+            mode="uninstrumented",
+            batches=len(batches),
+            reps=reps,
+            wall_time=best_off,
+            fingerprint=off_fingerprint,
+        ),
+        ObsRow(
+            dataset=dataset,
+            mode="instrumented",
+            batches=len(batches),
+            reps=reps,
+            wall_time=best_on,
+            spans=len(records),
+            counter_series=counter_series,
+            overhead_pct=overhead_pct,
+            scrape_ok=scrape_ok,
+            trace_ok=trace_ok,
+            fingerprint=on_fingerprint,
+        ),
+    ]
+
+
+# ----------------------------------------------------------------------
 # adversarial storm suite (differential oracle + distillation)
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)

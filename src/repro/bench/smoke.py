@@ -11,6 +11,7 @@ the execution backends without paying for a full fig5 sweep::
     python -m repro.bench.smoke --family stream --workers 2
     python -m repro.bench.smoke --family stream --deletion-bias 0.7 --workers 2
     python -m repro.bench.smoke --family lifecycle --workers 2
+    python -m repro.bench.smoke --family obs --workers 2
 
 Each run executes the configuration on the sequential baseline and on the
 requested backend, asserts the two produce identical results, prints the
@@ -65,6 +66,16 @@ is not byte-identical to the set-difference of fresh recomputes; the
 trajectory rows report p50/p99 read latency and ticks/sec
 (``BENCH_serve.json``).
 
+The ``obs`` family is the cost-of-observability gate of :mod:`repro.obs`
+(docs/observability.md): the dense streaming workload maintained with
+instrumentation fully off (the module-level no-op span path) and fully on
+(installed tracer + ``REPRO_OBS`` statistics collection), interleaved
+best-of-reps.  The run fails if the instrumented wall regresses more than
+5% over the uninstrumented one, if a live ``GET /metrics`` scrape does not
+parse under the strict Prometheus parser with the stream/http families
+present, or if the trace does not survive its JSON-lines round-trip
+(``BENCH_obs.json``).
+
 ``--profile`` wraps the whole family in :mod:`cProfile` and prints the top
 25 functions by cumulative time — the first stop when a trajectory row
 regresses.
@@ -93,6 +104,7 @@ from repro.bench.harness import (
     run_matching_index_comparison,
     run_matching_traffic,
     run_matchview_stream_comparison,
+    run_obs_overhead,
     run_serve_load,
     run_storm_suite,
     run_stream_churn,
@@ -118,6 +130,7 @@ FAMILIES = (
     "lifecycle",
     "serve",
     "storm",
+    "obs",
 )
 
 # Tiny-but-nontrivial smoke scales: seconds per family, not minutes.
@@ -182,6 +195,18 @@ SERVE_CLIENTS = 8
 SERVE_BATCHES = 3
 SERVE_BATCH_SIZE = 8
 
+# The obs family maintains the dense streaming workload with observability
+# fully off and fully on (installed tracer + REPRO_OBS collection),
+# interleaved best-of-reps, and gates the instrumentation overhead at 5%
+# alongside the /metrics scrape and trace JSON-lines round-trips.
+# Batches are deliberately large: the per-tick instrumentation cost is
+# fixed, so deep ticks keep the measured ratio about the instrumentation
+# rather than about timer noise on a near-empty wall.
+OBS_BATCHES = 6
+OBS_BATCH_SIZE = 24
+OBS_REPS = 5
+OBS_OVERHEAD_LIMIT_PCT = 5.0
+
 # The storm family replays every adversarial churn generator (correlated
 # deletions, label flips, hub churn, ball bursts, plus uniform random)
 # through the differential oracle on every backend: maintained streaming
@@ -219,7 +244,7 @@ def run_smoke(
             scale = COLUMNAR_SCALE
         elif family == "incremental":
             scale = INCREMENTAL_SCALE
-        elif family in ("stream", "lifecycle", "serve"):
+        elif family in ("stream", "lifecycle", "serve", "obs"):
             scale = STREAM_SCALE
         elif family == "storm":
             scale = STORM_SCALE
@@ -227,7 +252,16 @@ def run_smoke(
             scale = SMOKE_SCALE
     if (
         family
-        not in ("index", "columnar", "incremental", "stream", "lifecycle", "serve", "storm")
+        not in (
+            "index",
+            "columnar",
+            "incremental",
+            "stream",
+            "lifecycle",
+            "serve",
+            "storm",
+            "obs",
+        )
         and backend is None
     ):
         backend = "processes"
@@ -462,6 +496,21 @@ def run_smoke(
             eta=0.5,
             algorithm="match",
         )
+    if family == "obs":
+        # Sequential-only by design: the overhead gate compares the no-op
+        # instrumentation path against the traced one on a pool-free run,
+        # so scheduler variance cannot masquerade as tracer cost.
+        graph, rules = stream_workload(scale, STREAM_RULES)
+        return run_obs_overhead(
+            "synthetic-dense",
+            graph,
+            rules,
+            num_workers=workers,
+            num_batches=OBS_BATCHES,
+            batch_size=OBS_BATCH_SIZE,
+            eta=0.5,
+            reps=OBS_REPS,
+        )
     if family == "serve":
         # Σ is regenerated server-side from the same (predicate, params) the
         # stream_workload uses, so the bench's mirror rules match the hosted
@@ -666,6 +715,41 @@ def _check_incremental_gate(rows) -> None:
             )
 
 
+def _check_obs_gate(rows) -> None:
+    """Regression gate: observability must stay cheap and round-trip cleanly.
+
+    The runner already failed if instrumentation changed the maintained
+    answer; this gate holds the acceptance criteria of the obs layer —
+    instrumented-vs-uninstrumented overhead within
+    ``OBS_OVERHEAD_LIMIT_PCT``, the live ``GET /metrics`` scrape parsed by
+    the strict Prometheus parser with the expected families present, and
+    the trace surviving its JSON-lines round-trip.
+    """
+    instrumented = [row for row in rows if row.mode == "instrumented"]
+    if not instrumented:
+        raise SystemExit("obs run produced no instrumented row")
+    for row in instrumented:
+        if not row.scrape_ok:
+            raise SystemExit(
+                "obs regression: GET /metrics scrape missing the expected "
+                "stream/http families (see scrape_ok in BENCH_obs.json)"
+            )
+        if not row.trace_ok:
+            raise SystemExit(
+                "obs regression: trace JSON-lines round-trip lost or "
+                "mutated spans (see trace_ok in BENCH_obs.json)"
+            )
+        if row.spans == 0:
+            raise SystemExit(
+                "obs regression: instrumented run recorded zero spans"
+            )
+        if row.overhead_pct is not None and row.overhead_pct > OBS_OVERHEAD_LIMIT_PCT:
+            raise SystemExit(
+                f"obs regression: instrumentation overhead "
+                f"{row.overhead_pct:.2f}% > {OBS_OVERHEAD_LIMIT_PCT:.0f}%"
+            )
+
+
 def _check_storm_gate(rows) -> None:
     """Regression gate: no storm may leave a surviving divergence.
 
@@ -789,6 +873,20 @@ def _report_family(family: str, backend: str | None, workers: int, rows) -> None
             f"oracle checks {checks} ({rate})"
         )
         _check_storm_gate(rows)
+    elif family == "obs":
+        title = f"smoke obs (n={workers}, sequential, best of {OBS_REPS})"
+        print(f"== {title} ==")
+        print("-- streaming maintenance, observability off vs on (gated <=5%) --")
+        print(format_rows(rows))
+        on = next(row for row in rows if row.mode == "instrumented")
+        overhead = on.overhead_pct if on.overhead_pct is not None else 0.0
+        print(
+            f"instrumentation overhead {overhead:.2f}% "
+            f"(gate <= {OBS_OVERHEAD_LIMIT_PCT:.0f}%); {on.spans} spans, "
+            f"{on.counter_series} counter series; scrape_ok={on.scrape_ok} "
+            f"trace_ok={on.trace_ok}"
+        )
+        _check_obs_gate(rows)
     elif family == "serve":
         row = rows[0]
         title = f"smoke serve (clients={row.clients}, batches={row.batches})"
@@ -866,6 +964,7 @@ def main(argv: list[str] | None = None) -> int:
         "lifecycle",
         "serve",
         "storm",
+        "obs",
     ):
         backend = "processes"
     if args.deletion_bias is not None and args.family != "stream":

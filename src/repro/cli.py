@@ -226,7 +226,44 @@ def _cmd_stream(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import run_foreground
 
+    if args.access_log:
+        import logging
+
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        access = logging.getLogger("repro.serve.access")
+        access.addHandler(handler)
+        access.setLevel(logging.INFO)
     return run_foreground(args.host, args.port, executor_workers=args.executor_workers)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import load_trace, trace_breakdown
+
+    print(trace_breakdown(load_trace(args.trace)), end="")
+    return 0
+
+
+def _fetch_json(url: str) -> dict:
+    import json
+    from urllib.request import urlopen
+
+    with urlopen(url, timeout=10) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from urllib.request import urlopen
+
+    from repro.obs import top_report
+
+    base = args.url.rstrip("/")
+    healthz = _fetch_json(f"{base}/healthz")
+    sessions = _fetch_json(f"{base}/sessions")
+    with urlopen(f"{base}/metrics", timeout=10) as response:
+        metrics_text = response.read().decode("utf-8")
+    print(top_report(base, healthz, sessions, metrics_text), end="")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -375,7 +412,30 @@ def build_parser() -> argparse.ArgumentParser:
         dest="executor_workers",
         help="thread pool size for blocking session work",
     )
+    serve.add_argument(
+        "--access-log",
+        action="store_true",
+        dest="access_log",
+        help="emit one JSON access-log line per request on stderr "
+        "(logger 'repro.serve.access')",
+    )
     serve.set_defaults(handler=_cmd_serve)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="render a --trace-out JSON-lines span trace as a per-phase "
+        "time breakdown (see docs/observability.md)",
+    )
+    trace.add_argument("trace", type=Path, help="JSON-lines file written by --trace-out")
+    trace.set_defaults(handler=_cmd_trace)
+
+    top = subparsers.add_parser(
+        "top",
+        help="one-shot status report over a running 'repro serve' "
+        "(/healthz + /sessions + /metrics)",
+    )
+    top.add_argument("url", help="base URL of the service, e.g. http://127.0.0.1:8337")
+    top.set_defaults(handler=_cmd_top)
     return parser
 
 
@@ -417,13 +477,33 @@ def _add_backend_arguments(subparser: argparse.ArgumentParser) -> None:
         "levelwise candidate from scratch / evaluate EIP rule-at-a-time; "
         "identical results, more matching work — see docs/incremental.md)",
     )
+    subparser.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        dest="trace_out",
+        help="record a span trace of the run and write it as JSON lines "
+        "(render with 'repro trace FILE'; see docs/observability.md)",
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out is None:
+        return args.handler(args)
+    from repro.obs.tracing import Tracer, install, uninstall
+
+    tracer = Tracer()
+    install(tracer)
+    try:
+        return args.handler(args)
+    finally:
+        uninstall()
+        tracer.dump_jsonl(trace_out)
+        print(f"wrote {len(tracer.records())} trace spans to {trace_out}")
 
 
 if __name__ == "__main__":

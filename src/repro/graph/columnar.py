@@ -45,6 +45,8 @@ from typing import Hashable, Iterable
 from repro.exceptions import GraphError
 from repro.graph.graph import Graph, GraphDelta
 from repro.graph.index import default_rebuild_fraction
+from repro.obs.stats import StatisticsBase
+from repro.obs.tracing import span
 
 NodeId = Hashable
 Label = str
@@ -142,8 +144,14 @@ class CompiledRequirement:
 
 
 @dataclass
-class ColumnarStatistics:
-    """Build/probe counters of one :class:`ColumnarFragment` (used by tests)."""
+class ColumnarStatistics(StatisticsBase):
+    """Build/probe counters of one :class:`ColumnarFragment` (used by tests).
+
+    Snapshot/merge via :class:`repro.obs.stats.StatisticsBase`; collected as
+    ``repro_columnar_*_total`` when ``REPRO_OBS`` is on.
+    """
+
+    _metric_kind = "columnar"
 
     builds: int = 0
     refreshes: int = 0
@@ -233,6 +241,10 @@ class ColumnarFragment:
     # compile / invalidation
     # ------------------------------------------------------------------
     def _build(self) -> None:
+        with span("columnar.compile", graph=str(self.graph.name)):
+            self._compile()
+
+    def _compile(self) -> None:
         graph = self.graph
         table = graph.label_table  # shared, append-only; tops itself up
         np = numpy_or_none()
@@ -336,21 +348,24 @@ class ColumnarFragment:
                 f"cannot refresh the columnar view of graph {graph.name!r} while "
                 "a batch_update is open: the graph is in a half-applied state"
             )
-        deltas = graph.deltas_since(self._built_version)
-        if deltas is not None:
-            touched_total = sum(len(delta.touched) for delta in deltas)
-            if touched_total <= self.rebuild_fraction * max(1, graph.num_nodes):
-                for delta in deltas:
-                    if not self.apply_delta(delta):  # pragma: no cover - chain guard
-                        deltas = None
-                        break
-                if deltas is not None:
-                    self.statistics.refreshes += 1
-                    return
-            else:
-                deltas = None
-        self._build()
-        self.statistics.refreshes += 1
+        with span("columnar.refresh", graph=str(graph.name)) as trace:
+            deltas = graph.deltas_since(self._built_version)
+            if deltas is not None:
+                touched_total = sum(len(delta.touched) for delta in deltas)
+                if touched_total <= self.rebuild_fraction * max(1, graph.num_nodes):
+                    for delta in deltas:
+                        if not self.apply_delta(delta):  # pragma: no cover - chain guard
+                            deltas = None
+                            break
+                    if deltas is not None:
+                        self.statistics.refreshes += 1
+                        trace.set(decision="patch", touched=touched_total)
+                        return
+                else:
+                    deltas = None
+            trace.set(decision="recompile")
+            self._build()
+            self.statistics.refreshes += 1
 
     def apply_delta(self, delta: GraphDelta) -> bool:
         """Patch the view in place with one recorded graph delta.

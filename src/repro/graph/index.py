@@ -72,6 +72,8 @@ from typing import Hashable, Mapping
 from repro.exceptions import GraphError, NodeNotFoundError, StaleIndexError
 from repro.graph.graph import Graph, GraphDelta
 from repro.graph.sketch import KHopSketch, build_sketch, empty_sketch
+from repro.obs.stats import StatisticsBase
+from repro.obs.tracing import span
 
 NodeId = Hashable
 Label = str
@@ -110,8 +112,14 @@ _EMPTY_FROZEN: frozenset = frozenset()
 
 
 @dataclass
-class IndexStatistics:
-    """Build/probe counters of one :class:`FragmentIndex` (used by tests)."""
+class IndexStatistics(StatisticsBase):
+    """Build/probe counters of one :class:`FragmentIndex` (used by tests).
+
+    Snapshot/merge via :class:`repro.obs.stats.StatisticsBase`; collected as
+    ``repro_index_*_total`` when ``REPRO_OBS`` is on.
+    """
+
+    _metric_kind = "index"
 
     builds: int = 0
     refreshes: int = 0
@@ -249,21 +257,24 @@ class FragmentIndex:
                 f"cannot refresh the index of graph {graph.name!r} while a "
                 "batch_update is open: the graph is in a half-applied state"
             )
-        deltas = graph.deltas_since(self._built_version)
-        if deltas is not None:
-            touched_total = sum(len(delta.touched) for delta in deltas)
-            if touched_total <= self.rebuild_fraction * max(1, graph.num_nodes):
-                for delta in deltas:
-                    if not self.apply_delta(delta):  # pragma: no cover - chain guard
-                        deltas = None
-                        break
-                if deltas is not None:
-                    self.statistics.refreshes += 1
-                    return
-            else:
-                deltas = None
-        self._build()
-        self.statistics.refreshes += 1
+        with span("index.refresh", graph=str(graph.name)) as trace:
+            deltas = graph.deltas_since(self._built_version)
+            if deltas is not None:
+                touched_total = sum(len(delta.touched) for delta in deltas)
+                if touched_total <= self.rebuild_fraction * max(1, graph.num_nodes):
+                    for delta in deltas:
+                        if not self.apply_delta(delta):  # pragma: no cover - chain guard
+                            deltas = None
+                            break
+                    if deltas is not None:
+                        self.statistics.refreshes += 1
+                        trace.set(decision="patch", touched=touched_total)
+                        return
+                else:
+                    deltas = None
+            trace.set(decision="rebuild")
+            self._build()
+            self.statistics.refreshes += 1
 
     def apply_delta(self, delta: GraphDelta) -> bool:
         """Patch the index in place with one recorded graph delta.

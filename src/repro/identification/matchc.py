@@ -30,6 +30,7 @@ from repro.identification.census import (
     plan_census,
 )
 from repro.identification.eip import EIPConfig, EIPResult, _shared_predicate
+from repro.obs.tracing import span
 from repro.parallel.executor import make_executor
 from repro.parallel.runtime import BSPRuntime
 from repro.parallel.worker import WorkerContext
@@ -98,6 +99,11 @@ class _FragmentReport:
     positives: set = field(default_factory=set)
     negatives: set = field(default_factory=set)
     antecedent_sets: dict[GPAR, set] = field(default_factory=dict)
+    #: Trace records captured inside the worker (see
+    #: :mod:`repro.obs.tracing`); shipped back so the coordinator can adopt
+    #: them under its own span tree.  Empty unless the payload asked for
+    #: tracing.
+    spans: list = field(default_factory=list)
 
 
 class MatchC:
@@ -180,13 +186,16 @@ class MatchC:
         max_radius = max_verification_radius(rules, census_plan)
         centers = graph.nodes_with_label(representative.x_label)
 
-        fragments = partition_graph(
-            graph,
-            self.config.num_workers,
-            centers=centers,
-            d=max_radius,
-            seed=self.config.seed,
-        )
+        with span(
+            "eip.partition", workers=self.config.num_workers, centers=len(centers)
+        ):
+            fragments = partition_graph(
+                graph,
+                self.config.num_workers,
+                centers=centers,
+                d=max_radius,
+                seed=self.config.seed,
+            )
         executor = make_executor(
             self.config.backend,
             self.config.executor_workers,
@@ -205,13 +214,15 @@ class MatchC:
             census=census_plan.substitutions,
         )
         try:
-            reports = runtime.run_round(
-                verify_worker, [payload] * len(fragments)
-            )
-            reports = apply_census(graph, rules, reports, census_plan)
-            # Assemble inside the timed window so wall_time keeps covering
-            # the coordinator's assembling phase, as it always has.
-            result = self._assemble(rules, reports)
+            with span("eip.verify", rules=len(rules), backend=self.config.backend):
+                reports = runtime.run_round(
+                    verify_worker, [payload] * len(fragments)
+                )
+            with span("eip.assemble"):
+                reports = apply_census(graph, rules, reports, census_plan)
+                # Assemble inside the timed window so wall_time keeps covering
+                # the coordinator's assembling phase, as it always has.
+                result = self._assemble(rules, reports)
         finally:
             timings = runtime.finish_run()
         result.timings = timings

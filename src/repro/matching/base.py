@@ -11,19 +11,25 @@ from repro.graph.columnar import ColumnarFragment, columnar_view
 from repro.graph.graph import Graph
 from repro.graph.index import FragmentIndex, graph_index
 from repro.matching.candidates import label_candidates
+from repro.obs.stats import StatisticsBase
 from repro.pattern.pattern import Pattern, PatternEdge
 
 NodeId = Hashable
 
 
 @dataclass
-class MatchStatistics:
+class MatchStatistics(StatisticsBase):
     """Counters describing the work a matcher performed.
 
     The benchmark harness uses these to contrast e.g. ``Match`` (early
     termination) against ``disVF2`` (full enumeration) in a way that is
-    independent of interpreter noise.
+    independent of interpreter noise.  ``snapshot()``/``merge()`` come from
+    :class:`repro.obs.stats.StatisticsBase`, as for every ``*Statistics``
+    class; with collection enabled the counters feed the process-global
+    registry as ``repro_match_*_total``.
     """
+
+    _metric_kind = "match"
 
     candidates_considered: int = 0
     states_expanded: int = 0
@@ -32,16 +38,6 @@ class MatchStatistics:
     sketch_prunes: int = 0
     profile_prunes: int = 0
     prefix_pool_hits: int = 0
-
-    def merge(self, other: "MatchStatistics") -> None:
-        """Accumulate counters from another statistics object."""
-        self.candidates_considered += other.candidates_considered
-        self.states_expanded += other.states_expanded
-        self.backtracks += other.backtracks
-        self.matches_found += other.matches_found
-        self.sketch_prunes += other.sketch_prunes
-        self.profile_prunes += other.profile_prunes
-        self.prefix_pool_hits += other.prefix_pool_hits
 
 
 @dataclass

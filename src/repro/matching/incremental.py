@@ -63,6 +63,7 @@ from typing import Hashable, Iterable, Iterator, Mapping
 from repro.exceptions import GraphError, PatternError
 from repro.graph.graph import Graph
 from repro.matching.base import Matcher
+from repro.obs.stats import StatisticsBase
 from repro.pattern.canonical import canonical_code
 from repro.pattern.pattern import Pattern
 from repro.pattern.radius import pattern_radius
@@ -273,8 +274,14 @@ class MatchEntry:
 
 
 @dataclass
-class StoreStatistics:
-    """Probe counters of one :class:`MatchStore` (used by tests and docs)."""
+class StoreStatistics(StatisticsBase):
+    """Probe counters of one :class:`MatchStore` (used by tests and docs).
+
+    Snapshot/merge via :class:`repro.obs.stats.StatisticsBase`; collected as
+    ``repro_store_*_total`` when ``REPRO_OBS`` is on.
+    """
+
+    _metric_kind = "store"
 
     hits: int = 0
     misses: int = 0

@@ -34,6 +34,7 @@ from repro.mining.diversify import greedy_diversify
 from repro.mining.incdiv import IncrementalDiversifier, RuleInfo
 from repro.mining.local_mine import evaluate_worker, propose_worker, seed_rule
 from repro.mining.reduction import apply_reduction_rules
+from repro.obs.tracing import span
 from repro.parallel.executor import make_executor
 from repro.parallel.messages import (
     EvaluatePayload,
@@ -144,123 +145,126 @@ class DMine:
                     break
                 rounds_executed += 1
                 rules = tuple(message_set)
+                with span("dmine.round", level=_round):
 
-                # Half-round 1: propose extensions at every worker; the
-                # coordinator deduplicates them in the synchronisation phase.
-                propose_payloads = [
-                    ProposePayload(
-                        rules=rules,
-                        focus=tuple(
-                            self._focus_for(witness.get((fragment.index, rule)))
-                            for rule in rules
-                        ),
-                        predicate=predicate,
-                        config=config,
-                    )
-                    for fragment in fragments
-                ]
-                proposals_per_worker: list[list[Proposal]] = []
-
-                def _dedup_phase(worker_results):
-                    proposals_per_worker.extend(worker_results)
-                    proposals = [
-                        proposal.rule
-                        for worker_proposals in worker_results
-                        for proposal in worker_proposals
-                    ]
-                    return len(proposals), self._deduplicate(proposals, seen_codes)
-
-                proposed_count, representatives = runtime.run_round(
-                    propose_worker, propose_payloads, _dedup_phase
-                )
-                candidates_generated += proposed_count
-                if not representatives:
-                    break
-
-                # Half-round 2: evaluate the representatives at every worker;
-                # the coordinator assembles confidences, updates the top-k
-                # set and prunes Σ / ΔE — all accounted as coordinator time.
-                # Global parentage: the beam rule each representative was
-                # proposed from, at whichever fragment proposed it.  Beam
-                # rules were evaluated (and their matches materialized) at
-                # *every* fragment last round, so the incremental matcher can
-                # delta-extend even at fragments that proposed an automorphic
-                # sibling — or nothing — for this representative.
-                global_parents: dict[GPAR, GPAR] = {}
-                for worker_proposals in proposals_per_worker:
-                    for proposal in worker_proposals:
-                        global_parents.setdefault(
-                            proposal.rule, rules[proposal.parent_index]
-                        )
-                evaluate_payloads = []
-                for position, fragment in enumerate(fragments):
-                    pools, parents = self._evaluation_inheritance(
-                        representatives,
-                        proposals_per_worker[position],
-                        rules,
-                        fragment.index,
-                        witness,
-                        global_parents,
-                    )
-                    evaluate_payloads.append(
-                        EvaluatePayload(
-                            rules=tuple(representatives),
-                            pools=pools,
+                    # Half-round 1: propose extensions at every worker; the
+                    # coordinator deduplicates them in the synchronisation phase.
+                    propose_payloads = [
+                        ProposePayload(
+                            rules=rules,
+                            focus=tuple(
+                                self._focus_for(witness.get((fragment.index, rule)))
+                                for rule in rules
+                            ),
                             predicate=predicate,
                             config=config,
-                            parents=parents if config.use_incremental else (),
                         )
-                    )
+                        for fragment in fragments
+                    ]
+                    proposals_per_worker: list[list[Proposal]] = []
 
-                def _coordinate(messages_per_worker):
-                    nonlocal sigma, candidates_pruned
-                    for worker_messages in messages_per_worker:
-                        for message in worker_messages:
-                            witness[(message.fragment_index, message.rule)] = message
-                    delta = self._assemble(representatives, messages_per_worker, global_stats)
-                    delta = {
-                        rule: info
-                        for rule, info in delta.items()
-                        if info.support >= config.sigma and not math.isinf(info.confidence)
-                    }
-                    sigma.update(delta)
+                    def _dedup_phase(worker_results):
+                        proposals_per_worker.extend(worker_results)
+                        proposals = [
+                            proposal.rule
+                            for worker_proposals in worker_results
+                            for proposal in worker_proposals
+                        ]
+                        return len(proposals), self._deduplicate(proposals, seen_codes)
 
-                    if config.use_incremental_diversification:
-                        diversifier.update(delta, sigma)
-                    else:
-                        # The "discover then diversify" behaviour of DMineno:
-                        # the top-k set is recomputed from scratch over the
-                        # whole Σ at every round instead of being maintained
-                        # incrementally.
-                        greedy_diversify(sigma, config.k, objective)
-
-                    if config.use_reduction_rules and config.use_incremental_diversification:
-                        outcome = apply_reduction_rules(
-                            sigma,
-                            delta,
-                            objective,
-                            diversifier.min_pair_score,
-                            protected=set(diversifier.top_k()),
+                    with span("dmine.propose", rules=len(rules)):
+                        proposed_count, representatives = runtime.run_round(
+                            propose_worker, propose_payloads, _dedup_phase
                         )
-                        sigma = outcome.sigma
-                        extendable = outcome.extendable
-                        candidates_pruned += outcome.pruned_sigma + outcome.pruned_delta
-                    else:
-                        extendable = {
-                            rule: info for rule, info in delta.items() if info.extendable
+                    candidates_generated += proposed_count
+                    if not representatives:
+                        break
+
+                    # Half-round 2: evaluate the representatives at every worker;
+                    # the coordinator assembles confidences, updates the top-k
+                    # set and prunes Σ / ΔE — all accounted as coordinator time.
+                    # Global parentage: the beam rule each representative was
+                    # proposed from, at whichever fragment proposed it.  Beam
+                    # rules were evaluated (and their matches materialized) at
+                    # *every* fragment last round, so the incremental matcher can
+                    # delta-extend even at fragments that proposed an automorphic
+                    # sibling — or nothing — for this representative.
+                    global_parents: dict[GPAR, GPAR] = {}
+                    for worker_proposals in proposals_per_worker:
+                        for proposal in worker_proposals:
+                            global_parents.setdefault(
+                                proposal.rule, rules[proposal.parent_index]
+                            )
+                    evaluate_payloads = []
+                    for position, fragment in enumerate(fragments):
+                        pools, parents = self._evaluation_inheritance(
+                            representatives,
+                            proposals_per_worker[position],
+                            rules,
+                            fragment.index,
+                            witness,
+                            global_parents,
+                        )
+                        evaluate_payloads.append(
+                            EvaluatePayload(
+                                rules=tuple(representatives),
+                                pools=pools,
+                                predicate=predicate,
+                                config=config,
+                                parents=parents if config.use_incremental else (),
+                            )
+                        )
+
+                    def _coordinate(messages_per_worker):
+                        nonlocal sigma, candidates_pruned
+                        for worker_messages in messages_per_worker:
+                            for message in worker_messages:
+                                witness[(message.fragment_index, message.rule)] = message
+                        delta = self._assemble(representatives, messages_per_worker, global_stats)
+                        delta = {
+                            rule: info
+                            for rule, info in delta.items()
+                            if info.support >= config.sigma and not math.isinf(info.confidence)
                         }
+                        sigma.update(delta)
 
-                    # Beam: carry the most promising extendable rules into the
-                    # next round (highest optimistic confidence, then support).
-                    ranked = sorted(
-                        extendable.items(),
-                        key=lambda item: (-item[1].upper_confidence, -item[1].support),
-                    )
-                    return [rule for rule, _info in ranked[: config.max_rules_per_round]]
+                        if config.use_incremental_diversification:
+                            diversifier.update(delta, sigma)
+                        else:
+                            # The "discover then diversify" behaviour of DMineno:
+                            # the top-k set is recomputed from scratch over the
+                            # whole Σ at every round instead of being maintained
+                            # incrementally.
+                            greedy_diversify(sigma, config.k, objective)
 
-                message_set = runtime.run_round(
-                    evaluate_worker, evaluate_payloads, _coordinate
-                )
+                        if config.use_reduction_rules and config.use_incremental_diversification:
+                            outcome = apply_reduction_rules(
+                                sigma,
+                                delta,
+                                objective,
+                                diversifier.min_pair_score,
+                                protected=set(diversifier.top_k()),
+                            )
+                            sigma = outcome.sigma
+                            extendable = outcome.extendable
+                            candidates_pruned += outcome.pruned_sigma + outcome.pruned_delta
+                        else:
+                            extendable = {
+                                rule: info for rule, info in delta.items() if info.extendable
+                            }
+
+                        # Beam: carry the most promising extendable rules into the
+                        # next round (highest optimistic confidence, then support).
+                        ranked = sorted(
+                            extendable.items(),
+                            key=lambda item: (-item[1].upper_confidence, -item[1].support),
+                        )
+                        return [rule for rule, _info in ranked[: config.max_rules_per_round]]
+
+                    with span("dmine.evaluate", representatives=len(representatives)):
+                        message_set = runtime.run_round(
+                            evaluate_worker, evaluate_payloads, _coordinate
+                        )
                 # Only the beam's rules are expanded next round; drop the rest
                 # of the witness state to bound coordinator memory.
                 carried = set(message_set)

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.exceptions import ExecutorError, WorkerError
+from repro.obs.stats import collect_process_metrics, collection_enabled
 from repro.parallel.worker import TASK_OK, WorkerContext, init_worker, run_task
 from repro.partition.fragment import Fragment
 
@@ -92,8 +93,15 @@ class Executor(ABC):
         """Release pooled resources; called once after the last round."""
 
     @abstractmethod
-    def run(self, tasks: Sequence[WorkerTask]) -> tuple[list[object], list[float]]:
-        """Execute *tasks*; return (results, per-task elapsed seconds)."""
+    def run(
+        self, tasks: Sequence[WorkerTask]
+    ) -> tuple[list[object], list[float], list[dict | None]]:
+        """Execute *tasks*; return (results, per-task seconds, metric deltas).
+
+        The third list carries each task's shipped statistics delta
+        (:func:`repro.obs.stats.collect_process_metrics`), ``None`` entries
+        when ``REPRO_OBS`` collection is off.
+        """
 
     # -- shared helper for the in-process backends --------------------------
     def _context(self, fragment_id: int) -> WorkerContext:
@@ -104,14 +112,16 @@ class Executor(ABC):
                 f"unknown fragment id {fragment_id!r}; was start() called with the run's fragments?"
             ) from None
 
-    def _run_in_process(self, task: WorkerTask) -> tuple[object, float]:
+    def _run_in_process(self, task: WorkerTask) -> tuple[object, float, dict | None]:
         context = self._context(task.fragment_id)
         started = time.perf_counter()
         try:
             result = task.fn(context, task.payload)
         except Exception as exc:
             raise WorkerError(task.fragment_id, f"{type(exc).__name__}: {exc}") from exc
-        return result, time.perf_counter() - started
+        elapsed = time.perf_counter() - started
+        metrics = collect_process_metrics() if collection_enabled() else None
+        return result, elapsed, metrics
 
 
 class SequentialExecutor(Executor):
@@ -119,14 +129,18 @@ class SequentialExecutor(Executor):
 
     name = "sequential"
 
-    def run(self, tasks: Sequence[WorkerTask]) -> tuple[list[object], list[float]]:
+    def run(
+        self, tasks: Sequence[WorkerTask]
+    ) -> tuple[list[object], list[float], list[dict | None]]:
         results: list[object] = []
         durations: list[float] = []
+        metrics: list[dict | None] = []
         for task in tasks:
-            result, elapsed = self._run_in_process(task)
+            result, elapsed, delta = self._run_in_process(task)
             results.append(result)
             durations.append(elapsed)
-        return results, durations
+            metrics.append(delta)
+        return results, durations, metrics
 
 
 class ThreadPoolExecutorBackend(Executor):
@@ -160,9 +174,11 @@ class ThreadPoolExecutorBackend(Executor):
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
 
-    def run(self, tasks: Sequence[WorkerTask]) -> tuple[list[object], list[float]]:
+    def run(
+        self, tasks: Sequence[WorkerTask]
+    ) -> tuple[list[object], list[float], list[dict | None]]:
         if not tasks:
-            return [], []
+            return [], [], []
         # Tolerate direct use without the start()/shutdown() lifecycle.
         pool = self._pool if self._pool is not None else ThreadPoolExecutor(self.max_workers)
         try:
@@ -171,7 +187,11 @@ class ThreadPoolExecutorBackend(Executor):
         finally:
             if pool is not self._pool:
                 pool.shutdown(wait=True)
-        return [result for result, _ in outcomes], [elapsed for _, elapsed in outcomes]
+        return (
+            [result for result, _, _ in outcomes],
+            [elapsed for _, elapsed, _ in outcomes],
+            [delta for _, _, delta in outcomes],
+        )
 
 
 def _default_start_method() -> str:
@@ -236,9 +256,11 @@ class ProcessPoolExecutorBackend(Executor):
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
 
-    def run(self, tasks: Sequence[WorkerTask]) -> tuple[list[object], list[float]]:
+    def run(
+        self, tasks: Sequence[WorkerTask]
+    ) -> tuple[list[object], list[float], list[dict | None]]:
         if not tasks:
-            return [], []
+            return [], [], []
         if self._pool is None:
             raise ExecutorError(
                 "process pool not started; call start(fragments) before run()"
@@ -249,9 +271,10 @@ class ProcessPoolExecutorBackend(Executor):
         ]
         results: list[object] = []
         durations: list[float] = []
+        metrics: list[dict | None] = []
         for task, future in zip(tasks, futures):
             try:
-                status, value, elapsed = future.result()
+                status, value, elapsed, delta = future.result()
             except BrokenProcessPool as exc:
                 raise WorkerError(
                     task.fragment_id, f"worker process died abruptly: {exc}"
@@ -260,7 +283,8 @@ class ProcessPoolExecutorBackend(Executor):
                 raise WorkerError(task.fragment_id, value)
             results.append(value)
             durations.append(elapsed)
-        return results, durations
+            metrics.append(delta)
+        return results, durations, metrics
 
 
 def make_executor(

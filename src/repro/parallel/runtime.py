@@ -6,6 +6,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from repro.obs.registry import registry
+from repro.obs.stats import merge_worker_metrics
 from repro.parallel.executor import Executor, SequentialExecutor, WorkerTask
 from repro.parallel.worker import WorkerContext
 from repro.partition.fragment import Fragment
@@ -13,11 +15,18 @@ from repro.partition.fragment import Fragment
 
 @dataclass(frozen=True)
 class RoundTiming:
-    """Timing of one BSP round."""
+    """Timing of one BSP round.
+
+    ``worker_metrics`` carries each worker's shipped statistics delta for
+    the round (``None`` entries when ``REPRO_OBS`` collection is off) — the
+    per-round view behind the aggregated ``repro_*_total`` counters the
+    runtime merges into the process-global registry.
+    """
 
     round_index: int
     worker_times: tuple[float, ...]
     coordinator_time: float
+    worker_metrics: tuple = ()
 
     @property
     def parallel_time(self) -> float:
@@ -155,7 +164,9 @@ class BSPRuntime:
             WorkerTask(worker_fn, fragment.index, payload)
             for fragment, payload in zip(self.fragments, payloads)
         ]
-        worker_results, durations = self.executor.run(tasks)
+        worker_results, durations, metrics = self.executor.run(tasks)
+        if any(metrics):
+            merge_worker_metrics(registry(), metrics)
         coordinator_started = time.perf_counter()
         outcome: object = worker_results
         if coordinator_fn is not None:
@@ -166,6 +177,7 @@ class BSPRuntime:
                 round_index=len(self.timings.rounds),
                 worker_times=tuple(durations),
                 coordinator_time=coordinator_elapsed,
+                worker_metrics=tuple(metrics),
             )
         )
         return outcome

@@ -33,6 +33,7 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from repro.obs.stats import collect_process_metrics, collection_enabled
 from repro.partition.fragment import Fragment
 
 # Registry populated once per worker process by ``init_worker``.
@@ -101,10 +102,17 @@ def context_for(fragment_id: int) -> WorkerContext:
 def run_task(worker_fn: Callable, fragment_id: int, payload: object) -> tuple:
     """Execute one task inside a worker process.
 
-    Returns ``("ok", result, seconds)`` on success or ``("error", text, 0.0)``
-    on failure — errors travel back as plain strings because the original
-    exception (or its traceback) may not survive pickling; the parent wraps
-    them in :class:`repro.exceptions.WorkerError`.
+    Returns ``("ok", result, seconds, metrics)`` on success or
+    ``("error", text, 0.0, None)`` on failure — errors travel back as plain
+    strings because the original exception (or its traceback) may not
+    survive pickling; the parent wraps them in
+    :class:`repro.exceptions.WorkerError`.
+
+    ``metrics`` is the process's watermarked statistics delta
+    (:func:`repro.obs.stats.collect_process_metrics`) when ``REPRO_OBS``
+    collection is on, else ``None`` — the coordinator merges the shipped
+    deltas into its global registry so process-pool runs aggregate exactly
+    like sequential ones.
 
     The duration is measured *around the worker function only*, so the
     simulated parallel-time accounting excludes pool dispatch and IPC.
@@ -113,6 +121,8 @@ def run_task(worker_fn: Callable, fragment_id: int, payload: object) -> tuple:
         context = context_for(fragment_id)
         started = time.perf_counter()
         result = worker_fn(context, payload)
-        return (TASK_OK, result, time.perf_counter() - started)
+        elapsed = time.perf_counter() - started
+        metrics = collect_process_metrics() if collection_enabled() else None
+        return (TASK_OK, result, elapsed, metrics)
     except Exception:
-        return (TASK_ERROR, traceback.format_exc(), 0.0)
+        return (TASK_ERROR, traceback.format_exc(), 0.0, None)

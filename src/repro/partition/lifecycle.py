@@ -59,6 +59,7 @@ from typing import Hashable, Mapping, Sequence
 from repro.exceptions import StreamError
 from repro.graph.graph import Graph
 from repro.graph.neighborhood import ball
+from repro.obs.tracing import event as trace_event
 from repro.partition.fragment import Fragment
 
 NodeId = Hashable
@@ -578,6 +579,8 @@ class FragmentManager:
         # stored ball moves wholesale (it is provably current — the centre
         # is outside the affected region).
         migrations = self._plan_migrations(region)
+        if migrations:
+            trace_event("lifecycle.migration", centers=len(migrations))
         for center, src, dst in migrations:
             self._owner[center] = dst
             own_remove[src].add(center)
@@ -806,6 +809,12 @@ class FragmentManager:
             self._base_paths[index] = None
         self._base_sequences[index] = self._sequence
         self._logs[index].clear()
+        trace_event(
+            "lifecycle.checkpoint",
+            fragment=index,
+            sequence=self._sequence,
+            on_disk=state_dir is not None,
+        )
         return checkpoint
 
     def lease(self, index: int) -> FragmentLease:

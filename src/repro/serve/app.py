@@ -28,7 +28,10 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import json
+import logging
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
@@ -37,6 +40,7 @@ from repro.exceptions import ReproError, StreamError
 from repro.datasets import generate_gpars
 from repro.graph.io import graph_from_dict, load_graph_json
 from repro.identification.eip import EIPConfig
+from repro.obs.registry import registry
 from repro.serve.http import (
     ProtocolError,
     Request,
@@ -51,6 +55,11 @@ from repro.stream.updates import OP_KINDS, UpdateBatch, UpdateOp
 DEFAULT_SUBSCRIBE_TIMEOUT = 30.0
 MAX_SUBSCRIBE_TIMEOUT = 120.0
 DEFAULT_PAGE_LIMIT = 100
+
+#: Structured access log: one JSON line per request (method, route template,
+#: status, duration).  Silent unless the embedding process configures the
+#: logger — ``repro serve`` wires it to stderr.
+ACCESS_LOGGER = logging.getLogger("repro.serve.access")
 
 
 def ops_from_json(documents: list) -> UpdateBatch:
@@ -96,6 +105,17 @@ class SessionHandle:
     algorithm: str
     update_lock: asyncio.Lock = field(default_factory=asyncio.Lock)
     batches_applied: int = 0
+    #: Long-poll subscribe requests currently waiting on this session
+    #: (touched only on the event-loop thread, like the registry itself).
+    subscribers: int = 0
+
+    def resident_nodes(self) -> int:
+        """Total nodes resident across the session's fragments."""
+        return self.session.identifier.manager.resident_summary()["resident_nodes"]
+
+    def oldest_retained_version(self) -> int:
+        """Oldest snapshot version a paginating/late subscriber can still read."""
+        return self.session.oldest_retained_version
 
     def info(self, session_id: str) -> dict:
         result = self.session.result
@@ -122,6 +142,7 @@ class ReproService:
         )
         self.router = Router()
         self.router.add("GET", "/healthz", self._healthz)
+        self.router.add("GET", "/metrics", self._metrics)
         self.router.add("POST", "/sessions", self._create_session)
         self.router.add("GET", "/sessions", self._list_sessions)
         self.router.add("GET", "/sessions/{session_id}", self._session_info)
@@ -143,14 +164,22 @@ class ReproService:
         return handle
 
     async def dispatch(self, request: Request) -> Response:
-        """Route one request, mapping library errors onto statuses."""
+        """Route one request, mapping library errors onto statuses.
+
+        Every request — matched or not — lands in the
+        ``repro_http_requests_total``/``repro_http_request_seconds`` series
+        (labelled by route *template*, so cardinality stays bounded) and
+        emits one JSON access-log line on ``repro.serve.access``.
+        """
+        started = time.perf_counter()
+        route = "unmatched"
         try:
-            handler, params = self.router.resolve(request.method, request.path)
-            return await handler(request, **params)
+            handler, params, route = self.router.resolve(request.method, request.path)
+            response = await handler(request, **params)
         except RouteError as exc:
-            return Response(exc.status, {"error": str(exc)})
+            response = Response(exc.status, {"error": str(exc)})
         except api.SnapshotExpired as exc:
-            return Response(
+            response = Response(
                 410,
                 {
                     "error": str(exc),
@@ -159,9 +188,45 @@ class ReproService:
                 },
             )
         except ProtocolError as exc:
-            return Response(400, {"error": str(exc)})
+            response = Response(400, {"error": str(exc)})
         except (ReproError, ValueError, KeyError, TypeError) as exc:
-            return Response(400, {"error": f"{type(exc).__name__}: {exc}"})
+            response = Response(400, {"error": f"{type(exc).__name__}: {exc}"})
+        self._observe_request(
+            request, route, response.status, time.perf_counter() - started
+        )
+        return response
+
+    def _observe_request(
+        self, request: Request, route: str, status: int, elapsed: float
+    ) -> None:
+        metrics = registry()
+        metrics.inc(
+            "repro_http_requests_total",
+            help="HTTP requests served",
+            method=request.method,
+            route=route,
+            status=str(status),
+        )
+        metrics.observe(
+            "repro_http_request_seconds",
+            elapsed,
+            help="HTTP request latency",
+            method=request.method,
+            route=route,
+        )
+        if ACCESS_LOGGER.isEnabledFor(logging.INFO):
+            ACCESS_LOGGER.info(
+                json.dumps(
+                    {
+                        "method": request.method,
+                        "path": request.path,
+                        "route": route,
+                        "status": status,
+                        "duration_ms": round(elapsed * 1000, 3),
+                    },
+                    sort_keys=True,
+                )
+            )
 
     async def handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -202,7 +267,85 @@ class ReproService:
     # handlers
     # ------------------------------------------------------------------
     async def _healthz(self, request: Request) -> Response:
-        return Response(200, {"ok": True, "sessions": len(self._sessions)})
+        resident, oldest = await self._offload(self._residency_snapshot)
+        return Response(
+            200,
+            {
+                "ok": True,
+                "sessions": len(self._sessions),
+                "resident_nodes": resident,
+                "oldest_retained_version": oldest,
+            },
+        )
+
+    def _residency_snapshot(self) -> tuple[int, int | None]:
+        """(total resident nodes, oldest retained version across sessions)."""
+        resident = 0
+        oldest: int | None = None
+        for handle in list(self._sessions.values()):
+            resident += handle.resident_nodes()
+            version = handle.oldest_retained_version()
+            oldest = version if oldest is None else min(oldest, version)
+        return resident, oldest
+
+    async def _metrics(self, request: Request) -> Response:
+        await self._offload(self._refresh_gauges)
+        return Response(
+            200,
+            text=registry().render(),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    def _refresh_gauges(self) -> None:
+        """Re-derive the point-in-time gauges the exposition reports.
+
+        Per-session families are cleared first so closed sessions do not
+        linger as frozen series.
+        """
+        metrics = registry()
+        sessions = sorted(self._sessions.items())
+        metrics.set_gauge(
+            "repro_sessions", len(sessions), help="Live hosted sessions"
+        )
+        for name in (
+            "repro_session_batches_applied",
+            "repro_session_graph_version",
+            "repro_session_oldest_retained_version",
+            "repro_session_resident_nodes",
+            "repro_session_subscribers",
+        ):
+            metrics.clear(name)
+        for session_id, handle in sessions:
+            metrics.set_gauge(
+                "repro_session_batches_applied",
+                handle.batches_applied,
+                help="Update batches applied to the session",
+                session=session_id,
+            )
+            metrics.set_gauge(
+                "repro_session_graph_version",
+                handle.session.graph_version,
+                help="Newest assembled snapshot version",
+                session=session_id,
+            )
+            metrics.set_gauge(
+                "repro_session_oldest_retained_version",
+                handle.oldest_retained_version(),
+                help="Oldest snapshot version still retained",
+                session=session_id,
+            )
+            metrics.set_gauge(
+                "repro_session_resident_nodes",
+                handle.resident_nodes(),
+                help="Nodes resident across the session's fragments",
+                session=session_id,
+            )
+            metrics.set_gauge(
+                "repro_session_subscribers",
+                handle.subscribers,
+                help="Long-poll subscribers currently waiting",
+                session=session_id,
+            )
 
     async def _create_session(self, request: Request) -> Response:
         body = request.json()
@@ -323,7 +466,13 @@ class ReproService:
             request.query_float("timeout", DEFAULT_SUBSCRIBE_TIMEOUT), MAX_SUBSCRIBE_TIMEOUT
         )
         if since >= current:
-            ticked = await self._offload(handle.session.wait_for_version, since, timeout)
+            handle.subscribers += 1
+            try:
+                ticked = await self._offload(
+                    handle.session.wait_for_version, since, timeout
+                )
+            finally:
+                handle.subscribers -= 1
             if not ticked:
                 return Response(
                     200,

@@ -82,20 +82,31 @@ class Request:
 
 @dataclass
 class Response:
-    """One JSON response (every endpoint speaks JSON)."""
+    """One response: JSON via ``payload`` (the default) or plain ``text``.
+
+    Every session endpoint speaks JSON; ``text`` exists for the Prometheus
+    exposition of ``GET /metrics``, whose content type the scrape protocol
+    fixes (``content_type`` overrides the default of either body form).
+    """
 
     status: int = 200
     payload: Any = None
     headers: dict[str, str] = field(default_factory=dict)
+    text: str | None = None
+    content_type: str | None = None
 
     def encode(self) -> bytes:
         body = b""
-        if self.payload is not None:
+        default_type = "application/json"
+        if self.text is not None:
+            body = self.text.encode("utf-8")
+            default_type = "text/plain; charset=utf-8"
+        elif self.payload is not None:
             body = json.dumps(self.payload, sort_keys=True, default=str).encode("utf-8")
         phrase = _STATUS_PHRASES.get(self.status, "Unknown")
         lines = [
             f"HTTP/1.1 {self.status} {phrase}",
-            "Content-Type: application/json",
+            f"Content-Type: {self.content_type or default_type}",
             f"Content-Length: {len(body)}",
             "Connection: close",
         ]
@@ -162,22 +173,26 @@ class Router:
     """Method + path-template dispatch with ``{name}`` parameters."""
 
     def __init__(self) -> None:
-        self._routes: list[tuple[str, re.Pattern, Handler]] = []
+        self._routes: list[tuple[str, str, re.Pattern, Handler]] = []
 
     def add(self, method: str, template: str, handler: Handler) -> None:
-        self._routes.append((method.upper(), _compile_route(template), handler))
+        self._routes.append((method.upper(), template, _compile_route(template), handler))
 
-    def resolve(self, method: str, path: str) -> tuple[Handler, dict[str, str]]:
-        """The matching (handler, path params); raises ProtocolError-mapped statuses."""
+    def resolve(self, method: str, path: str) -> tuple[Handler, dict[str, str], str]:
+        """The matching (handler, path params, route template).
+
+        The template (``/sessions/{session_id}/answer``, not the concrete
+        path) is what request metrics label by, keeping cardinality bounded.
+        """
         allowed: list[str] = []
-        for route_method, pattern, handler in self._routes:
+        for route_method, template, pattern, handler in self._routes:
             match = pattern.match(path)
             if match is None:
                 continue
             if route_method != method:
                 allowed.append(route_method)
                 continue
-            return handler, match.groupdict()
+            return handler, match.groupdict(), template
         if allowed:
             raise RouteError(405, f"{method} not allowed on {path} (try {sorted(set(allowed))})")
         raise RouteError(404, f"no route for {path}")

@@ -68,6 +68,14 @@ from repro.identification.census import (
 from repro.identification.eip import EIPConfig, EIPResult, _shared_predicate
 from repro.identification.match import Match
 from repro.identification.matchc import MatchC, _FragmentReport
+from repro.obs.registry import registry
+from repro.obs.tracing import (
+    Tracer,
+    active,
+    override_tracer,
+    span,
+    tracing_enabled,
+)
 from repro.parallel.executor import make_executor
 from repro.parallel.runtime import BSPRuntime
 from repro.parallel.worker import WorkerContext
@@ -126,6 +134,11 @@ class StreamVerifyPayload:
     predicate: object
     recheck: tuple | None = None
     census: tuple = ()  # ((antecedent, x_part), ...)
+    #: Whether the coordinator had an active tracer when it built the
+    #: payload: workers then record their phases into a fragment-local
+    #: :class:`~repro.obs.tracing.Tracer` and ship the records back on
+    #: ``_FragmentReport.spans`` for adoption under the coordinator's tree.
+    traced: bool = False
 
 
 @dataclass
@@ -167,15 +180,37 @@ def stream_update_worker(
     pool-lifetime :class:`~repro.parallel.worker.WorkerContext`).  The
     resident index is patched forward from the graph's recorded deltas
     rather than rebuilt.
+
+    When the payload asks for tracing, the worker records its phases into a
+    fragment-local :class:`~repro.obs.tracing.Tracer` (installed as the
+    thread-local override, so nested module-level spans — the index/columnar
+    refreshes — land in it too, on every backend) and ships the records back
+    on ``report.spans`` for the coordinator to adopt.
     """
-    fragment = catch_up(context, payload.lease)
+    if not payload.traced:
+        return _stream_verify(context, payload)
+    tracer = Tracer()
+    with override_tracer(tracer):
+        report = _stream_verify(context, payload)
+    report.spans = tracer.records()
+    return report
+
+
+def _stream_verify(
+    context: WorkerContext, payload: StreamVerifyPayload
+) -> _FragmentReport:
+    """The actual worker body (phases traced via the ambient tracer)."""
+    with span("stream.worker.catch_up", fragment=context.fragment.index):
+        fragment = catch_up(context, payload.lease)
 
     index = registered_index(fragment.graph)
     if index is not None and index.is_stale:
-        index.refresh()
+        with span("stream.worker.index_refresh"):
+            index.refresh()
     columnar = registered_columnar(fragment.graph)
     if columnar is not None and columnar.is_stale:
-        columnar.refresh()
+        with span("stream.worker.columnar_refresh"):
+            columnar.refresh()
 
     config = payload.config
     solver = payload.solver_cls(config)
@@ -193,7 +228,14 @@ def stream_update_worker(
             graph=fragment.graph,
             owned_centers=set(payload.recheck),
         )
-    return solver._verify_fragment(target, payload.rules, matcher, payload.predicate)
+    with span(
+        "stream.worker.verify",
+        fragment=fragment.index,
+        centers=len(target.owned_centers),
+    ):
+        return solver._verify_fragment(
+            target, payload.rules, matcher, payload.predicate
+        )
 
 
 class StreamingIdentifier:
@@ -278,7 +320,18 @@ class StreamingIdentifier:
         payloads = [
             self._payload(fragment.index, recheck=None) for fragment in self.fragments
         ]
-        reports = self.runtime.run_round(stream_update_worker, payloads)
+        tracer = active()
+        with span("stream.initial_verify", fragments=len(payloads)) as init_span:
+            reports = self.runtime.run_round(stream_update_worker, payloads)
+            if tracer is not None:
+                for shipped in reports:
+                    if shipped.spans:
+                        tracer.adopt(
+                            shipped.spans,
+                            parent_id=init_span.span_id,
+                            prefix=f"t0.w{shipped.fragment_index}.",
+                        )
+                        shipped.spans = []
         self._reports: dict[int, _FragmentReport] = {
             report.fragment_index: report for report in reports
         }
@@ -370,6 +423,7 @@ class StreamingIdentifier:
             predicate=self.predicate,
             recheck=recheck,
             census=self._census_pairs,
+            traced=tracing_enabled(),
         )
 
     # ------------------------------------------------------------------
@@ -430,7 +484,8 @@ class StreamingIdentifier:
                 "repro.api.Session.apply, which queues writers)"
             )
         try:
-            return self._apply_locked(batch)
+            with span("stream.tick", tick=self.batches_applied + 1):
+                return self._apply_locked(batch)
         finally:
             self._apply_guard.release()
 
@@ -443,7 +498,9 @@ class StreamingIdentifier:
                 "close this identifier and build a fresh one"
             )
         started = time.perf_counter()
-        delta = batch.apply(self.graph)
+        with span("stream.apply_batch") as batch_span:
+            delta = batch.apply(self.graph)
+            batch_span.set(touched=len(delta.touched))
         report = StreamUpdateReport(delta=delta)
         graph = self.graph
         self._graph_version = graph.version
@@ -452,8 +509,12 @@ class StreamingIdentifier:
         # Region whose centres may have changed verdicts: within d hops of a
         # touched node, measured on the post-update graph (exact — see
         # docs/streaming.md).
-        region = multi_source_ball(graph, delta.touched, self.max_radius)
-        plan = self.manager.derive_batch(delta, region)
+        with span("stream.slice_build") as slice_span:
+            region = multi_source_ball(graph, delta.touched, self.max_radius)
+            plan = self.manager.derive_batch(delta, region)
+            slice_span.set(
+                region=len(region), rechecked=plan.rechecked_centers
+            )
         report.rechecked_centers = plan.rechecked_centers
         report.owned_added = plan.owned_added
         report.owned_removed = plan.owned_removed
@@ -494,7 +555,23 @@ class StreamingIdentifier:
             update = plan.updates[index]
             invalidated[index] = set(update.recheck) | set(update.own_remove)
             payloads.append(self._payload(index, recheck=update.recheck))
-        partials = self.runtime.run_round(stream_update_worker, payloads)
+        tracer = active()
+        with span("stream.verify", fragments=len(payloads)) as verify_span:
+            partials = self.runtime.run_round(stream_update_worker, payloads)
+            if tracer is not None:
+                # Re-parent the shipped worker spans under this verify span;
+                # the prefix keeps ids unique across ticks and fragments.
+                for partial in partials:
+                    if partial.spans:
+                        tracer.adopt(
+                            partial.spans,
+                            parent_id=verify_span.span_id,
+                            prefix=(
+                                f"t{self.batches_applied}"
+                                f".w{partial.fragment_index}."
+                            ),
+                        )
+                        partial.spans = []
         # Feed the measured per-fragment worker times of this round into the
         # manager's rebalance policy: migrations then weigh owned-ball sizes
         # by observed per-node cost, not node counts alone.  Placement-only —
@@ -508,26 +585,60 @@ class StreamingIdentifier:
                 )
             }
         )
-        for partial in partials:
-            self._merge(partial, invalidated[partial.fragment_index])
-        for center, dst, positive, negative, antecedent_rules, match_rules in splices:
-            stored = self._reports[dst]
-            if positive:
-                stored.positives.add(center)
-            if negative:
-                stored.negatives.add(center)
-            for rule in antecedent_rules:
-                stored.antecedent_sets.setdefault(rule, set()).add(center)
-            for rule in match_rules:
-                stored.rule_matches.setdefault(rule, set()).add(center)
-            self._recount(stored)
-        report.compacted_fragments = len(self.manager.maybe_compact())
-        summary = self.manager.resident_summary()
-        report.resident_nodes = summary["resident_nodes"]
-        report.log_ops = summary["log_ops"]
-        self._result = self._assemble()
+        with span("stream.assemble", splices=len(splices)):
+            for partial in partials:
+                self._merge(partial, invalidated[partial.fragment_index])
+            for center, dst, positive, negative, antecedent_rules, match_rules in splices:
+                stored = self._reports[dst]
+                if positive:
+                    stored.positives.add(center)
+                if negative:
+                    stored.negatives.add(center)
+                for rule in antecedent_rules:
+                    stored.antecedent_sets.setdefault(rule, set()).add(center)
+                for rule in match_rules:
+                    stored.rule_matches.setdefault(rule, set()).add(center)
+                self._recount(stored)
+            report.compacted_fragments = len(self.manager.maybe_compact())
+            summary = self.manager.resident_summary()
+            report.resident_nodes = summary["resident_nodes"]
+            report.log_ops = summary["log_ops"]
+            self._result = self._assemble()
         report.wall_time = time.perf_counter() - started
+        self._record_tick_metrics(report)
         return report
+
+    def _record_tick_metrics(self, report: StreamUpdateReport) -> None:
+        """Fold one tick's outcome into the process-global metrics registry."""
+        metrics = registry()
+        metrics.inc(
+            "repro_stream_ticks_total", help="Update batches applied"
+        )
+        metrics.inc(
+            "repro_stream_rechecked_centers_total",
+            report.rechecked_centers,
+            help="Centres re-verified by streaming repair",
+        )
+        metrics.inc(
+            "repro_stream_shed_nodes_total",
+            report.shed_nodes,
+            help="Resident nodes shed after deletions",
+        )
+        metrics.inc(
+            "repro_stream_migrated_centers_total",
+            report.migrated_centers,
+            help="Centres migrated between fragments",
+        )
+        metrics.inc(
+            "repro_stream_compacted_fragments_total",
+            report.compacted_fragments,
+            help="Fragment logs compacted into checkpoints",
+        )
+        metrics.observe(
+            "repro_stream_tick_seconds",
+            report.wall_time,
+            help="End-to-end latency of one apply() tick",
+        )
 
     # ------------------------------------------------------------------
     def _merge(self, partial: _FragmentReport, invalidated: set) -> None:

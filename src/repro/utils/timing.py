@@ -30,11 +30,25 @@ class Stopwatch:
     def stop(self) -> float:
         """Stop timing and return the elapsed seconds of this interval."""
         if self._started_at is None:
-            raise RuntimeError("Stopwatch.stop() called before start()")
+            raise RuntimeError(
+                "Stopwatch.stop() called while not running: either start() "
+                "was never called or the interval was already stopped; check "
+                "`running` first, or use peek() for a non-destructive read"
+            )
         elapsed = time.perf_counter() - self._started_at
         self.total += elapsed
         self._started_at = None
         return elapsed
+
+    def peek(self) -> float:
+        """Elapsed seconds of the current interval without stopping it.
+
+        Returns 0.0 when the stopwatch is not running, so callers (e.g. the
+        span timer in :mod:`repro.obs.tracing`) can read it unconditionally.
+        """
+        if self._started_at is None:
+            return 0.0
+        return time.perf_counter() - self._started_at
 
     def __enter__(self) -> "Stopwatch":
         return self.start()

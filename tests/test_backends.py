@@ -217,7 +217,7 @@ class TestProcessBackend:
         backend.start(fragments)
         try:
             for _round in range(5):
-                results, durations = backend.run(
+                results, durations, _metrics = backend.run(
                     [WorkerTask(_fragment_size, f.index, None) for f in fragments]
                 )
                 assert results == [f.graph.num_nodes for f in fragments]

@@ -111,20 +111,21 @@ class TestExecutors:
     def test_sequential_executor(self, g1):
         executor, fragments = self._started(SequentialExecutor(), g1)
         tasks = [WorkerTask(_echo_payload, f.index, i) for i, f in enumerate(fragments)]
-        results, durations = executor.run(tasks)
+        results, durations, metrics = executor.run(tasks)
         assert results == [(0, 0), (1, 1)]
         assert len(durations) == 2
         assert all(duration >= 0 for duration in durations)
+        assert metrics == [None, None]  # REPRO_OBS collection is off
 
     def test_thread_pool_executor(self, g1):
         executor, fragments = self._started(ThreadPoolExecutorBackend(max_workers=2), g1)
         tasks = [WorkerTask(_echo_payload, f.index, "p") for f in fragments]
-        results, durations = executor.run(tasks)
+        results, durations, _metrics = executor.run(tasks)
         assert results == [(0, "p"), (1, "p")]
         assert len(durations) == 2
 
     def test_thread_pool_empty(self):
-        assert ThreadPoolExecutorBackend().run([]) == ([], [])
+        assert ThreadPoolExecutorBackend().run([]) == ([], [], [])
 
     def test_thread_pool_propagates_worker_errors(self, g1):
         executor, fragments = self._started(ThreadPoolExecutorBackend(max_workers=2), g1)

@@ -43,6 +43,16 @@ def _call(method: str, url: str, body: dict | None = None):
         return error.code, json.loads(error.read().decode("utf-8"))
 
 
+def _call_text(url: str):
+    """Raw GET returning (status, content-type, body text) — for /metrics."""
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return (
+            response.status,
+            response.headers.get("Content-Type", ""),
+            response.read().decode("utf-8"),
+        )
+
+
 def _workload(seed: int = SEED):
     graph = synthetic_graph(60, 200, num_node_labels=4, num_edge_labels=3, seed=seed)
     predicate = most_frequent_predicates(graph, top=1)[0]
@@ -101,8 +111,9 @@ class TestWireFormats:
 
         router = Router()
         router.add("GET", "/sessions/{session_id}/answer", handler)
-        resolved, params = router.resolve("GET", "/sessions/s7/answer")
+        resolved, params, template = router.resolve("GET", "/sessions/s7/answer")
         assert resolved is handler and params == {"session_id": "s7"}
+        assert template == "/sessions/{session_id}/answer"
         with pytest.raises(RouteError) as not_found:
             router.resolve("GET", "/nowhere")
         assert not_found.value.status == 404
@@ -206,6 +217,83 @@ class TestAnswerAndUpdates:
         assert _call("POST", f"{url}/updates", {"ops": [{"kind": "explode"}]})[0] == 400
         assert _call("POST", f"{url}/updates", {"not_ops": []})[0] == 400
         _call("DELETE", url)
+
+
+class TestObservabilityEndpoints:
+    def test_healthz_reports_residency(self, server):
+        graph, _rules, predicate_text = _workload(seed=21)
+        _status, created = _call(
+            "POST", f"{server.base_url}/sessions", _session_body(graph, predicate_text)
+        )
+        url = f"{server.base_url}/sessions/{created['session']}"
+        status, health = _call("GET", f"{server.base_url}/healthz")
+        assert status == 200 and health["ok"] is True
+        assert health["sessions"] >= 1
+        assert health["resident_nodes"] > 0
+        assert health["oldest_retained_version"] <= created["graph_version"]
+        _call("DELETE", url)
+
+    def test_metrics_scrape_prometheus_text(self, server):
+        from repro.obs import parse_prometheus
+
+        graph, _rules, predicate_text = _workload(seed=22)
+        _status, created = _call(
+            "POST", f"{server.base_url}/sessions", _session_body(graph, predicate_text)
+        )
+        sid = created["session"]
+        url = f"{server.base_url}/sessions/{sid}"
+        _call("GET", f"{url}/answer?limit=1")
+
+        status, content_type, text = _call_text(f"{server.base_url}/metrics")
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        samples = parse_prometheus(text)  # strict: malformed lines raise
+        # Request counters label by route *template*, not the concrete path.
+        routes = {
+            labels["route"]
+            for labels, _value in samples["repro_http_requests_total"]
+        }
+        assert "/sessions/{session_id}/answer" in routes
+        assert "/sessions" in routes
+        assert not any(sid in route for route in routes)
+        assert "repro_http_request_seconds_bucket" in samples
+        # Per-session gauges carry the session id as a label.
+        gauge_sessions = {
+            labels["session"]
+            for labels, _value in samples.get("repro_session_batches_applied", [])
+        }
+        assert sid in gauge_sessions
+        sessions_gauge = samples["repro_sessions"][0][1]
+        assert sessions_gauge >= 1
+
+        # Closed sessions disappear from the per-session families on the
+        # next scrape (clear-then-set, no frozen series).
+        _call("DELETE", url)
+        _status, _content_type, text = _call_text(f"{server.base_url}/metrics")
+        samples = parse_prometheus(text)
+        gauge_sessions = {
+            labels["session"]
+            for labels, _value in samples.get("repro_session_batches_applied", [])
+        }
+        assert sid not in gauge_sessions
+
+    def test_unmatched_requests_bound_route_cardinality(self, server):
+        from repro.obs import parse_prometheus
+
+        assert _call("GET", f"{server.base_url}/no/such/route-xyz")[0] == 404
+        _status, _content_type, text = _call_text(f"{server.base_url}/metrics")
+        samples = parse_prometheus(text)
+        unmatched = [
+            (labels, value)
+            for labels, value in samples["repro_http_requests_total"]
+            if labels["route"] == "unmatched"
+        ]
+        assert unmatched
+        routes = {
+            labels["route"]
+            for labels, _value in samples["repro_http_requests_total"]
+        }
+        assert "/no/such/route-xyz" not in routes
 
 
 class TestSubscriptions:

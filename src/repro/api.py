@@ -48,6 +48,7 @@ from repro.pattern.gpar import GPAR
 from repro.pattern.pattern import Pattern
 from repro.stream.config import StreamConfig
 from repro.stream.identifier import StreamingIdentifier, StreamUpdateReport
+from repro.stream.multitenant import MultiTenantIdentifier, TenantAdmission
 from repro.stream.updates import UpdateBatch
 
 NodeId = Hashable
@@ -56,10 +57,12 @@ __all__ = [
     "Session",
     "SessionDelta",
     "SessionSnapshot",
+    "SharedSessionCore",
     "SnapshotExpired",
     "identify",
     "mine",
     "open_session",
+    "open_shared_core",
     "parse_predicate",
 ]
 
@@ -247,11 +250,15 @@ class Session:
         self,
         identifier: StreamingIdentifier,
         history_limit: int = SESSION_HISTORY_LIMIT,
+        tenant: str | None = None,
+        core: "SharedSessionCore | None" = None,
     ) -> None:
         if history_limit < 1:
             raise StreamError(f"history_limit must be >= 1, got {history_limit}")
         self._identifier = identifier
         self._history_limit = history_limit
+        self.tenant = tenant
+        self._core = core
         self._write_lock = threading.Lock()  # serializes apply()
         self._state_lock = threading.Lock()  # guards the histories (briefly)
         self._tick_condition = threading.Condition(self._state_lock)
@@ -346,31 +353,45 @@ class Session:
         only trips when it is driven *around* the session).  Readers are
         never blocked: the new snapshot and delta publish atomically after
         the repair finishes.
+
+        A tenant session on a :class:`SharedSessionCore` routes through the
+        core: the batch ticks the shared graph **once** and every sibling
+        tenant's session publishes its own projected delta.
         """
+        if self._core is not None:
+            return self._core.apply(batch, origin=self)
         with self._write_lock:
-            before = self.snapshot()
             report = self._identifier.apply(batch)
-            version = self._identifier.graph.version
-            result = self._identifier.result
-            delta = diff_results(before.result, result, before.version, version)
-            delta = SessionDelta(
-                version=delta.version,
-                base_version=delta.base_version,
-                rule_entered=delta.rule_entered,
-                rule_left=delta.rule_left,
-                identified_entered=delta.identified_entered,
-                identified_left=delta.identified_left,
-                report=report,
-            )
-            with self._tick_condition:
-                self._snapshots[version] = SessionSnapshot(version, result)
-                self._deltas[version] = delta
-                while len(self._snapshots) > self._history_limit:
-                    self._snapshots.popitem(last=False)
-                while len(self._deltas) > self._history_limit:
-                    self._deltas.popitem(last=False)
-                self._tick_condition.notify_all()
-            return report, delta
+            return report, self._publish_tick(report)
+
+    def _publish_tick(self, report: StreamUpdateReport) -> SessionDelta:
+        """Assemble and publish the tick the identifier just applied.
+
+        The caller must hold write exclusion (the session's own write lock,
+        or the shared core's when the identifier is shared).
+        """
+        before = self.snapshot()
+        version = self._identifier.graph.version
+        result = self._identifier.result
+        delta = diff_results(before.result, result, before.version, version)
+        delta = SessionDelta(
+            version=delta.version,
+            base_version=delta.base_version,
+            rule_entered=delta.rule_entered,
+            rule_left=delta.rule_left,
+            identified_entered=delta.identified_entered,
+            identified_left=delta.identified_left,
+            report=report,
+        )
+        with self._tick_condition:
+            self._snapshots[version] = SessionSnapshot(version, result)
+            self._deltas[version] = delta
+            while len(self._snapshots) > self._history_limit:
+                self._snapshots.popitem(last=False)
+            while len(self._deltas) > self._history_limit:
+                self._deltas.popitem(last=False)
+            self._tick_condition.notify_all()
+        return delta
 
     # ------------------------------------------------------------------
     # subscriptions: the answer as a feed
@@ -421,8 +442,15 @@ class Session:
             return self._identifier.save_state(path)
 
     def close(self) -> None:
-        """Release the identifier's worker pool; snapshots stay readable."""
-        self._identifier.close()
+        """Release the identifier's worker pool; snapshots stay readable.
+
+        On a shared core this evicts only this session's tenant — sibling
+        tenants (and the verdict state they read) stay live.
+        """
+        if self._core is not None:
+            self._core.close_session(self)
+        else:
+            self._identifier.close()
 
     def __enter__(self) -> "Session":
         return self
@@ -439,13 +467,16 @@ def open_session(
     algorithm: str = "match",
     stream_config: StreamConfig | None = None,
     history_limit: int = SESSION_HISTORY_LIMIT,
+    tenant: str | None = None,
 ) -> Session:
     """Start a resident streaming session over *graph* and Σ.
 
     Owns config construction: callers hand in explicit
     :class:`EIPConfig` / :class:`StreamConfig` objects (or take the
     defaults) — the deprecated ``**config_overrides`` path of
-    :class:`StreamingIdentifier` never appears here.
+    :class:`StreamingIdentifier` never appears here.  ``tenant`` is a
+    display identity only here; sessions that *share* one resident core go
+    through :func:`open_shared_core` instead.
     """
     identifier = StreamingIdentifier(
         graph,
@@ -454,4 +485,196 @@ def open_session(
         algorithm=algorithm,
         stream_config=stream_config,
     )
-    return Session(identifier, history_limit=history_limit)
+    return Session(identifier, history_limit=history_limit, tenant=tenant)
+
+
+# ----------------------------------------------------------------------
+# multi-tenant: N sessions over one shared streaming core
+# ----------------------------------------------------------------------
+class _TenantIdentifier:
+    """Per-tenant facade over a shared :class:`MultiTenantIdentifier`.
+
+    Duck-types the :class:`StreamingIdentifier` surface a :class:`Session`
+    reads (graph, rules, radius, result, recompute, manager) while routing
+    every answer through the tenant's projection.  Direct writes are
+    rejected — ticks on a shared core go through
+    :meth:`SharedSessionCore.apply` so every sibling publishes.
+    """
+
+    def __init__(self, multi: MultiTenantIdentifier, tenant: str) -> None:
+        self._multi = multi
+        self.tenant = tenant
+
+    @property
+    def graph(self) -> Graph:
+        return self._multi.graph
+
+    @property
+    def rules(self) -> tuple[GPAR, ...]:
+        return self._multi.rules_for(self.tenant)
+
+    @property
+    def max_radius(self) -> int:
+        return self._multi.identifier.max_radius
+
+    @property
+    def manager(self):
+        return self._multi.identifier.manager
+
+    @property
+    def result(self) -> EIPResult:
+        return self._multi.result_for(self.tenant)
+
+    def recompute(self) -> EIPResult:
+        return self._multi.recompute_for(self.tenant)
+
+    def apply(self, batch: UpdateBatch) -> StreamUpdateReport:
+        raise StreamError(
+            "this session shares a multi-tenant core; apply updates through "
+            "Session.apply (which ticks the shared core once for all tenants)"
+        )
+
+    def save_state(self, path: Path | str | None = None) -> Path:
+        raise StreamError(
+            "checkpointing a shared multi-tenant core is not supported; "
+            "open a dedicated session to save durable state"
+        )
+
+    def close(self) -> None:
+        self._multi.evict(self.tenant)
+
+
+class SharedSessionCore:
+    """N tenant :class:`Session` objects over one resident streaming core.
+
+    Owns a :class:`~repro.stream.MultiTenantIdentifier` plus one write lock
+    shared by every member: an update batch applied through *any* member
+    session ticks the shared graph once — verifying each touched centre
+    once per distinct canonical antecedent across all Σ — and then every
+    member publishes its own projected snapshot/delta, so each tenant's
+    subscription feed behaves exactly as if it ran a private core.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        config: EIPConfig | None = None,
+        algorithm: str = "match",
+        stream_config: StreamConfig | None = None,
+        radius_floor: int = 0,
+    ) -> None:
+        self._multi = MultiTenantIdentifier(
+            graph,
+            config=config,
+            algorithm=algorithm,
+            stream_config=stream_config,
+            radius_floor=radius_floor,
+        )
+        self._write_lock = threading.Lock()
+        self._sessions: dict[str, Session] = {}
+
+    @property
+    def multi(self) -> MultiTenantIdentifier:
+        return self._multi
+
+    @property
+    def graph(self) -> Graph:
+        return self._multi.graph
+
+    @property
+    def tenants(self) -> tuple[str, ...]:
+        with self._write_lock:
+            return tuple(self._sessions)
+
+    def __len__(self) -> int:
+        with self._write_lock:
+            return len(self._sessions)
+
+    def open_session(
+        self,
+        tenant: str,
+        rules: Sequence[GPAR],
+        history_limit: int = SESSION_HISTORY_LIMIT,
+    ) -> Session:
+        """Admit *tenant* (warm when its Σ overlaps resident Σ) as a session.
+
+        The admission record lands on ``session.admission`` (a
+        :class:`~repro.stream.TenantAdmission`) so callers can observe the
+        marginal cost they paid.
+        """
+        with self._write_lock:
+            admission = self._multi.admit(tenant, tuple(rules))
+            session = Session(
+                _TenantIdentifier(self._multi, tenant),
+                history_limit=history_limit,
+                tenant=tenant,
+                core=self,
+            )
+            session.admission = admission
+            self._sessions[tenant] = session
+            return session
+
+    def admission_for(self, tenant: str) -> TenantAdmission:
+        return self._multi.admission_for(tenant)
+
+    def apply(
+        self, batch: UpdateBatch, origin: Session | None = None
+    ) -> tuple[StreamUpdateReport, SessionDelta | dict[str, SessionDelta]]:
+        """Tick the shared core once; publish a delta to **every** member.
+
+        Returns ``(report, origin's delta)`` when called through a member
+        session, or ``(report, {tenant: delta})`` when driven directly.
+        """
+        with self._write_lock:
+            report = self._multi.apply(batch)
+            deltas = {
+                tenant: session._publish_tick(report)
+                for tenant, session in self._sessions.items()
+            }
+        if origin is not None:
+            return report, deltas[origin.tenant]
+        return report, deltas
+
+    def close_session(self, session: Session) -> None:
+        """Evict one tenant; sibling tenants' sessions stay live."""
+        with self._write_lock:
+            tenant = session.tenant
+            if tenant is not None and self._sessions.get(tenant) is session:
+                del self._sessions[tenant]
+                self._multi.evict(tenant)
+
+    def close(self) -> None:
+        """Evict every tenant and release the shared core."""
+        with self._write_lock:
+            self._sessions.clear()
+        self._multi.close()
+
+    def __enter__(self) -> "SharedSessionCore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+def open_shared_core(
+    graph: Graph,
+    config: EIPConfig | None = None,
+    algorithm: str = "match",
+    stream_config: StreamConfig | None = None,
+    radius_floor: int = 0,
+) -> SharedSessionCore:
+    """Start a shared multi-tenant core over *graph*; admit Σ per tenant.
+
+    The multi-tenant counterpart of :func:`open_session`:
+    ``core.open_session(tenant, rules)`` admits each tenant's Σ, sharing
+    verification across tenants by canonical antecedent
+    (docs/multitenant.md).
+    """
+    return SharedSessionCore(
+        graph,
+        config=config,
+        algorithm=algorithm,
+        stream_config=stream_config,
+        radius_floor=radius_floor,
+    )

@@ -1252,7 +1252,11 @@ class ServeRow:
 
 
 def _http_json(method: str, url: str, body: dict | None = None, timeout: float = 120.0):
-    """One JSON request against the bench's loopback server."""
+    """One JSON request on a throwaway connection (``Connection: close``).
+
+    The load generators below hold a :class:`_KeepAliveClient` instead —
+    this stays for one-shot pings where connection reuse buys nothing.
+    """
     import json
     import urllib.request
 
@@ -1260,6 +1264,51 @@ def _http_json(method: str, url: str, body: dict | None = None, timeout: float =
     request = urllib.request.Request(url, data=data, method=method)
     with urllib.request.urlopen(request, timeout=timeout) as response:
         return json.loads(response.read().decode("utf-8"))
+
+
+class _KeepAliveClient:
+    """One persistent HTTP/1.1 connection to the bench's loopback server.
+
+    ``repro.serve`` keeps connections open between requests, so a reader
+    thread paginating in a loop pays the TCP handshake once, not per page.
+    Not thread-safe by design — every load thread owns its own client.  A
+    request that finds the socket closed (the server's idle timeout, or a
+    restart between calls) reconnects and retries once.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 120.0) -> None:
+        import http.client
+        from urllib.parse import urlsplit
+
+        split = urlsplit(base_url)
+        self._connection = http.client.HTTPConnection(
+            split.hostname or "127.0.0.1", split.port, timeout=timeout
+        )
+
+    def request(self, method: str, path: str, body: dict | None = None) -> dict:
+        import http.client
+        import json
+
+        data = json.dumps(body).encode("utf-8") if body is not None else None
+        headers = {"Content-Type": "application/json"} if data is not None else {}
+        for attempt in (0, 1):
+            try:
+                self._connection.request(method, path, body=data, headers=headers)
+                response = self._connection.getresponse()
+                payload = response.read()
+                break
+            except (http.client.HTTPException, ConnectionError, OSError):
+                self._connection.close()  # stale socket: reconnect and retry once
+                if attempt:
+                    raise
+        if response.status >= 400:
+            raise AssertionError(
+                f"{method} {path} failed with {response.status}: {payload.decode('utf-8', 'replace')}"
+            )
+        return json.loads(payload.decode("utf-8"))
+
+    def close(self) -> None:
+        self._connection.close()
 
 
 def run_serve_load(
@@ -1308,9 +1357,10 @@ def run_serve_load(
     run_started = time.perf_counter()
 
     with BackgroundServer(executor_workers=clients + 4) as server:
-        created = _http_json(
+        writer = _KeepAliveClient(server.base_url)
+        created = writer.request(
             "POST",
-            f"{server.base_url}/sessions",
+            "/sessions",
             {**session_request, "graph": graph_to_dict(graph)},
         )
         if created["rules"] != [rule.name for rule in rules]:
@@ -1318,11 +1368,13 @@ def run_serve_load(
                 f"server regenerated a different rule set: {created['rules']} "
                 f"!= {[rule.name for rule in rules]}"
             )
-        session_url = f"{server.base_url}/sessions/{created['session']}"
+        session_path = f"/sessions/{created['session']}"
 
         def read_loop() -> None:
             # One iteration = one full pagination pass; the pass must see a
-            # single graph_version even while update ticks land.
+            # single graph_version even while update ticks land.  Each reader
+            # holds one keep-alive connection for its whole lifetime.
+            client = _KeepAliveClient(server.base_url)
             try:
                 while not stop.is_set():
                     pinned_version = None
@@ -1332,7 +1384,7 @@ def run_serve_load(
                         if cursor is not None:
                             query += f"&cursor={cursor}"
                         started = time.perf_counter()
-                        page = _http_json("GET", f"{session_url}/answer{query}")
+                        page = client.request("GET", f"{session_path}/answer{query}")
                         elapsed_ms = (time.perf_counter() - started) * 1000.0
                         with record_lock:
                             latencies.append(elapsed_ms)
@@ -1347,6 +1399,8 @@ def run_serve_load(
                             break
             except BaseException as exc:  # surfaced after join
                 reader_errors.append(exc)
+            finally:
+                client.close()
 
         readers = [
             threading.Thread(target=read_loop, name=f"serve-reader-{index}", daemon=True)
@@ -1360,15 +1414,15 @@ def run_serve_load(
         # set-difference, byte for byte.
         mirror = graph.copy()
         fresh_before = api.identify(mirror, rules, mirror_config)
-        baseline_version = _http_json("GET", f"{session_url}/subscribe")["resume_from"]
+        baseline_version = writer.request("GET", f"{session_path}/subscribe")["resume_from"]
         expected_deltas: list[dict] = []
         tick_wall = 0.0
         try:
             for position, batch in enumerate(batches):
                 started = time.perf_counter()
-                response = _http_json(
+                response = writer.request(
                     "POST",
-                    f"{session_url}/updates",
+                    f"{session_path}/updates",
                     {"ops": [op.as_dict() for op in batch.ops]},
                 )
                 tick_wall += time.perf_counter() - started
@@ -1392,8 +1446,8 @@ def run_serve_load(
                 expected_deltas.append(expected)
                 fresh_before = fresh_after
 
-            replayed = _http_json(
-                "GET", f"{session_url}/subscribe?since={baseline_version}&timeout=5"
+            replayed = writer.request(
+                "GET", f"{session_path}/subscribe?since={baseline_version}&timeout=5"
             )
             if json.dumps(replayed["deltas"], sort_keys=True) != json.dumps(
                 expected_deltas, sort_keys=True
@@ -1405,6 +1459,7 @@ def run_serve_load(
             stop.set()
             for thread in readers:
                 thread.join(timeout=30)
+            writer.close()
 
     if reader_errors:
         raise AssertionError(f"concurrent reader failed: {reader_errors[0]!r}") from (
@@ -1432,6 +1487,243 @@ def run_serve_load(
         fingerprint=_eip_result_fingerprint(fresh_before),
     )
     return [row]
+
+
+# ----------------------------------------------------------------------
+# multi-tenant serving: cross-Σ match sharing over one resident graph
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TenantRow:
+    """One measured step of the multi-tenant scaling run (``tenant`` family).
+
+    ``admit`` rows measure the marginal cost of the k-th tenant joining the
+    shared core (wall clock, novel vs shared rules, backfilled centres);
+    the ``single`` row replays the same update sequence on a one-tenant
+    core (the baseline the gates scale against); the ``steady`` row is the
+    shared core maintaining every tenant at once; ``equivalence`` rows
+    record the smaller cross-backend projection-vs-independent-run legs.
+    """
+
+    dataset: str
+    mode: str
+    tenants: int
+    rules: int  #: the admitted tenant's |Σ| (admit) / Σ over tenants (steady)
+    union_rules: int  #: distinct canonical representatives the core verifies
+    shared_rules: int = 0
+    novel_rules: int = 0
+    shared_prefix_hits: int = 0
+    backfill_centers: int = 0
+    verified_centers: int = 0
+    batches: int = 0
+    wall_time: float = 0.0
+    backend: str = "sequential"
+    fingerprint: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "dataset": self.dataset,
+            "backend": self.backend,
+            "mode": self.mode,
+            "tenants": self.tenants,
+            "rules": self.rules,
+            "union_rules": self.union_rules,
+            "shared_rules": self.shared_rules,
+            "novel_rules": self.novel_rules,
+            "shared_prefix_hits": self.shared_prefix_hits,
+            "backfill_centers": self.backfill_centers,
+            "verified_centers": self.verified_centers,
+            "batches": self.batches,
+            "wall_s": round(self.wall_time, 3),
+            "fingerprint": self.fingerprint,
+        }
+
+
+def tenant_rule_slices(
+    pool: Sequence[GPAR], num_tenants: int, rules_per_tenant: int
+) -> dict[str, tuple[GPAR, ...]]:
+    """Stride-1 overlapping Σ slices: tenant k serves ``pool[k-1 : k-1+r]``.
+
+    Adjacent tenants share all but one rule — the workload shape the
+    marginal-cost gate is about (the k-th tenant's admission should pay for
+    its one novel suffix, not its whole Σ).
+    """
+    needed = num_tenants - 1 + rules_per_tenant
+    if len(pool) < needed:
+        raise ValueError(
+            f"rule pool of {len(pool)} cannot cut {num_tenants} stride-1 "
+            f"slices of {rules_per_tenant} (need {needed})"
+        )
+    return {
+        f"tenant-{index + 1}": tuple(pool[index : index + rules_per_tenant])
+        for index in range(num_tenants)
+    }
+
+
+def run_tenant_scaling(
+    dataset: str,
+    graph: Graph,
+    rule_pool: Sequence[GPAR],
+    num_tenants: int = 8,
+    rules_per_tenant: int = 6,
+    num_workers: int = 2,
+    algorithm: str = "match",
+    eta: float = 0.5,
+    backends: Sequence[str] = ("sequential",),
+    executor_workers: int | None = None,
+    num_batches: int = 2,
+    batch_size: int = 8,
+    seed: int = 0,
+    equivalence_tenants: int = 3,
+) -> list[TenantRow]:
+    """N overlapping tenant Σ over one shared core vs independent runs.
+
+    The primary leg runs on ``backends[0]``: admit *num_tenants* stride-1
+    overlapping rule sets one by one into a
+    :class:`~repro.stream.MultiTenantIdentifier` (one ``admit`` row each),
+    then replay a sampled update sequence against both the shared core and
+    a one-tenant baseline core (the ``steady`` / ``single`` rows).  After
+    every admission and every batch, **every** tenant's projected answer
+    must be fingerprint-identical to an independent ``identify_entities``
+    run with that tenant's rules on the same graph — raising
+    ``AssertionError`` otherwise.  Each remaining backend gets a smaller
+    per-batch equivalence leg through
+    :func:`repro.testing.multi_tenant_check` (one ``equivalence`` row).
+    """
+    from repro.stream import MultiTenantIdentifier
+    from repro.testing import multi_tenant_check
+
+    tenants = tenant_rule_slices(rule_pool, num_tenants, rules_per_tenant)
+    batches = sample_update_batches(graph, num_batches, batch_size, seed=seed)
+    primary, rest = backends[0], backends[1:]
+
+    def config_for(backend: str) -> EIPConfig:
+        return EIPConfig(
+            eta=eta,
+            num_workers=num_workers,
+            seed=seed,
+            backend=backend,
+            executor_workers=executor_workers,
+        )
+
+    def assert_exact(multi: MultiTenantIdentifier, where: str) -> None:
+        for tenant in multi.tenants:
+            projected = _eip_result_fingerprint(multi.result_for(tenant))
+            fresh = _eip_result_fingerprint(multi.recompute_for(tenant))
+            if projected != fresh:
+                raise AssertionError(
+                    f"{where}: tenant {tenant} projection diverged from an "
+                    f"independent run ({projected} != {fresh})"
+                )
+
+    rows: list[TenantRow] = []
+
+    # -- single-tenant baseline: the cost the gates scale against --------
+    single = MultiTenantIdentifier(graph.copy(), config=config_for(primary), algorithm=algorithm)
+    try:
+        admission = single.admit("tenant-1", tenants["tenant-1"])
+        single_wall = 0.0
+        single_verified = 0
+        for batch in batches:
+            started = time.perf_counter()
+            report = single.apply(batch)
+            single_wall += time.perf_counter() - started
+            single_verified += report.rechecked_centers
+        rows.append(
+            TenantRow(
+                dataset=dataset,
+                mode="single",
+                tenants=1,
+                rules=len(tenants["tenant-1"]),
+                union_rules=len(single.union_rules),
+                backfill_centers=admission.backfill_centers,
+                verified_centers=single_verified,
+                batches=len(batches),
+                wall_time=single_wall,
+                backend=primary,
+                fingerprint=_eip_result_fingerprint(single.result_for("tenant-1")),
+            )
+        )
+    finally:
+        single.close()
+
+    # -- primary leg: admissions one by one, then shared steady state ----
+    multi = MultiTenantIdentifier(graph.copy(), config=config_for(primary), algorithm=algorithm)
+    try:
+        for count, (tenant, tenant_rules) in enumerate(tenants.items(), start=1):
+            admission = multi.admit(tenant, tenant_rules)
+            rows.append(
+                TenantRow(
+                    dataset=dataset,
+                    mode="admit",
+                    tenants=count,
+                    rules=len(tenant_rules),
+                    union_rules=len(multi.union_rules),
+                    shared_rules=admission.shared_rules,
+                    novel_rules=admission.novel_rules,
+                    shared_prefix_hits=admission.shared_prefix_hits,
+                    backfill_centers=admission.backfill_centers,
+                    wall_time=admission.wall_time,
+                    backend=primary,
+                    fingerprint=_eip_result_fingerprint(multi.result_for(tenant)),
+                )
+            )
+        assert_exact(multi, "after admissions")
+        steady_wall = 0.0
+        steady_verified = 0
+        for position, batch in enumerate(batches):
+            started = time.perf_counter()
+            report = multi.apply(batch)
+            steady_wall += time.perf_counter() - started
+            steady_verified += report.rechecked_centers
+            assert_exact(multi, f"after batch {position + 1}")
+        rows.append(
+            TenantRow(
+                dataset=dataset,
+                mode="steady",
+                tenants=num_tenants,
+                rules=sum(len(tenant_rules) for tenant_rules in tenants.values()),
+                union_rules=len(multi.union_rules),
+                verified_centers=steady_verified,
+                batches=len(batches),
+                wall_time=steady_wall,
+                backend=primary,
+                fingerprint=_eip_result_fingerprint(multi.result_for("tenant-1")),
+            )
+        )
+    finally:
+        multi.close()
+
+    # -- smaller cross-backend equivalence legs --------------------------
+    small = dict(list(tenants.items())[:equivalence_tenants])
+    for backend in rest:
+        started = time.perf_counter()
+        divergences = multi_tenant_check(
+            graph,
+            small,
+            batches,
+            eta=eta,
+            num_workers=num_workers,
+            algorithm=algorithm,
+            seed=seed,
+            backends=(backend,),
+        )
+        if divergences:
+            raise AssertionError(
+                f"multi-tenant equivalence failed: {divergences[0].describe()}"
+            )
+        rows.append(
+            TenantRow(
+                dataset=dataset,
+                mode="equivalence",
+                tenants=len(small),
+                rules=sum(len(tenant_rules) for tenant_rules in small.values()),
+                union_rules=0,
+                batches=len(batches),
+                wall_time=time.perf_counter() - started,
+                backend=backend,
+            )
+        )
+    return rows
 
 
 def run_matchview_stream_comparison(

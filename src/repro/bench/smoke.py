@@ -108,6 +108,7 @@ from repro.bench.harness import (
     run_serve_load,
     run_storm_suite,
     run_stream_churn,
+    run_tenant_scaling,
 )
 from repro.bench.reporting import format_rows, rows_as_json, wall_speedups
 from repro.bench.workloads import (
@@ -129,6 +130,7 @@ FAMILIES = (
     "stream",
     "lifecycle",
     "serve",
+    "tenant",
     "storm",
     "obs",
 )
@@ -195,6 +197,23 @@ SERVE_CLIENTS = 8
 SERVE_BATCHES = 3
 SERVE_BATCH_SIZE = 8
 
+# The tenant family admits TENANT_COUNT stride-1 overlapping rule sets
+# (each sharing all but one rule with its neighbour, cut from one mined
+# pool) into a shared MultiTenantIdentifier on the dense workload, then
+# replays update batches against the shared core and a single-tenant
+# baseline.  Every projection is gated byte-identical to an independent
+# run inside the runner; the gate here watches the scaling trajectory —
+# marginal admission and steady-state cost both at most
+# TENANT_MARGINAL_LIMIT x the baseline, a genuinely deduplicated union,
+# and non-zero shared-prefix hits.
+TENANT_COUNT = 8
+TENANT_RULES = 6
+TENANT_POOL_RULES = 16
+TENANT_BATCHES = 2
+TENANT_BATCH_SIZE = 8
+TENANT_MARGINAL_LIMIT = 0.5
+TENANT_UNION_LIMIT = 0.6
+
 # The obs family maintains the dense streaming workload with observability
 # fully off and fully on (installed tracer + REPRO_OBS collection),
 # interleaved best-of-reps, and gates the instrumentation overhead at 5%
@@ -244,7 +263,7 @@ def run_smoke(
             scale = COLUMNAR_SCALE
         elif family == "incremental":
             scale = INCREMENTAL_SCALE
-        elif family in ("stream", "lifecycle", "serve", "obs"):
+        elif family in ("stream", "lifecycle", "serve", "tenant", "obs"):
             scale = STREAM_SCALE
         elif family == "storm":
             scale = STORM_SCALE
@@ -259,6 +278,7 @@ def run_smoke(
             "stream",
             "lifecycle",
             "serve",
+            "tenant",
             "storm",
             "obs",
         )
@@ -511,6 +531,30 @@ def run_smoke(
             eta=0.5,
             reps=OBS_REPS,
         )
+    if family == "tenant":
+        backends = (
+            BACKENDS
+            if backend is None
+            else tuple(dict.fromkeys(("sequential", backend)))
+        )
+        # The mined pool shares antecedent prefixes by construction, so the
+        # stride-1 tenant slices overlap exactly the way real co-hosted rule
+        # sets do (shared canonical keys + shared prefixes).
+        graph, pool = dense_eip_workload(scale, TENANT_POOL_RULES)
+        return run_tenant_scaling(
+            "synthetic-dense",
+            graph,
+            pool,
+            num_tenants=TENANT_COUNT,
+            rules_per_tenant=TENANT_RULES,
+            num_workers=workers,
+            algorithm="match",
+            eta=0.5,
+            backends=backends,
+            executor_workers=pool_size,
+            num_batches=TENANT_BATCHES,
+            batch_size=TENANT_BATCH_SIZE,
+        )
     if family == "serve":
         # Σ is regenerated server-side from the same (predicate, params) the
         # stream_workload uses, so the bench's mirror rules match the hosted
@@ -750,6 +794,67 @@ def _check_obs_gate(rows) -> None:
             )
 
 
+def _check_tenant_gate(rows) -> None:
+    """Regression gate: the k-th tenant must ride the shared substrate.
+
+    Cross-Σ result equivalence already failed inside the runner if any
+    tenant projection diverged from its independent run; this gate watches
+    the scaling trajectory — marginal admission (wall clock *and* backfilled
+    centres) at most ``TENANT_MARGINAL_LIMIT ×`` the cold first admission,
+    steady-state shared maintenance at most ``TENANT_MARGINAL_LIMIT × k ×``
+    the single-tenant baseline (wall clock and per-tick verify count), a
+    resident union at most ``TENANT_UNION_LIMIT ×`` the summed tenant Σ
+    sizes, and non-zero shared-prefix hits (silent canonicalization death).
+    """
+    admits = [row for row in rows if row.mode == "admit"]
+    single = next((row for row in rows if row.mode == "single"), None)
+    steady = next((row for row in rows if row.mode == "steady"), None)
+    if len(admits) < 2 or single is None or steady is None:
+        raise SystemExit("tenant run produced no admit/single/steady rows")
+    cold, last = admits[0], admits[-1]
+    if last.wall_time > TENANT_MARGINAL_LIMIT * cold.wall_time:
+        raise SystemExit(
+            f"tenant regression: admitting tenant {last.tenants} cost "
+            f"{last.wall_time:.3f}s, above {TENANT_MARGINAL_LIMIT:.1f} x the "
+            f"cold admission ({cold.wall_time:.3f}s)"
+        )
+    # A warm admission still walks every resident centre, but verifies only
+    # the novel suffix against each — so the work unit is centre x rule
+    # verifications, not centres.
+    cold_work = cold.backfill_centers * max(1, cold.novel_rules)
+    last_work = last.backfill_centers * last.novel_rules
+    if last_work > TENANT_MARGINAL_LIMIT * cold_work:
+        raise SystemExit(
+            f"tenant regression: admitting tenant {last.tenants} cost "
+            f"{last_work} centre-rule verifications, above "
+            f"{TENANT_MARGINAL_LIMIT:.1f} x the cold admission ({cold_work})"
+        )
+    k = steady.tenants
+    if steady.wall_time > TENANT_MARGINAL_LIMIT * k * single.wall_time:
+        raise SystemExit(
+            f"tenant regression: shared steady state cost {steady.wall_time:.3f}s "
+            f"for {k} tenants, above {TENANT_MARGINAL_LIMIT:.1f} x {k} x the "
+            f"single-tenant baseline ({single.wall_time:.3f}s)"
+        )
+    if steady.verified_centers > TENANT_MARGINAL_LIMIT * k * single.verified_centers:
+        raise SystemExit(
+            f"tenant regression: shared core verified {steady.verified_centers} "
+            f"centres for {k} tenants, above {TENANT_MARGINAL_LIMIT:.1f} x {k} x "
+            f"the single-tenant baseline ({single.verified_centers})"
+        )
+    if steady.union_rules > TENANT_UNION_LIMIT * steady.rules:
+        raise SystemExit(
+            f"tenant regression: resident union of {steady.union_rules} rules "
+            f"over {steady.rules} admitted — canonical dedup is not biting "
+            f"(gate <= {TENANT_UNION_LIMIT:.1f} x)"
+        )
+    if sum(row.shared_prefix_hits for row in admits) == 0:
+        raise SystemExit(
+            "tenant regression: admissions recorded zero shared-prefix hits "
+            "on overlapping rule sets — prefix sharing silently died"
+        )
+
+
 def _check_storm_gate(rows) -> None:
     """Regression gate: no storm may leave a surviving divergence.
 
@@ -887,6 +992,29 @@ def _report_family(family: str, backend: str | None, workers: int, rows) -> None
             f"trace_ok={on.trace_ok}"
         )
         _check_obs_gate(rows)
+    elif family == "tenant":
+        shown = "/".join(BACKENDS) if backend is None else f"sequential/{backend}"
+        title = f"smoke tenant (n={workers}, backends={shown})"
+        print(f"== {title} ==")
+        print("-- shared-core multi-tenant scaling (projections gated in-run) --")
+        print(format_rows(rows))
+        admits = [row for row in rows if row.mode == "admit"]
+        single = next(row for row in rows if row.mode == "single")
+        steady = next(row for row in rows if row.mode == "steady")
+        cold, last = admits[0], admits[-1]
+        marginal = last.wall_time / cold.wall_time if cold.wall_time else 0.0
+        shared_cost = (
+            steady.wall_time / (steady.tenants * single.wall_time)
+            if single.wall_time
+            else 0.0
+        )
+        print(
+            f"marginal admission (tenant {last.tenants} vs cold): {marginal:.2f}x; "
+            f"steady shared cost vs k x single: {shared_cost:.2f}x; "
+            f"union {steady.union_rules} rules over {steady.rules} admitted; "
+            f"prefix hits {sum(row.shared_prefix_hits for row in admits)}"
+        )
+        _check_tenant_gate(rows)
     elif family == "serve":
         row = rows[0]
         title = f"smoke serve (clients={row.clients}, batches={row.batches})"
@@ -963,6 +1091,7 @@ def main(argv: list[str] | None = None) -> int:
         "stream",
         "lifecycle",
         "serve",
+        "tenant",
         "storm",
         "obs",
     ):

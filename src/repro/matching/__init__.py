@@ -37,6 +37,10 @@ Matchers
     Incremental match materialization for levelwise mining: parent match
     sets and embeddings are kept per fragment and a one-edge child is
     matched by probing only the new edge (docs/incremental.md).
+:class:`SharedPatternPool`
+    Process-wide canonical-antecedent registry across tenant rule sets:
+    tenants whose rules share a canonical antecedent share one verification
+    stream in multi-tenant serving (docs/multitenant.md).
 """
 
 from repro.matching.base import Matcher, MatchStatistics
@@ -53,6 +57,12 @@ from repro.matching.incremental import (
     MatchEntry,
     MatchStore,
     single_edge_delta,
+)
+from repro.matching.shared import (
+    PoolStatistics,
+    SharedPatternPool,
+    TenantRegistration,
+    rule_key,
 )
 from repro.matching.vf2 import VF2Matcher
 from repro.matching.guided import GuidedMatcher
@@ -76,6 +86,10 @@ __all__ = [
     "DeltaMatcher",
     "MatchEntry",
     "MatchStore",
+    "PoolStatistics",
+    "SharedPatternPool",
+    "TenantRegistration",
+    "rule_key",
     "single_edge_delta",
     "maximum_dual_simulation",
     "simulation_match_set",

@@ -194,4 +194,14 @@ def top_report(url: str, healthz: dict, sessions: dict, metrics_text: str) -> st
         for name, samples in stream_counters:
             total = sum(value for _labels, value in samples)
             lines.append(f"  {name:<44} {total:g}")
+    tenant_counters = sorted(
+        (name, samples)
+        for name, samples in metrics.items()
+        if name.startswith(("repro_tenant_", "repro_shared_cores"))
+    )
+    if tenant_counters:
+        lines.append("tenants:")
+        for name, samples in tenant_counters:
+            total = sum(value for _labels, value in samples)
+            lines.append(f"  {name:<44} {total:g}")
     return "\n".join(lines) + "\n"

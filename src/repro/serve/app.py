@@ -22,6 +22,17 @@ session serialize on a per-session ``asyncio.Lock`` (and
 :meth:`repro.api.Session.apply` serializes again underneath); reads go
 straight to the session's immutable snapshots and never wait on a writer —
 every response body carries the ``graph_version`` it reflects.
+Connections are persistent (HTTP/1.1 keep-alive, see
+:mod:`repro.serve.http`): one task serves requests off the same socket
+until the client closes, asks for ``Connection: close`` or idles past
+:data:`KEEPALIVE_IDLE_TIMEOUT`.
+
+Multi-tenancy: ``POST /sessions`` bodies naming a ``graph_path`` attach to
+one :class:`repro.api.SharedSessionCore` per distinct (path, predicate,
+config) — the graph loads and partitions once, each tenant's Σ admits
+warm against the resident canonical-antecedent pool, and one update tick
+fans out to every tenant's subscription feed (docs/multitenant.md).
+Sessions created from inline ``graph`` documents stay private.
 """
 
 from __future__ import annotations
@@ -55,6 +66,10 @@ from repro.stream.updates import OP_KINDS, UpdateBatch, UpdateOp
 DEFAULT_SUBSCRIBE_TIMEOUT = 30.0
 MAX_SUBSCRIBE_TIMEOUT = 120.0
 DEFAULT_PAGE_LIMIT = 100
+#: How long a persistent connection may sit idle between requests before
+#: the server closes it (long-poll waits happen inside dispatch, not here,
+#: so they are not bounded by this).
+KEEPALIVE_IDLE_TIMEOUT = 60.0
 
 #: Structured access log: one JSON line per request (method, route template,
 #: status, duration).  Silent unless the embedding process configures the
@@ -98,7 +113,14 @@ def ops_from_json(documents: list) -> UpdateBatch:
 
 @dataclass
 class SessionHandle:
-    """One hosted session plus its serving bookkeeping."""
+    """One hosted session plus its serving bookkeeping.
+
+    Tenant sessions on a shared core carry their ``tenant`` name, the
+    ``core_key`` of the :class:`CoreHandle` they attached to, and the
+    :class:`~repro.stream.TenantAdmission` record of what the admission
+    cost; their ``update_lock`` *is* the core's, so ticks and tenant
+    lifecycle serialize across all members.
+    """
 
     session: api.Session
     name: str
@@ -108,6 +130,9 @@ class SessionHandle:
     #: Long-poll subscribe requests currently waiting on this session
     #: (touched only on the event-loop thread, like the registry itself).
     subscribers: int = 0
+    tenant: str | None = None
+    core_key: str | None = None
+    admission: object | None = None
 
     def resident_nodes(self) -> int:
         """Total nodes resident across the session's fragments."""
@@ -119,7 +144,7 @@ class SessionHandle:
 
     def info(self, session_id: str) -> dict:
         result = self.session.result
-        return {
+        document = {
             "session": session_id,
             "graph": self.name,
             "algorithm": self.algorithm,
@@ -128,7 +153,30 @@ class SessionHandle:
             "identified": len(result.identified),
             "accepted_rules": len(result.accepted_rules),
             "batches_applied": self.batches_applied,
+            "tenant": self.tenant,
+            "shared_core": self.core_key is not None,
         }
+        if self.admission is not None:
+            document["admission"] = {
+                "cold_start": self.admission.cold_start,
+                "novel_rules": self.admission.novel_rules,
+                "shared_rules": self.admission.shared_rules,
+                "shared_prefix_hits": self.admission.shared_prefix_hits,
+                "backfill_centers": self.admission.backfill_centers,
+            }
+        return document
+
+
+@dataclass
+class CoreHandle:
+    """One shared multi-tenant core plus the sessions attached to it."""
+
+    key: str
+    graph_path: str
+    core: api.SharedSessionCore | None = None
+    update_lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+    #: session_id → tenant name (touched only on the event-loop thread).
+    members: dict[str, str] = field(default_factory=dict)
 
 
 class ReproService:
@@ -136,6 +184,7 @@ class ReproService:
 
     def __init__(self, executor_workers: int = 8) -> None:
         self._sessions: dict[str, SessionHandle] = {}
+        self._cores: dict[str, CoreHandle] = {}
         self._ids = itertools.count(1)
         self._executor = ThreadPoolExecutor(
             max_workers=executor_workers, thread_name_prefix="repro-serve"
@@ -231,18 +280,40 @@ class ReproService:
     async def handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        """One request → one response → close (the server's protocol unit)."""
+        """Serve requests off one persistent connection until it ends.
+
+        HTTP/1.1 keep-alive: the loop keeps reading requests from the same
+        socket until the peer closes, sends ``Connection: close``, idles
+        past :data:`KEEPALIVE_IDLE_TIMEOUT`, or breaks the protocol (after
+        a parse error the connection state is unknowable, so it closes).
+        """
+        served = 0
         try:
-            try:
-                request = await read_request(reader)
-            except ProtocolError as exc:
-                writer.write(Response(400, {"error": str(exc)}).encode())
-                return
-            if request is None:
-                return
-            response = await self.dispatch(request)
-            writer.write(response.encode())
-            await writer.drain()
+            while True:
+                try:
+                    request = await asyncio.wait_for(
+                        read_request(reader), timeout=KEEPALIVE_IDLE_TIMEOUT
+                    )
+                except asyncio.TimeoutError:
+                    break
+                except ProtocolError as exc:
+                    writer.write(Response(400, {"error": str(exc)}).encode())
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                if served:
+                    registry().inc(
+                        "repro_http_keepalive_reuses_total",
+                        help="Requests served on an already-open connection",
+                    )
+                response = await self.dispatch(request)
+                keep_alive = request.keep_alive
+                writer.write(response.encode(keep_alive=keep_alive))
+                await writer.drain()
+                served += 1
+                if not keep_alive:
+                    break
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
         except asyncio.CancelledError:
@@ -257,10 +328,11 @@ class ReproService:
                 pass
 
     def shutdown(self) -> None:
-        """Close every hosted session and the executor."""
+        """Close every hosted session (evicting shared tenants) and the executor."""
         for handle in list(self._sessions.values()):
             handle.session.close()
         self._sessions.clear()
+        self._cores.clear()
         self._executor.shutdown(wait=False, cancel_futures=True)
 
     # ------------------------------------------------------------------
@@ -273,6 +345,7 @@ class ReproService:
             {
                 "ok": True,
                 "sessions": len(self._sessions),
+                "shared_cores": len(self._cores),
                 "resident_nodes": resident,
                 "oldest_retained_version": oldest,
             },
@@ -307,12 +380,21 @@ class ReproService:
         metrics.set_gauge(
             "repro_sessions", len(sessions), help="Live hosted sessions"
         )
+        metrics.set_gauge(
+            "repro_shared_cores",
+            len(self._cores),
+            help="Shared multi-tenant cores currently resident",
+        )
         for name in (
             "repro_session_batches_applied",
             "repro_session_graph_version",
             "repro_session_oldest_retained_version",
             "repro_session_resident_nodes",
             "repro_session_subscribers",
+            "repro_tenant_rules",
+            "repro_tenant_session_shared_rules",
+            "repro_tenant_session_novel_rules",
+            "repro_tenant_session_backfill_centers",
         ):
             metrics.clear(name)
         for session_id, handle in sessions:
@@ -346,6 +428,34 @@ class ReproService:
                 help="Long-poll subscribers currently waiting",
                 session=session_id,
             )
+            if handle.tenant is not None:
+                metrics.set_gauge(
+                    "repro_tenant_rules",
+                    len(handle.session.rules),
+                    help="Rules in the tenant's rule set",
+                    session=session_id,
+                    tenant=handle.tenant,
+                )
+            if handle.admission is not None:
+                labels = {"session": session_id, "tenant": handle.tenant or ""}
+                metrics.set_gauge(
+                    "repro_tenant_session_shared_rules",
+                    handle.admission.shared_rules,
+                    help="Admitted rules served by a resident canonical antecedent",
+                    **labels,
+                )
+                metrics.set_gauge(
+                    "repro_tenant_session_novel_rules",
+                    handle.admission.novel_rules,
+                    help="Admitted rules that required a backfill verification",
+                    **labels,
+                )
+                metrics.set_gauge(
+                    "repro_tenant_session_backfill_centers",
+                    handle.admission.backfill_centers,
+                    help="Centres verified during this tenant's admission",
+                    **labels,
+                )
 
     async def _create_session(self, request: Request) -> Response:
         body = request.json()
@@ -356,21 +466,11 @@ class ReproService:
         if "predicate" not in body:
             raise ProtocolError("'predicate' (x_label:edge_label:y_label) is required")
 
-        def build() -> tuple[str, SessionHandle]:
-            if "graph" in body:
-                graph = graph_from_dict(body["graph"])
-            else:
-                graph = load_graph_json(body["graph_path"])
-            predicate = api.parse_predicate(body["predicate"])
-            rules = generate_gpars(
-                graph,
-                predicate,
-                count=int(body.get("rules", 6)),
-                max_pattern_edges=int(body.get("max_edges", 4)),
-                d=int(body.get("d", 2)),
-                seed=int(body.get("seed", 0)),
-            )
-            config = EIPConfig(
+        algorithm = body.get("algorithm", "match")
+        history_limit = int(body.get("history_limit", api.SESSION_HISTORY_LIMIT))
+
+        def build_config() -> EIPConfig:
+            return EIPConfig(
                 eta=float(body.get("eta", 1.0)),
                 num_workers=int(body.get("workers", 4)),
                 seed=int(body.get("seed", 0)),
@@ -379,22 +479,119 @@ class ReproService:
                 use_index=bool(body.get("use_index", True)),
                 use_incremental=bool(body.get("use_incremental", True)),
             )
-            stream_config = StreamConfig(**body.get("stream", {}))
-            algorithm = body.get("algorithm", "match")
-            session = api.open_session(
-                graph,
-                rules,
-                config=config,
-                algorithm=algorithm,
-                stream_config=stream_config,
-                history_limit=int(body.get("history_limit", api.SESSION_HISTORY_LIMIT)),
-            )
-            return graph.name, SessionHandle(session=session, name=graph.name, algorithm=algorithm)
 
-        _name, handle = await self._offload(build)
+        def build_rules(graph):
+            predicate = api.parse_predicate(body["predicate"])
+            return generate_gpars(
+                graph,
+                predicate,
+                count=int(body.get("rules", 6)),
+                max_pattern_edges=int(body.get("max_edges", 4)),
+                d=int(body.get("d", 2)),
+                seed=int(body.get("seed", 0)),
+            )
+
         session_id = f"s{next(self._ids)}"
+        shared = "graph_path" in body and bool(body.get("share", True))
+        if shared:
+            handle = await self._create_shared(
+                session_id, body, algorithm, history_limit, build_config, build_rules
+            )
+        else:
+
+            def build() -> SessionHandle:
+                if "graph" in body:
+                    graph = graph_from_dict(body["graph"])
+                else:
+                    graph = load_graph_json(body["graph_path"])
+                session = api.open_session(
+                    graph,
+                    build_rules(graph),
+                    config=build_config(),
+                    algorithm=algorithm,
+                    stream_config=StreamConfig(**body.get("stream", {})),
+                    history_limit=history_limit,
+                    tenant=body.get("tenant"),
+                )
+                return SessionHandle(
+                    session=session,
+                    name=graph.name,
+                    algorithm=algorithm,
+                    tenant=session.tenant,
+                )
+
+            handle = await self._offload(build)
         self._sessions[session_id] = handle
         return Response(201, handle.info(session_id))
+
+    async def _create_shared(
+        self, session_id, body, algorithm, history_limit, build_config, build_rules
+    ) -> SessionHandle:
+        """Attach one tenant session to the shared core for its graph_path.
+
+        The core key pins everything tenants of one core must agree on —
+        the resident graph, predicate, algorithm and EIPConfig — while the
+        rule-set parameters stay per-tenant.  Core construction and tenant
+        admission serialize on the core's update lock, so admissions never
+        race a tick's graph mutation.
+        """
+        graph_path = str(body["graph_path"])
+        key = json.dumps(
+            {
+                "graph_path": graph_path,
+                "predicate": body["predicate"],
+                "algorithm": algorithm,
+                "eta": float(body.get("eta", 1.0)),
+                "workers": int(body.get("workers", 4)),
+                "seed": int(body.get("seed", 0)),
+                "backend": body.get("backend", "sequential"),
+                "pool_size": body.get("pool_size"),
+                "use_index": bool(body.get("use_index", True)),
+                "use_incremental": bool(body.get("use_incremental", True)),
+                "stream": body.get("stream", {}),
+            },
+            sort_keys=True,
+        )
+        core_handle = self._cores.get(key)
+        if core_handle is None:
+            core_handle = CoreHandle(key=key, graph_path=graph_path)
+            self._cores[key] = core_handle
+        tenant = str(body.get("tenant", session_id))
+
+        def build_core() -> api.SharedSessionCore:
+            graph = load_graph_json(graph_path)
+            return api.open_shared_core(
+                graph,
+                config=build_config(),
+                algorithm=algorithm,
+                stream_config=StreamConfig(**body.get("stream", {})),
+            )
+
+        def admit(core: api.SharedSessionCore) -> SessionHandle:
+            session = core.open_session(
+                tenant, build_rules(core.graph), history_limit=history_limit
+            )
+            return SessionHandle(
+                session=session,
+                name=core.graph.name,
+                algorithm=algorithm,
+                update_lock=core_handle.update_lock,
+                tenant=tenant,
+                core_key=key,
+                admission=session.admission,
+            )
+
+        async with core_handle.update_lock:
+            try:
+                if core_handle.core is None:
+                    core_handle.core = await self._offload(build_core)
+                handle = await self._offload(admit, core_handle.core)
+            except BaseException:
+                if not core_handle.members:
+                    self._cores.pop(key, None)
+                raise
+            core_handle.members[session_id] = tenant
+        return handle
 
     async def _list_sessions(self, request: Request) -> Response:
         return Response(
@@ -409,7 +606,15 @@ class ReproService:
         handle = self._handle(session_id)
         async with handle.update_lock:  # let an in-flight tick finish first
             del self._sessions[session_id]
+            # On a shared core this evicts only this tenant; sibling
+            # sessions (and the verdict state they read) stay live.
             await self._offload(handle.session.close)
+            if handle.core_key is not None:
+                core_handle = self._cores.get(handle.core_key)
+                if core_handle is not None:
+                    core_handle.members.pop(session_id, None)
+                    if not core_handle.members:
+                        self._cores.pop(handle.core_key, None)
         return Response(200, {"closed": session_id})
 
     async def _answer(self, request: Request, session_id: str) -> Response:
@@ -436,6 +641,13 @@ class ReproService:
         async with handle.update_lock:
             report, delta = await self._offload(handle.session.apply, batch)
             handle.batches_applied += 1
+            if handle.core_key is not None:
+                # One tick advanced every tenant on the shared core.
+                core_handle = self._cores.get(handle.core_key)
+                members = core_handle.members if core_handle is not None else {}
+                for member_id in members:
+                    if member_id != session_id and member_id in self._sessions:
+                        self._sessions[member_id].batches_applied += 1
         return Response(
             200,
             {
@@ -556,6 +768,12 @@ class BackgroundServer:
             self._startup_error = exc
             self._ready.set()
         finally:
+            # Persistent (keep-alive) connection tasks were cancelled, not
+            # awaited: give their cleanup blocks a chance to close sockets
+            # before the loop goes away.
+            pending = [task for task in asyncio.all_tasks(loop) if not task.done()]
+            if pending:
+                loop.run_until_complete(asyncio.wait(pending, timeout=5))
             self.service.shutdown()
             loop.close()
 

@@ -1,12 +1,13 @@
 """Minimal HTTP/1.1 plumbing for :mod:`repro.serve`.
 
 The runtime dependency set of this repository is intentionally empty, so the
-service speaks just enough HTTP itself on top of ``asyncio`` streams: one
-request per connection (responses carry ``Connection: close``), JSON bodies
-bounded by ``Content-Length``, and a small regex router with ``{name}`` path
-parameters.  This is a serving boundary for the reproduction — not a
-general-purpose web server — and the subset below is exactly what the
-endpoint contract in ``docs/serving.md`` needs.
+service speaks just enough HTTP itself on top of ``asyncio`` streams:
+persistent connections with HTTP/1.1 keep-alive semantics (HTTP/1.0 peers
+and ``Connection: close`` requests still get one response per connection),
+JSON bodies bounded by ``Content-Length``, and a small regex router with
+``{name}`` path parameters.  This is a serving boundary for the
+reproduction — not a general-purpose web server — and the subset below is
+exactly what the endpoint contract in ``docs/serving.md`` needs.
 """
 
 from __future__ import annotations
@@ -51,6 +52,20 @@ class Request:
     query: dict[str, str]
     headers: dict[str, str]
     body: bytes = b""
+    version: str = "HTTP/1.1"
+
+    @property
+    def keep_alive(self) -> bool:
+        """Whether the connection should stay open after the response.
+
+        HTTP/1.1 defaults to persistent connections unless the client sent
+        ``Connection: close``; HTTP/1.0 closes unless the client opted in
+        with ``Connection: keep-alive``.
+        """
+        connection = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
 
     def json(self) -> Any:
         """The request body decoded as JSON (``None`` when empty)."""
@@ -95,7 +110,7 @@ class Response:
     text: str | None = None
     content_type: str | None = None
 
-    def encode(self) -> bytes:
+    def encode(self, keep_alive: bool = False) -> bytes:
         body = b""
         default_type = "application/json"
         if self.text is not None:
@@ -108,7 +123,7 @@ class Response:
             f"HTTP/1.1 {self.status} {phrase}",
             f"Content-Type: {self.content_type or default_type}",
             f"Content-Length: {len(body)}",
-            "Connection: close",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
         ]
         for name, value in self.headers.items():
             lines.append(f"{name}: {value}")
@@ -126,7 +141,7 @@ async def read_request(reader: asyncio.StreamReader) -> Request | None:
     parts = request_line.decode("latin-1").strip().split()
     if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
         raise ProtocolError(f"malformed request line {request_line!r}")
-    method, target, _version = parts
+    method, target, version = parts
 
     headers: dict[str, str] = {}
     for _ in range(MAX_HEADER_LINES):
@@ -155,7 +170,14 @@ async def read_request(reader: asyncio.StreamReader) -> Request | None:
 
     split = urlsplit(target)
     query = dict(parse_qsl(split.query, keep_blank_values=True))
-    return Request(method=method.upper(), path=split.path, query=query, headers=headers, body=body)
+    return Request(
+        method=method.upper(),
+        path=split.path,
+        query=query,
+        headers=headers,
+        body=body,
+        version=version.upper(),
+    )
 
 
 Handler = Callable[..., Awaitable[Response]]

@@ -42,12 +42,14 @@ from repro.stream.identifier import (
     STREAM_ALGORITHMS,
     CensusMatcher,
     FragmentUpdate,
+    RuleAdmissionReport,
     StreamUpdateReport,
     StreamVerifyPayload,
     StreamingIdentifier,
     split_free_pattern,
     stream_update_worker,
 )
+from repro.stream.multitenant import MultiTenantIdentifier, TenantAdmission
 
 __all__ = [
     "OP_KINDS",
@@ -58,7 +60,10 @@ __all__ = [
     "STREAM_ALGORITHMS",
     "CensusMatcher",
     "FragmentUpdate",
+    "MultiTenantIdentifier",
+    "RuleAdmissionReport",
     "StreamConfig",
+    "TenantAdmission",
     "StreamVerifyPayload",
     "StreamUpdateReport",
     "StreamingIdentifier",

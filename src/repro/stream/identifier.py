@@ -96,6 +96,7 @@ __all__ = [
     "STREAM_ALGORITHMS",
     "CensusMatcher",
     "FragmentUpdate",
+    "RuleAdmissionReport",
     "StreamUpdateReport",
     "StreamVerifyPayload",
     "StreamingIdentifier",
@@ -167,6 +168,15 @@ class StreamUpdateReport:
             f"migrated={self.migrated_centers} compacted={self.compacted_fragments} "
             f"resident={self.resident_nodes} wall={self.wall_time:.3f}s"
         )
+
+
+@dataclass
+class RuleAdmissionReport:
+    """What one :meth:`StreamingIdentifier.admit_rules` backfill did."""
+
+    admitted: tuple[GPAR, ...] = ()
+    backfill_centers: int = 0
+    wall_time: float = 0.0
 
 
 def stream_update_worker(
@@ -273,6 +283,7 @@ class StreamingIdentifier:
         config: EIPConfig | None = None,
         algorithm: str = "match",
         stream_config: StreamConfig | None = None,
+        radius_floor: int = 0,
         **config_overrides,
     ) -> None:
         if config_overrides:
@@ -294,6 +305,12 @@ class StreamingIdentifier:
         self.config = config if config is not None else EIPConfig(**config_overrides)
         self.algorithm = algorithm
         self.stream_config = stream_config if stream_config is not None else StreamConfig()
+        # Floor on the verification radius: fragments are partitioned (and
+        # their balls materialized) at max(radius(Σ), radius_floor), so a
+        # later admit_rules() can bring rules up to the floor without
+        # repartitioning.  admit/retire raise the floor to the pinned radius
+        # so the resident balls never shrink under live verdicts.
+        self.radius_floor = radius_floor
         self._prepare_rules()
 
         self.stream_config.apply_to_graph(graph)
@@ -375,7 +392,10 @@ class StreamingIdentifier:
             if entry.pr_requirements
         }
         self._census_pairs = self._census_plan.substitutions
-        self.max_radius = max_verification_radius(self.rules, self._census_plan)
+        self.max_radius = max(
+            max_verification_radius(self.rules, self._census_plan),
+            self.radius_floor,
+        )
 
     def _start_runtime(self) -> None:
         solver_cls = type(self._solver)
@@ -413,12 +433,17 @@ class StreamingIdentifier:
         # through repro.api.Session.apply), not something to silently queue.
         self._apply_guard = threading.Lock()
 
-    def _payload(self, index: int, recheck: tuple | None) -> StreamVerifyPayload:
+    def _payload(
+        self,
+        index: int,
+        recheck: tuple | None,
+        rules: tuple[GPAR, ...] | None = None,
+    ) -> StreamVerifyPayload:
         return StreamVerifyPayload(
             lease=self.manager.lease(index),
             solver_cls=type(self._solver),
             config=self.config,
-            rules=self.rules,
+            rules=self.rules if rules is None else rules,
             max_radius=self.max_radius,
             predicate=self.predicate,
             recheck=recheck,
@@ -669,6 +694,150 @@ class StreamingIdentifier:
             stored.qbar_counts[rule] = len(antecedent & stored.negatives)
 
     # ------------------------------------------------------------------
+    # dynamic Σ: warm rule admission / retirement (multi-tenant serving)
+    # ------------------------------------------------------------------
+    def admit_rules(self, new_rules: Sequence[GPAR]) -> RuleAdmissionReport:
+        """Extend Σ in place; backfill **only** the new rules' verdicts.
+
+        The resident fragments, their materialized d-balls and every
+        existing rule's verdict survive untouched: one verification round
+        runs with the additions alone over all owned centres, and its
+        per-rule sets merge into the stored reports.  Rules already in Σ
+        (structural :class:`~repro.pattern.gpar.GPAR` equality) are skipped
+        — that is the warm-admission fast path of docs/multitenant.md.
+
+        The verification radius is pinned: a new rule needing a larger
+        radius than the balls were materialized with is rejected (build a
+        core with a bigger ``radius_floor`` instead of silently serving it
+        from truncated neighbourhoods).
+
+        Not re-entrant with :meth:`apply`; serialize through the session
+        layer like any other write.
+        """
+        if not self._apply_guard.acquire(blocking=False):
+            raise StreamError(
+                "another apply()/admit_rules() is already in progress on this "
+                "StreamingIdentifier; writes must be serialized (use "
+                "repro.api, which queues them)"
+            )
+        try:
+            return self._admit_locked(new_rules)
+        finally:
+            self._apply_guard.release()
+
+    def _admit_locked(self, new_rules: Sequence[GPAR]) -> RuleAdmissionReport:
+        if self._closed:
+            raise StreamError("this StreamingIdentifier is closed")
+        if self.graph.version != self._graph_version:
+            raise StreamError(
+                "the graph was mutated outside StreamingIdentifier.apply(); "
+                "close this identifier and build a fresh one"
+            )
+        started = time.perf_counter()
+        seen = set(self.rules)
+        additions: list[GPAR] = []
+        for rule in new_rules:
+            if rule not in seen:
+                additions.append(rule)
+                seen.add(rule)
+        if not additions:
+            return RuleAdmissionReport(admitted=())
+        pinned = self.max_radius
+        union = self.rules + tuple(additions)
+        _shared_predicate(list(union))
+        needed = max_verification_radius(union, plan_census(union))
+        if needed > pinned:
+            raise StreamError(
+                f"cannot admit rules needing verification radius {needed}: "
+                f"the resident fragment balls were materialized at d={pinned}; "
+                f"open a separate core (or rebuild with radius_floor={needed})"
+            )
+        self.radius_floor = max(self.radius_floor, pinned)
+        self.rules = union
+        self._prepare_rules()
+        payloads = [
+            self._payload(fragment.index, recheck=None, rules=tuple(additions))
+            for fragment in self.fragments
+        ]
+        tracer = active()
+        with span("stream.admit_rules", rules=len(additions)) as admit_span:
+            partials = self.runtime.run_round(stream_update_worker, payloads)
+            if tracer is not None:
+                for partial in partials:
+                    if partial.spans:
+                        tracer.adopt(
+                            partial.spans,
+                            parent_id=admit_span.span_id,
+                            prefix=f"adm.w{partial.fragment_index}.",
+                        )
+                        partial.spans = []
+        for partial in partials:
+            stored = self._reports[partial.fragment_index]
+            stored.candidates_examined += partial.candidates_examined
+            stored.prefix_pool_hits += partial.prefix_pool_hits
+            # positives/negatives are Σ-independent predicate verdicts over
+            # the same owned centres — already held by the stored report.
+            for rule in additions:
+                stored.antecedent_sets[rule] = partial.antecedent_sets.get(rule, set())
+                stored.rule_matches[rule] = partial.rule_matches.get(rule, set())
+            self._recount(stored)
+        self._result = self._assemble()
+        return RuleAdmissionReport(
+            admitted=tuple(additions),
+            backfill_centers=sum(
+                len(fragment.owned_centers) for fragment in self.fragments
+            ),
+            wall_time=time.perf_counter() - started,
+        )
+
+    def retire_rules(self, rules: Sequence[GPAR]) -> tuple[GPAR, ...]:
+        """Shrink Σ in place, dropping the retired rules' stored verdicts.
+
+        No verification runs and the radius stays pinned (the resident
+        balls may be larger than the remaining Σ needs — correct, just
+        roomy).  Retiring every rule is rejected: :meth:`close` the
+        identifier instead.  Returns the rules actually removed.
+        """
+        if not self._apply_guard.acquire(blocking=False):
+            raise StreamError(
+                "another apply()/admit_rules() is already in progress on this "
+                "StreamingIdentifier; writes must be serialized (use "
+                "repro.api, which queues them)"
+            )
+        try:
+            if self._closed:
+                raise StreamError("this StreamingIdentifier is closed")
+            if self.graph.version != self._graph_version:
+                raise StreamError(
+                    "the graph was mutated outside StreamingIdentifier.apply(); "
+                    "close this identifier and build a fresh one"
+                )
+            removal = set(rules)
+            removed = tuple(rule for rule in self.rules if rule in removal)
+            if not removed:
+                return ()
+            remaining = tuple(rule for rule in self.rules if rule not in removal)
+            if not remaining:
+                raise StreamError(
+                    "cannot retire every rule of a StreamingIdentifier; "
+                    "close() it instead"
+                )
+            self.radius_floor = max(self.radius_floor, self.max_radius)
+            self.rules = remaining
+            self._prepare_rules()
+            for stored in self._reports.values():
+                for rule in removed:
+                    stored.antecedent_sets.pop(rule, None)
+                    stored.rule_matches.pop(rule, None)
+                    stored.antecedent_counts.pop(rule, None)
+                    stored.qbar_counts.pop(rule, None)
+                self._recount(stored)
+            self._result = self._assemble()
+            return removed
+        finally:
+            self._apply_guard.release()
+
+    # ------------------------------------------------------------------
     # durable state: checkpoint → restart
     # ------------------------------------------------------------------
     def save_state(self, path: Path | str | None = None) -> Path:
@@ -700,6 +869,7 @@ class StreamingIdentifier:
             "config": self.config,
             "stream_config": self.stream_config,
             "algorithm": self.algorithm,
+            "radius_floor": self.radius_floor,
             "manager": self.manager.state_dict(),
             "reports": self._reports,
             "batches_applied": self.batches_applied,
@@ -737,6 +907,7 @@ class StreamingIdentifier:
         identifier.config = config
         identifier.algorithm = state["algorithm"]
         identifier.stream_config = state["stream_config"]
+        identifier.radius_floor = state.get("radius_floor", 0)
         identifier._prepare_rules()
         identifier.manager = FragmentManager.from_state(
             identifier.graph, state["manager"], identifier.stream_config

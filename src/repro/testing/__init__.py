@@ -7,7 +7,9 @@ this package supplies the adversarial half (see ``docs/adversarial.md``):
   :data:`STORM_FAMILIES`;
 * :mod:`repro.testing.oracle` — :class:`DifferentialOracle`, which runs
   maintained streaming state against fresh recomputes after every batch
-  and reports the first :class:`Divergence` per configuration;
+  and reports the first :class:`Divergence` per configuration, plus
+  :func:`multi_tenant_check`, the cross-Σ oracle asserting shared-core
+  tenant projections stay byte-identical to independent runs;
 * :mod:`repro.testing.distill` — greedy delta-debugging
   (:func:`distill`) plus MinHash dedup of counterexamples;
 * :mod:`repro.testing.cases` — the ``tests/regressions/*.json`` corpus:
@@ -34,7 +36,9 @@ from repro.testing.oracle import (
     DifferentialOracle,
     Divergence,
     OracleReport,
+    TenantDivergence,
     eip_fingerprint,
+    multi_tenant_check,
 )
 from repro.testing.storms import (
     STORM_FAMILIES,
@@ -52,6 +56,7 @@ __all__ = [
     "OracleReport",
     "RegressionCase",
     "STORM_FAMILIES",
+    "TenantDivergence",
     "ball_burst_storm",
     "correlated_deletion_storm",
     "distill",
@@ -65,5 +70,6 @@ __all__ = [
     "label_flip_storm",
     "load_case",
     "minhash_signature",
+    "multi_tenant_check",
     "write_case",
 ]

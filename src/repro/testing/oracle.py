@@ -24,11 +24,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Callable, Mapping, Sequence
 
 from repro.graph.graph import Graph
 from repro.identification import identify_entities
-from repro.identification.eip import EIPResult
+from repro.identification.eip import EIPConfig, EIPResult
 from repro.matching import DeltaMatcher, MatchStore, VF2Matcher
 from repro.pattern.gpar import GPAR
 from repro.stream import MaintainedMatchView, StreamingIdentifier, UpdateBatch
@@ -338,10 +338,141 @@ class DifferentialOracle:
         return None
 
 
+# ----------------------------------------------------------------------
+# Multi-tenant checker
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TenantDivergence:
+    """A tenant's projected answer disagreeing with its independent run."""
+
+    batch_index: int  #: batch after which it surfaced (-1 = initial state)
+    tenant: str  #: "*" for failures not attributable to one tenant
+    backend: str
+    use_columnar: bool
+    detail: str
+    expected: object = None  #: independent ``identify_entities`` fingerprint
+    actual: object = None  #: shared-core projection fingerprint
+
+    def describe(self) -> str:
+        where = "initial state" if self.batch_index == INITIAL else f"batch {self.batch_index}"
+        return (
+            f"[tenant {self.tenant}] {where} on backend={self.backend} "
+            f"columnar={'on' if self.use_columnar else 'off'}: {self.detail}"
+        )
+
+
+def multi_tenant_check(
+    graph: Graph,
+    tenants: Mapping[str, Sequence[GPAR]],
+    batches: Sequence[UpdateBatch],
+    *,
+    eta: float = 0.5,
+    num_workers: int = 2,
+    algorithm: str = "match",
+    seed: int = 0,
+    backends: Sequence[str] = ("sequential",),
+    columnar_modes: Sequence[bool] = (True,),
+    radius_floor: int = 0,
+) -> list[TenantDivergence]:
+    """Cross-Σ correctness: shared-core projections vs independent runs.
+
+    For every ``backend × columnar`` combination, admits every tenant into
+    one :class:`~repro.stream.MultiTenantIdentifier` over a copy of *graph*,
+    then — initially and after **each** batch — asserts every tenant's
+    :meth:`result_for` projection is :func:`eip_fingerprint`-identical to an
+    independent ``identify_entities`` run with that tenant's rules on the
+    same (mutated) graph.  Combinations stay independent (own graph copy);
+    the first divergence per combination is reported, one entry per
+    combination at most, and an empty list means the shared substrate is
+    answer-preserving across the whole grid.
+    """
+    from repro.stream import MultiTenantIdentifier
+
+    divergences: list[TenantDivergence] = []
+    for backend in backends:
+        for use_columnar in columnar_modes:
+            use_columnar = bool(use_columnar)
+            config = EIPConfig(
+                eta=eta,
+                num_workers=num_workers,
+                seed=seed,
+                backend=backend,
+                use_columnar=use_columnar,
+            )
+            mark = lambda **kw: TenantDivergence(  # noqa: E731
+                backend=backend, use_columnar=use_columnar, **kw
+            )
+            multi = MultiTenantIdentifier(
+                graph.copy(),
+                config=config,
+                algorithm=algorithm,
+                radius_floor=radius_floor,
+            )
+            try:
+                divergence = _run_tenant_combo(multi, tenants, batches, mark)
+            finally:
+                multi.close()
+            if divergence is not None:
+                divergences.append(divergence)
+    return divergences
+
+
+def _run_tenant_combo(
+    multi,
+    tenants: Mapping[str, Sequence[GPAR]],
+    batches: Sequence[UpdateBatch],
+    mark,
+) -> TenantDivergence | None:
+    try:
+        for tenant, rules in tenants.items():
+            multi.admit(tenant, tuple(rules))
+    except Exception as error:  # semantics gap: shared core rejects a Σ
+        return mark(
+            batch_index=INITIAL,
+            tenant="*",
+            detail=f"admission rejected a tenant rule set: {error}",
+            actual=repr(error),
+        )
+    divergence = _compare_tenants(multi, INITIAL, mark)
+    if divergence is not None:
+        return divergence
+    for index, batch in enumerate(batches):
+        try:
+            multi.apply(batch)
+        except Exception as error:
+            return mark(
+                batch_index=index,
+                tenant="*",
+                detail=f"shared core raised while applying the batch: {error}",
+                actual=repr(error),
+            )
+        divergence = _compare_tenants(multi, index, mark)
+        if divergence is not None:
+            return divergence
+    return None
+
+
+def _compare_tenants(multi, batch_index: int, mark) -> TenantDivergence | None:
+    for tenant in multi.tenants:
+        projected = eip_fingerprint(multi.result_for(tenant))
+        fresh = eip_fingerprint(multi.recompute_for(tenant))
+        if projected != fresh:
+            return mark(
+                batch_index=batch_index,
+                tenant=tenant,
+                detail="shared-core projection differs from an independent run",
+                expected=fresh,
+                actual=projected,
+            )
+    return None
+
+
 __all__ = [
     "Divergence",
     "DifferentialOracle",
     "OracleReport",
+    "TenantDivergence",
     "eip_fingerprint",
+    "multi_tenant_check",
     "INITIAL",
 ]

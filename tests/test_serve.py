@@ -376,3 +376,118 @@ class TestSubscriptions:
         assert status == 410
         assert gone["resync"] is True
         _call("DELETE", url)
+
+
+class TestKeepAliveConnections:
+    def test_one_socket_serves_many_requests(self, server):
+        import http.client
+        from urllib.parse import urlsplit
+
+        split = urlsplit(server.base_url)
+        connection = http.client.HTTPConnection(split.hostname, split.port, timeout=30)
+        try:
+            sockets = []
+            for _ in range(3):
+                connection.request("GET", "/healthz")
+                response = connection.getresponse()
+                assert response.status == 200
+                assert response.headers.get("Connection") == "keep-alive"
+                assert json.loads(response.read().decode("utf-8"))["ok"] is True
+                sockets.append(connection.sock)
+            assert sockets[0] is sockets[1] is sockets[2], "connection was not reused"
+        finally:
+            connection.close()
+
+    def test_connection_close_is_honoured(self, server):
+        import http.client
+        from urllib.parse import urlsplit
+
+        split = urlsplit(server.base_url)
+        connection = http.client.HTTPConnection(split.hostname, split.port, timeout=30)
+        try:
+            connection.request("GET", "/healthz", headers={"Connection": "close"})
+            response = connection.getresponse()
+            assert response.status == 200
+            assert response.headers.get("Connection") == "close"
+            response.read()
+        finally:
+            connection.close()
+
+
+class TestSharedCores:
+    def test_shared_core_fan_out_and_close_one_keep_one(self, server, tmp_path):
+        from repro.graph.io import save_graph_json
+
+        graph, _rules, predicate_text = _workload(seed=31)
+        path = tmp_path / "shared-graph.json"
+        save_graph_json(graph, path)
+        base = {
+            "graph_path": str(path),
+            "predicate": predicate_text,
+            "max_edges": 4,
+            "d": 2,
+            "seed": 31,
+            "eta": 0.1,
+            "workers": 2,
+        }
+        status, alpha = _call(
+            "POST",
+            f"{server.base_url}/sessions",
+            {**base, "rules": RULES, "tenant": "alpha"},
+        )
+        assert status == 201
+        assert alpha["tenant"] == "alpha" and alpha["shared_core"] is True
+        assert alpha["admission"]["cold_start"] is True
+
+        # Same seed, smaller count: beta's Σ is a prefix of alpha's, so the
+        # admission is fully warm — zero novel rules, zero backfill.
+        status, beta = _call(
+            "POST",
+            f"{server.base_url}/sessions",
+            {**base, "rules": 3, "tenant": "beta"},
+        )
+        assert status == 201
+        assert beta["admission"]["cold_start"] is False
+        assert beta["admission"]["novel_rules"] == 0
+        assert beta["admission"]["shared_rules"] == 3
+        assert beta["admission"]["backfill_centers"] == 0
+
+        alpha_url = f"{server.base_url}/sessions/{alpha['session']}"
+        beta_url = f"{server.base_url}/sessions/{beta['session']}"
+        _status, health = _call("GET", f"{server.base_url}/healthz")
+        assert health["shared_cores"] == 1
+
+        # One tick through alpha advances beta in the same version step.
+        batch = random_update_batch(graph.copy(), size=4, seed=77)
+        status, tick = _call(
+            "POST", f"{alpha_url}/updates", {"ops": [op.as_dict() for op in batch.ops]}
+        )
+        assert status == 200
+        _status, beta_info = _call("GET", beta_url)
+        assert beta_info["graph_version"] == tick["graph_version"]
+        assert beta_info["batches_applied"] == 1
+
+        _status, _ctype, text = _call_text(f"{server.base_url}/metrics")
+        assert "repro_tenant_session_shared_rules" in text
+        assert "repro_shared_cores 1" in text
+
+        # Closing alpha keeps beta's projection live on the shared core.
+        assert _call("DELETE", alpha_url)[0] == 200
+        status, page = _call("GET", f"{beta_url}/answer?limit=5")
+        assert status == 200 and page["graph_version"] == tick["graph_version"]
+        _status, health = _call("GET", f"{server.base_url}/healthz")
+        assert health["shared_cores"] == 1
+
+        # The last tenant's exit releases the core itself.
+        assert _call("DELETE", beta_url)[0] == 200
+        _status, health = _call("GET", f"{server.base_url}/healthz")
+        assert health["shared_cores"] == 0
+
+    def test_inline_graph_sessions_stay_private(self, server):
+        graph, _rules, predicate_text = _workload(seed=32)
+        _status, created = _call(
+            "POST", f"{server.base_url}/sessions", _session_body(graph, predicate_text)
+        )
+        assert created["shared_core"] is False
+        assert "admission" not in created
+        _call("DELETE", f"{server.base_url}/sessions/{created['session']}")
